@@ -1,0 +1,46 @@
+"""E1 — Safety kernel vs baselines under communication failures (Fig 1, section III).
+
+Reproduces the paper's central claim: the safety kernel keeps the vehicle
+safe (like the never-cooperative baseline) while delivering performance close
+to the always-cooperative configuration whenever the network is healthy.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
+
+from benchmarks.conftest import run_once
+
+DURATION = 60.0
+FOLLOWERS = 3
+BURSTS = ((18.0, 8.0), (40.0, 5.0))
+
+
+def _run_variant(variant: ArchitectureVariant):
+    config = PlatoonConfig(
+        followers=FOLLOWERS,
+        duration=DURATION,
+        variant=variant,
+        interference_bursts=BURSTS,
+        seed=1,
+    )
+    return PlatoonScenario(config).run()
+
+
+def test_benchmark_e1_safety_kernel_vs_baselines(benchmark):
+    def experiment():
+        return [_run_variant(variant) for variant in ArchitectureVariant]
+
+    results = run_once(benchmark, experiment)
+    rows = [result.as_row() for result in results]
+    print()
+    print(format_table(rows, title="E1: platoon under communication blackouts (per architecture)"))
+
+    by_variant = {result.variant: result for result in results}
+    karyon = by_variant["karyon"]
+    always = by_variant["always_cooperative"]
+    never = by_variant["never_cooperative"]
+    # Shape checks mirroring the paper's argument.
+    assert karyon.collisions == 0 and karyon.hazardous_states == 0
+    assert never.collisions == 0
+    assert always.collisions > 0 or always.hazardous_states > 0
+    assert karyon.throughput > never.throughput

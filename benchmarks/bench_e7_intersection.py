@@ -1,0 +1,45 @@
+"""E7 — Intersection crossing: infrastructure light, VTL fallback, uncoordinated (section VI-A.2)."""
+
+from repro.evaluation.reporting import format_table
+from repro.usecases.intersection import (
+    IntersectionConfig,
+    IntersectionMode,
+    IntersectionScenario,
+)
+
+from benchmarks.conftest import run_once
+
+DURATION = 150.0
+VEHICLES = 5
+FAILURE_TIME = 20.0
+
+
+def _run(mode: IntersectionMode) -> dict:
+    failure = None if mode is IntersectionMode.INFRASTRUCTURE else FAILURE_TIME
+    config = IntersectionConfig(
+        mode=mode,
+        vehicles_per_approach=VEHICLES,
+        duration=DURATION,
+        light_failure_time=failure,
+    )
+    return IntersectionScenario(config).run().as_row()
+
+
+def test_benchmark_e7_intersection_modes(benchmark):
+    rows = run_once(benchmark, lambda: [_run(mode) for mode in IntersectionMode])
+    print()
+    print(format_table(rows, title="E7: intersection throughput and conflicts per coordination mode"))
+    by_mode = {row["mode"]: row for row in rows}
+    infra = by_mode["infrastructure"]
+    vtl = by_mode["vtl_fallback"]
+    uncoordinated = by_mode["uncoordinated"]
+    assert infra["conflicts"] == 0
+    assert vtl["conflicts"] == 0
+    assert vtl["crossed"] == infra["crossed"]
+    assert vtl["vtl_activations"] > 0
+    # The uncoordinated fallback pays either in conflicts or in throughput/delay.
+    assert (
+        uncoordinated["conflicts"] > 0
+        or uncoordinated["crossed"] < vtl["crossed"]
+        or uncoordinated["mean_delay_s"] > vtl["mean_delay_s"]
+    )

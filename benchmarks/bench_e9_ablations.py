@@ -1,0 +1,67 @@
+"""E9 — Ablations of the design choices DESIGN.md calls out.
+
+(a) Safety-kernel cycle jitter: an unbounded (jittery/slow) kernel cycle
+    weakens the bounded-reaction argument; measure hazardous states vs cycle
+    period under a blackout + braking scenario.
+(b) Lane-change agreement timeout sweep: shorter timeouts abort more
+    proposals (lower manoeuvre throughput) but never violate exclusivity.
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
+from repro.usecases.lane_change import LaneChangeConfig, LaneChangeScenario
+
+from benchmarks.conftest import run_once
+
+
+def _kernel_cycle_ablation(cycle_period: float) -> dict:
+    config = PlatoonConfig(
+        followers=3,
+        duration=50.0,
+        variant=ArchitectureVariant.KARYON,
+        interference_bursts=((18.0, 8.0),),
+        kernel_period=cycle_period,
+        seed=4,
+    )
+    result = PlatoonScenario(config).run()
+    return {
+        "kernel_cycle_s": cycle_period,
+        "collisions": result.collisions,
+        "hazardous_states": result.hazardous_states,
+        "min_time_gap_s": round(result.min_time_gap, 3),
+        "max_cycle_interval_s": round(result.max_kernel_cycle_interval, 3),
+        "throughput_veh_h": round(result.throughput, 0),
+    }
+
+
+def _agreement_timeout_ablation(timeout: float) -> dict:
+    config = LaneChangeConfig(coordinated=True, agreement_timeout=timeout, duration=45.0)
+    result = LaneChangeScenario(config).run()
+    return {
+        "agreement_timeout_s": timeout,
+        "completed_changes": result.completed_changes,
+        "aborted_proposals": result.aborted_proposals,
+        "simultaneous_violations": result.simultaneous_violations,
+        "mean_wait_s": round(result.mean_wait, 2),
+    }
+
+
+def test_benchmark_e9_ablations(benchmark):
+    def experiment():
+        kernel_rows = [_kernel_cycle_ablation(period) for period in (0.05, 0.1, 0.5, 2.0)]
+        timeout_rows = [_agreement_timeout_ablation(timeout) for timeout in (0.2, 1.0, 3.0)]
+        return kernel_rows, timeout_rows
+
+    kernel_rows, timeout_rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(kernel_rows, title="E9a: safety-kernel cycle-period ablation (blackout + braking)"))
+    print()
+    print(format_table(timeout_rows, title="E9b: manoeuvre-agreement timeout ablation"))
+    # A fast kernel cycle keeps the platoon hazard-free; a very slow cycle
+    # reacts too late to the blackout and lets hazardous states through.
+    fast = kernel_rows[0]
+    slow = kernel_rows[-1]
+    assert fast["collisions"] == 0 and fast["hazardous_states"] == 0
+    assert slow["hazardous_states"] >= fast["hazardous_states"]
+    # Exclusivity is never violated, whatever the timeout.
+    assert all(row["simultaneous_violations"] == 0 for row in timeout_rows)

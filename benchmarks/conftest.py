@@ -1,0 +1,14 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md / EXPERIMENTS.md
+(E1-E9) and prints the corresponding table or series.  ``pytest benchmarks/
+--benchmark-only -s`` shows the tables; without ``-s`` the printed output is
+captured but the measured numbers still land in the pytest-benchmark summary.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

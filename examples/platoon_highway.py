@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Highway platooning with the KARYON safety kernel (paper use case VI-A.1).
+
+Runs the same platoon scenario under the three architecture variants compared
+in experiment E1 — KARYON safety kernel, always-cooperative (no kernel), and
+never-cooperative — while a communication blackout hits during a hard-braking
+episode of the leader.  Prints the resulting safety/performance table.
+
+Run with:  python examples/platoon_highway.py
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
+
+
+def main() -> None:
+    rows = []
+    for variant in ArchitectureVariant:
+        config = PlatoonConfig(
+            followers=4,
+            duration=60.0,
+            variant=variant,
+            interference_bursts=((18.0, 8.0),),   # blackout overlapping the braking episode
+            seed=1,
+        )
+        result = PlatoonScenario(config).run()
+        rows.append(result.as_row())
+    print(format_table(rows, title="Platoon under a communication blackout (leader brakes at t=20s)"))
+    print()
+    print("Reading the table:")
+    print(" * karyon              -> no collisions, throughput close to always_cooperative")
+    print(" * always_cooperative  -> collisions/hazards: stale V2V data was trusted blindly")
+    print(" * never_cooperative   -> safe but pays a large time margin (low throughput)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: build a minimal KARYON safety kernel and watch it manage the LoS.
+
+A single vehicle has one abstract ranging sensor (with fault injection) and a
+V2V freshness indicator.  The safety kernel selects the highest Level of
+Service whose safety rules hold; when the sensor degrades or the V2V link
+goes silent the kernel downgrades, and it recovers once conditions improve.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.kernel import SafetyKernel
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import freshness_within, indicator_true, validity_at_least
+from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
+from repro.sensors.detectors import RangeDetector, StuckAtDetector
+from repro.sensors.faults import StuckAtFault
+from repro.sim.kernel import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+
+    # --- Nominal components -------------------------------------------------
+    # An abstract ranging sensor: physical transducer + detectors + validity.
+    physical = PhysicalSensor(
+        name="radar",
+        quantity="range",
+        truth_fn=lambda t: 50.0 + 5.0 * np.sin(0.2 * t),
+        noise_sigma=0.3,
+        rng=np.random.default_rng(1),
+    )
+    radar = AbstractSensor(
+        physical,
+        detectors=[RangeDetector(0.0, 200.0), StuckAtDetector(window=10, min_run=4)],
+    )
+    sim.periodic(0.05, lambda: radar.read(sim.now), name="radar-sampling")
+    # The radar freezes (stuck-at fault) between t=8s and t=16s.
+    physical.inject(StuckAtFault(), start=8.0, end=16.0)
+
+    # A V2V link indicator: healthy until t=20s, then silent until t=30s.
+    def v2v_alive() -> bool:
+        return not (20.0 <= sim.now < 30.0)
+
+    # --- Safety kernel -------------------------------------------------------
+    kernel = SafetyKernel("vehicle-1", sim, cycle_period=0.1)
+    kernel.monitor_sensor("range", radar)
+    kernel.monitor_indicator("v2v_alive", v2v_alive)
+
+    catalog = LoSCatalog(
+        "acc",
+        [
+            LevelOfService("conservative", 0, {"time_gap": 2.5}),
+            LevelOfService("autonomous", 1, {"time_gap": 1.4}),
+            LevelOfService("cooperative", 2, {"time_gap": 0.6}, cooperative=True),
+        ],
+    )
+    rules = {
+        1: [validity_at_least("range", 0.5), freshness_within("range", 0.3)],
+        2: [indicator_true("v2v_alive")],
+    }
+
+    history = []
+    kernel.define_functionality(
+        catalog,
+        enactor=lambda level: history.append((round(sim.now, 1), level.name)),
+        rules_by_rank=rules,
+    )
+    kernel.start()
+
+    # --- Run and report -------------------------------------------------------
+    sim.run_until(40.0)
+    print("LoS switches (time, selected level):")
+    for time, name in history:
+        print(f"  t={time:6.1f}s  ->  {name}")
+    print()
+    summary = kernel.summary()
+    print(f"kernel cycles executed : {summary['cycles']}")
+    print(f"downgrades             : {summary['downgrades']}")
+    print(f"max cycle interval     : {summary['max_cycle_interval']:.3f} s (bound: 0.1 s)")
+    print(f"final LoS              : {summary['current_los']['acc']}")
+
+
+if __name__ == "__main__":
+    main()

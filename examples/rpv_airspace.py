@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""RPV separation assurance in shared airspace (paper use case VI-B, Figs 6-7).
+
+Runs the three avionic traffic scenarios (in-trail, levelled crossing,
+flight-level change) against collaborative (ADS-B) and non-collaborative
+(voice-reported) intruders, with the safety kernel selecting the separation
+margin from the quality of the intruder state.
+
+Run with:  python examples/rpv_airspace.py
+"""
+
+from repro.evaluation.reporting import format_table
+from repro.usecases.avionics import AvionicsConfig, AvionicsScenario, AvionicsUseCase
+
+
+def main() -> None:
+    rows = []
+    for use_case in AvionicsUseCase:
+        for collaborative in (True, False):
+            config = AvionicsConfig(
+                use_case=use_case,
+                with_safety_kernel=True,
+                intruder_collaborative=collaborative,
+                duration=500.0,
+            )
+            rows.append(AvionicsScenario(config).run().as_row())
+    print(format_table(rows, title="RPV separation assurance with the KARYON safety kernel"))
+    print()
+    print("Collaborative traffic lets the kernel authorise the tight ('collaborative')")
+    print("LoS: smaller margins and faster missions.  Non-collaborative traffic forces")
+    print("the conservative LoS; missions take longer but the separation minima are")
+    print("never violated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` keeps working on environments without the
+``wheel`` package (PEP 660 editable installs need it, ``develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

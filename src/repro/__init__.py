@@ -1,0 +1,28 @@
+"""KARYON reproduction library.
+
+This package reproduces the system described in "The KARYON Project:
+Predictable and Safe Coordination in Cooperative Vehicular Systems"
+(Casimiro et al., DSN 2013).  It provides:
+
+* ``repro.sim`` -- deterministic discrete-event simulation substrate.
+* ``repro.sensors`` -- abstract/reliable sensors, MOSAIC node, validity model.
+* ``repro.network`` -- wireless medium, CSMA MAC, R2T-MAC, self-stabilising
+  TDMA, pulse synchronisation, self-stabilising end-to-end delivery.
+* ``repro.middleware`` -- FAMOUSO-style event channels with QoS.
+* ``repro.cooperation`` -- membership, manoeuvre agreement, virtual nodes,
+  topology discovery.
+* ``repro.core`` -- the KARYON safety kernel (Levels of Service, safety rules,
+  safety manager, hybridisation line).
+* ``repro.vehicles`` -- road-vehicle and aircraft kinematics and controllers.
+* ``repro.usecases`` -- the paper's automotive and avionic use cases.
+* ``repro.evaluation`` -- fault-injection campaigns and ISO 26262-style
+  safety-assurance bookkeeping.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.core.kernel import SafetyKernel
+from repro.core.los import LevelOfService, LoSCatalog
+
+__all__ = ["Simulator", "SafetyKernel", "LevelOfService", "LoSCatalog"]
+
+__version__ = "1.0.0"

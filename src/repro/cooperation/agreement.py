@@ -1,0 +1,276 @@
+"""Manoeuvre agreement and region locks.
+
+Section V-C: "Agreement protocols are needed as building blocks for
+application at the higher level.  For example, Le Lann [24] considers the
+vehicle platooning and lane change maneuvers."  Section VI-A.3 asks for "a
+distributed mechanism for assuring that at any time and any region there is
+at most one vehicle that is changing its lane".
+
+Two primitives are provided:
+
+* :class:`ManeuverAgreement` — a proposer asks every participant in scope to
+  grant a manoeuvre; the manoeuvre is *committed* only if all grants arrive
+  before a timeout, otherwise it is *aborted* (fail-safe default).  Message
+  transport is injected as a send function so the protocol runs over the
+  wireless middleware in the use cases and over a direct function call in
+  unit tests.
+* :class:`RegionLock` — the participant-side mutual-exclusion state ensuring
+  a vehicle grants at most one concurrent manoeuvre per region, with a lease
+  that expires so a crashed proposer cannot block the region forever.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.sim.kernel import Simulator
+
+_PROPOSAL_IDS = itertools.count(1)
+
+
+class AgreementOutcome(enum.Enum):
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class ManeuverProposal:
+    """A proposed cooperative manoeuvre (lane change, crossing, level change)."""
+
+    proposer: str
+    maneuver: str
+    region: str
+    participants: Set[str]
+    proposed_at: float
+    timeout: float
+    proposal_id: int = field(default_factory=lambda: next(_PROPOSAL_IDS))
+    grants: Set[str] = field(default_factory=set)
+    denials: Set[str] = field(default_factory=set)
+    outcome: AgreementOutcome = AgreementOutcome.PENDING
+    decided_at: Optional[float] = None
+
+    @property
+    def deadline(self) -> float:
+        return self.proposed_at + self.timeout
+
+    def all_granted(self) -> bool:
+        return self.participants.issubset(self.grants)
+
+
+@dataclass
+class _Lease:
+    proposal_id: int
+    proposer: str
+    expires_at: float
+
+
+class RegionLock:
+    """Participant-side lock: at most one granted manoeuvre per region at a time.
+
+    With ``exclusive=True`` the participant grants at most one concurrent
+    manoeuvre *overall* (regardless of the region label) — the right setting
+    when regions are defined by proximity and labels may drift as vehicles
+    move.
+    """
+
+    def __init__(self, own_id: str, lease_duration: float = 5.0, exclusive: bool = False):
+        if lease_duration <= 0:
+            raise ValueError("lease_duration must be positive")
+        self.own_id = own_id
+        self.lease_duration = lease_duration
+        self.exclusive = exclusive
+        self._leases: Dict[str, _Lease] = {}
+        self.grants_issued = 0
+        self.denials_issued = 0
+
+    def _conflicting_lease(self, region: str, proposal_id: int, now: float) -> Optional[_Lease]:
+        candidates = self._leases.values() if self.exclusive else [self._leases.get(region)]
+        for lease in candidates:
+            if lease is None:
+                continue
+            if lease.expires_at > now and lease.proposal_id != proposal_id:
+                return lease
+        return None
+
+    def try_grant(self, region: str, proposal_id: int, proposer: str, now: float) -> bool:
+        """Grant the proposal unless a conflicting lease is already active."""
+        if self._conflicting_lease(region, proposal_id, now) is not None:
+            self.denials_issued += 1
+            return False
+        self._leases[region] = _Lease(
+            proposal_id=proposal_id,
+            proposer=proposer,
+            expires_at=now + self.lease_duration,
+        )
+        self.grants_issued += 1
+        return True
+
+    def release(self, region: str, proposal_id: int) -> None:
+        """Release the lease when the manoeuvre completes or aborts."""
+        lease = self._leases.get(region)
+        if lease is not None and lease.proposal_id == proposal_id:
+            del self._leases[region]
+
+    def holder(self, region: str, now: float) -> Optional[str]:
+        lease = self._leases.get(region)
+        if lease is None or lease.expires_at <= now:
+            return None
+        return lease.proposer
+
+
+class ManeuverAgreement:
+    """Proposer/participant roles of the manoeuvre-agreement protocol.
+
+    One instance runs per vehicle.  ``send`` is a function
+    ``send(destination, message_dict)`` supplied by the caller (typically a
+    publish on the cooperative event channel); received messages are handed to
+    :meth:`on_message`.  The protocol is deliberately fail-safe: missing
+    grants lead to an abort, never to an implicit commit.
+    """
+
+    def __init__(
+        self,
+        own_id: str,
+        simulator: Simulator,
+        send: Callable[[Optional[str], dict], None],
+        lease_duration: float = 5.0,
+        exclusive_lock: bool = False,
+    ):
+        self.own_id = own_id
+        self.simulator = simulator
+        self.send = send
+        self.lock = RegionLock(own_id, lease_duration=lease_duration, exclusive=exclusive_lock)
+        self.proposals: Dict[int, ManeuverProposal] = {}
+        self.committed: List[ManeuverProposal] = []
+        self.aborted: List[ManeuverProposal] = []
+        self.participant_grants = 0
+        self.participant_denials = 0
+        self._decision_callbacks: Dict[int, Callable[[ManeuverProposal], None]] = {}
+
+    # ----------------------------------------------------------------- propose
+    def propose(
+        self,
+        maneuver: str,
+        region: str,
+        participants: Set[str],
+        timeout: float = 1.0,
+        on_decision: Optional[Callable[[ManeuverProposal], None]] = None,
+    ) -> ManeuverProposal:
+        """Start an agreement round for a manoeuvre in ``region``."""
+        participants = {p for p in participants if p != self.own_id}
+        proposal = ManeuverProposal(
+            proposer=self.own_id,
+            maneuver=maneuver,
+            region=region,
+            participants=participants,
+            proposed_at=self.simulator.now,
+            timeout=timeout,
+        )
+        self.proposals[proposal.proposal_id] = proposal
+        if on_decision is not None:
+            self._decision_callbacks[proposal.proposal_id] = on_decision
+        # The proposer takes its own lock as well: if it already granted the
+        # region to somebody else it must not start a competing manoeuvre.
+        if not self.lock.try_grant(region, proposal.proposal_id, self.own_id, self.simulator.now):
+            self._decide(proposal, AgreementOutcome.ABORTED)
+            return proposal
+        if not participants:
+            # Nobody else in scope: trivially committed (non-cooperative case).
+            self._decide(proposal, AgreementOutcome.COMMITTED)
+            return proposal
+        for participant in participants:
+            self.send(
+                participant,
+                {
+                    "type": "maneuver_request",
+                    "proposal_id": proposal.proposal_id,
+                    "proposer": self.own_id,
+                    "maneuver": maneuver,
+                    "region": region,
+                },
+            )
+        self.simulator.schedule(timeout, lambda: self._expire(proposal.proposal_id))
+        return proposal
+
+    def complete(self, proposal: ManeuverProposal) -> None:
+        """Signal manoeuvre completion so participants release their leases."""
+        self.lock.release(proposal.region, proposal.proposal_id)
+        for participant in proposal.participants:
+            self.send(
+                participant,
+                {
+                    "type": "maneuver_release",
+                    "proposal_id": proposal.proposal_id,
+                    "region": proposal.region,
+                },
+            )
+
+    # -------------------------------------------------------------- participant
+    def on_message(self, message: dict, sender: Optional[str] = None) -> None:
+        """Handle a protocol message addressed to this vehicle."""
+        kind = message.get("type")
+        if kind == "maneuver_request":
+            self._on_request(message)
+        elif kind == "maneuver_grant":
+            self._on_vote(message, granted=True)
+        elif kind == "maneuver_deny":
+            self._on_vote(message, granted=False)
+        elif kind == "maneuver_release":
+            self.lock.release(message["region"], message["proposal_id"])
+
+    # ---------------------------------------------------------------- internals
+    def _on_request(self, message: dict) -> None:
+        now = self.simulator.now
+        granted = self.lock.try_grant(
+            message["region"], message["proposal_id"], message["proposer"], now
+        )
+        if granted:
+            self.participant_grants += 1
+        else:
+            self.participant_denials += 1
+        self.send(
+            message["proposer"],
+            {
+                "type": "maneuver_grant" if granted else "maneuver_deny",
+                "proposal_id": message["proposal_id"],
+                "voter": self.own_id,
+                "region": message["region"],
+            },
+        )
+
+    def _on_vote(self, message: dict, granted: bool) -> None:
+        proposal = self.proposals.get(message["proposal_id"])
+        if proposal is None or proposal.outcome is not AgreementOutcome.PENDING:
+            return
+        voter = message["voter"]
+        if granted:
+            proposal.grants.add(voter)
+        else:
+            proposal.denials.add(voter)
+        if proposal.denials:
+            self._decide(proposal, AgreementOutcome.ABORTED)
+        elif proposal.all_granted():
+            self._decide(proposal, AgreementOutcome.COMMITTED)
+
+    def _expire(self, proposal_id: int) -> None:
+        proposal = self.proposals.get(proposal_id)
+        if proposal is None or proposal.outcome is not AgreementOutcome.PENDING:
+            return
+        self._decide(proposal, AgreementOutcome.ABORTED)
+
+    def _decide(self, proposal: ManeuverProposal, outcome: AgreementOutcome) -> None:
+        proposal.outcome = outcome
+        proposal.decided_at = self.simulator.now
+        if outcome is AgreementOutcome.COMMITTED:
+            self.committed.append(proposal)
+        else:
+            self.aborted.append(proposal)
+            # An aborted manoeuvre must not keep leases alive at participants.
+            self.complete(proposal)
+        callback = self._decision_callbacks.pop(proposal.proposal_id, None)
+        if callback is not None:
+            callback(proposal)

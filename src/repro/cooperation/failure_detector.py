@@ -1,0 +1,94 @@
+"""Heartbeat-based failure detection with timing-fault semantics.
+
+The KARYON run-time safety information includes "failure detectors for
+detecting timing faults" (section III).  :class:`HeartbeatFailureDetector`
+tracks the last heartbeat (I-am-alive message, beacon, or any reception) from
+each monitored peer and classifies peers as ALIVE, SUSPECTED (one missed
+deadline) or FAILED (grace period exhausted).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class PeerStatus(enum.Enum):
+    ALIVE = "alive"
+    SUSPECTED = "suspected"
+    FAILED = "failed"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class _PeerRecord:
+    peer_id: str
+    last_heartbeat: float
+    heartbeats: int = 1
+
+
+class HeartbeatFailureDetector:
+    """Classifies peers by heartbeat recency.
+
+    Parameters
+    ----------
+    suspect_timeout:
+        Silence longer than this marks the peer SUSPECTED.
+    fail_timeout:
+        Silence longer than this marks the peer FAILED; must exceed
+        ``suspect_timeout``.
+    """
+
+    def __init__(self, suspect_timeout: float, fail_timeout: Optional[float] = None):
+        if suspect_timeout <= 0:
+            raise ValueError("suspect_timeout must be positive")
+        fail_timeout = fail_timeout if fail_timeout is not None else 3.0 * suspect_timeout
+        if fail_timeout < suspect_timeout:
+            raise ValueError("fail_timeout must be >= suspect_timeout")
+        self.suspect_timeout = suspect_timeout
+        self.fail_timeout = fail_timeout
+        self._peers: Dict[str, _PeerRecord] = {}
+        self.false_suspicion_recoveries = 0
+
+    def heartbeat(self, peer_id: str, time: float) -> None:
+        """Record a heartbeat (or any message reception) from ``peer_id``."""
+        record = self._peers.get(peer_id)
+        if record is None:
+            self._peers[peer_id] = _PeerRecord(peer_id=peer_id, last_heartbeat=time)
+            return
+        if time - record.last_heartbeat > self.suspect_timeout:
+            # The peer was suspected (or worse) and came back.
+            self.false_suspicion_recoveries += 1
+        record.last_heartbeat = max(record.last_heartbeat, time)
+        record.heartbeats += 1
+
+    def status(self, peer_id: str, now: float) -> PeerStatus:
+        """Current classification of ``peer_id`` at time ``now``."""
+        record = self._peers.get(peer_id)
+        if record is None:
+            return PeerStatus.UNKNOWN
+        silence = now - record.last_heartbeat
+        if silence > self.fail_timeout:
+            return PeerStatus.FAILED
+        if silence > self.suspect_timeout:
+            return PeerStatus.SUSPECTED
+        return PeerStatus.ALIVE
+
+    def is_trusted(self, peer_id: str, now: float) -> bool:
+        """Whether the peer is currently considered alive and timely."""
+        return self.status(peer_id, now) is PeerStatus.ALIVE
+
+    def alive_peers(self, now: float) -> List[str]:
+        return [p for p in self._peers if self.status(p, now) is PeerStatus.ALIVE]
+
+    def known_peers(self) -> List[str]:
+        return list(self._peers)
+
+    def last_heard(self, peer_id: str) -> Optional[float]:
+        record = self._peers.get(peer_id)
+        return record.last_heartbeat if record is not None else None
+
+    def forget(self, peer_id: str) -> None:
+        """Drop all state about a peer (e.g. it left the cooperation scope)."""
+        self._peers.pop(peer_id, None)

@@ -1,0 +1,111 @@
+"""Cooperative group membership.
+
+The paper requires that "the existence of a scope for the realization of
+cooperative functionality ... is consistently perceived by all involved
+actors" (section III).  :class:`CooperativeGroup` derives a membership view
+from heartbeat receptions restricted to a spatial scope, and reports whether
+the view is *stable* (unchanged for a configurable confirmation period) —
+the property the safety rules use before enabling a cooperative LoS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cooperation.failure_detector import HeartbeatFailureDetector, PeerStatus
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """An immutable snapshot of the group membership."""
+
+    members: FrozenSet[str]
+    formed_at: float
+    view_id: int
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class CooperativeGroup:
+    """Scope-restricted membership built on a heartbeat failure detector."""
+
+    def __init__(
+        self,
+        own_id: str,
+        suspect_timeout: float = 0.3,
+        fail_timeout: Optional[float] = None,
+        scope_radius: Optional[float] = None,
+        stability_period: float = 0.5,
+    ):
+        self.own_id = own_id
+        self.detector = HeartbeatFailureDetector(suspect_timeout, fail_timeout)
+        self.scope_radius = scope_radius
+        self.stability_period = stability_period
+        self._positions: Dict[str, Tuple[float, float]] = {}
+        self._own_position: Tuple[float, float] = (0.0, 0.0)
+        self._current_view: Optional[MembershipView] = None
+        self._view_counter = 0
+        self._last_change = 0.0
+        self.view_changes = 0
+
+    # ------------------------------------------------------------------ inputs
+    def update_own_position(self, position: Tuple[float, float]) -> None:
+        self._own_position = position
+
+    def observe(self, peer_id: str, time: float,
+                position: Optional[Tuple[float, float]] = None) -> None:
+        """Record a message/beacon from ``peer_id`` (optionally with its position)."""
+        if peer_id == self.own_id:
+            return
+        self.detector.heartbeat(peer_id, time)
+        if position is not None:
+            self._positions[peer_id] = position
+
+    # ----------------------------------------------------------------- views
+    def _in_scope(self, peer_id: str) -> bool:
+        if self.scope_radius is None:
+            return True
+        position = self._positions.get(peer_id)
+        if position is None:
+            return False
+        dx = position[0] - self._own_position[0]
+        dy = position[1] - self._own_position[1]
+        return (dx * dx + dy * dy) ** 0.5 <= self.scope_radius
+
+    def compute_view(self, now: float) -> MembershipView:
+        """(Re)compute the membership view; bumps the view id on changes."""
+        members = frozenset(
+            [self.own_id]
+            + [
+                peer
+                for peer in self.detector.alive_peers(now)
+                if self._in_scope(peer)
+            ]
+        )
+        if self._current_view is None or members != self._current_view.members:
+            self._view_counter += 1
+            self.view_changes += 1
+            self._last_change = now
+            self._current_view = MembershipView(
+                members=members, formed_at=now, view_id=self._view_counter
+            )
+        return self._current_view
+
+    def current_view(self, now: float) -> MembershipView:
+        return self.compute_view(now)
+
+    def is_stable(self, now: float) -> bool:
+        """Whether the view has been unchanged for the stability period."""
+        self.compute_view(now)
+        return (now - self._last_change) >= self.stability_period
+
+    def members(self, now: float) -> List[str]:
+        return sorted(self.compute_view(now).members)
+
+    def status_of(self, peer_id: str, now: float) -> PeerStatus:
+        return self.detector.status(peer_id, now)

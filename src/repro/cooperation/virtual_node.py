@@ -1,0 +1,206 @@
+"""Virtual (stationary and mobile) nodes.
+
+Section V-C: "One of these approaches is based on virtual nodes that maintain
+shared finite state machines that tile the plane [10].  These state machines
+can monitor the activity in a given region, such as intersections, or a
+cluster of vehicles that cruise on the highway by consider[ing] mobile
+virtual nodes [11]."
+
+A :class:`VirtualStationaryNode` is a replicated state machine associated
+with a plane region; the vehicles currently inside the region host it.  The
+host with the smallest identifier acts as the emulation leader: it applies
+commands to the state machine and broadcasts state updates so a new leader
+can take over when vehicles leave the region (state hand-off).  The virtual
+traffic light of use case VI-A.2 is implemented as a state machine on top of
+this primitive (see :mod:`repro.usecases.intersection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class VirtualNodeRegion:
+    """A rectangular region of the plane hosting one virtual node."""
+
+    name: str
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValueError("region must have positive area")
+
+    def contains(self, position: Tuple[float, float]) -> bool:
+        x, y = position[0], position[1]
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.x_min + self.x_max), 0.5 * (self.y_min + self.y_max))
+
+
+def plane_tiling(
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+    tile_size: float,
+    prefix: str = "tile",
+) -> List[VirtualNodeRegion]:
+    """Tile a rectangle of the plane with square virtual-node regions."""
+    if tile_size <= 0:
+        raise ValueError("tile_size must be positive")
+    regions: List[VirtualNodeRegion] = []
+    x = x_range[0]
+    row = 0
+    while x < x_range[1]:
+        y = y_range[0]
+        col = 0
+        while y < y_range[1]:
+            regions.append(
+                VirtualNodeRegion(
+                    name=f"{prefix}_{row}_{col}",
+                    x_min=x,
+                    y_min=y,
+                    x_max=min(x + tile_size, x_range[1]),
+                    y_max=min(y + tile_size, y_range[1]),
+                )
+            )
+            y += tile_size
+            col += 1
+        x += tile_size
+        row += 1
+    return regions
+
+
+class VirtualStationaryNode:
+    """A replicated state machine bound to a region.
+
+    ``initial_state`` produces the state machine's initial state and
+    ``transition`` maps ``(state, command) -> (new_state, output)``.  The node
+    itself is passive; :class:`VirtualNodeHost` instances decide who emulates
+    it and keep replicas synchronised.
+    """
+
+    def __init__(
+        self,
+        region: VirtualNodeRegion,
+        initial_state: Callable[[], Any],
+        transition: Callable[[Any, Any], Tuple[Any, Any]],
+    ):
+        self.region = region
+        self.initial_state = initial_state
+        self.transition = transition
+
+    def name(self) -> str:
+        return self.region.name
+
+
+class VirtualNodeHost:
+    """Per-vehicle participation in the emulation of virtual nodes.
+
+    The host with the smallest identifier among the vehicles currently inside
+    a region is that region's *leader*; only the leader applies commands, and
+    every applied command (with its sequence number and resulting state) is
+    broadcast so followers keep a hot copy.  When the leader leaves, the next
+    host resumes from the highest sequence number it has seen — the hand-off
+    the paper's virtual-node approach depends on.
+    """
+
+    def __init__(
+        self,
+        own_id: str,
+        broadcast: Callable[[dict], None],
+        nodes: Optional[List[VirtualStationaryNode]] = None,
+    ):
+        self.own_id = own_id
+        self.broadcast = broadcast
+        self.nodes: Dict[str, VirtualStationaryNode] = {n.name(): n for n in (nodes or [])}
+        self._states: Dict[str, Any] = {}
+        self._sequence: Dict[str, int] = {}
+        self._position: Tuple[float, float] = (0.0, 0.0)
+        self._peer_positions: Dict[str, Tuple[float, float]] = {}
+        self.commands_applied = 0
+        self.outputs: List[Tuple[str, Any]] = []
+
+    # ------------------------------------------------------------------ inputs
+    def register_node(self, node: VirtualStationaryNode) -> None:
+        self.nodes[node.name()] = node
+
+    def update_position(self, position: Tuple[float, float]) -> None:
+        self._position = position
+
+    def observe_peer(self, peer_id: str, position: Tuple[float, float]) -> None:
+        if peer_id != self.own_id:
+            self._peer_positions[peer_id] = position
+
+    def forget_peer(self, peer_id: str) -> None:
+        self._peer_positions.pop(peer_id, None)
+
+    # --------------------------------------------------------------- leadership
+    def hosts_in_region(self, node_name: str) -> List[str]:
+        node = self.nodes[node_name]
+        inside = [
+            peer
+            for peer, position in self._peer_positions.items()
+            if node.region.contains(position)
+        ]
+        if node.region.contains(self._position):
+            inside.append(self.own_id)
+        return sorted(inside)
+
+    def is_leader(self, node_name: str) -> bool:
+        hosts = self.hosts_in_region(node_name)
+        return bool(hosts) and hosts[0] == self.own_id
+
+    # ---------------------------------------------------------------- execution
+    def state_of(self, node_name: str) -> Any:
+        if node_name not in self._states:
+            self._states[node_name] = self.nodes[node_name].initial_state()
+            self._sequence[node_name] = 0
+        return self._states[node_name]
+
+    def submit(self, node_name: str, command: Any) -> Optional[Any]:
+        """Apply ``command`` to the virtual node if this host is its leader.
+
+        Returns the state machine output, or ``None`` when this host is not
+        the leader (the command should then be routed to the leader or
+        retried).
+        """
+        if not self.is_leader(node_name):
+            return None
+        node = self.nodes[node_name]
+        state = self.state_of(node_name)
+        new_state, output = node.transition(state, command)
+        self._states[node_name] = new_state
+        self._sequence[node_name] += 1
+        self.commands_applied += 1
+        self.outputs.append((node_name, output))
+        self.broadcast(
+            {
+                "type": "vn_state",
+                "node": node_name,
+                "sequence": self._sequence[node_name],
+                "state": new_state,
+                "leader": self.own_id,
+            }
+        )
+        return output
+
+    def on_message(self, message: dict) -> None:
+        """Absorb a replicated state update from the current leader."""
+        if message.get("type") != "vn_state":
+            return
+        node_name = message["node"]
+        if node_name not in self.nodes:
+            return
+        sequence = message["sequence"]
+        if sequence > self._sequence.get(node_name, 0):
+            self._sequence[node_name] = sequence
+            self._states[node_name] = message["state"]
+
+    def sequence_of(self, node_name: str) -> int:
+        return self._sequence.get(node_name, 0)

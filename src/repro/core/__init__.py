@@ -1,0 +1,53 @@
+"""The KARYON safety kernel (paper section III, Fig 1).
+
+The safety kernel is the part of the system "in charge of controlling the
+current LoS".  It consists of the Design Time Safety Information (the safety
+rules per Level of Service), the Run Time Safety Information (periodically
+collected validity/health/timeliness indicators) and the Safety Manager
+(periodic rule checking and LoS adjustment with bounded cycle time).
+"""
+
+from repro.core.asil import ASIL
+from repro.core.hazard import Hazard, SafetyGoal, Severity, Exposure, Controllability
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import (
+    SafetyRule,
+    DesignTimeSafetyInfo,
+    validity_at_least,
+    freshness_within,
+    component_healthy,
+    indicator_at_least,
+    indicator_at_most,
+    indicator_true,
+)
+from repro.core.runtime_data import RuntimeSafetyData, RuntimeSafetyCollector
+from repro.core.health import ComponentRegistry, ComponentKind, ComponentState
+from repro.core.safety_manager import SafetyManager, LoSDecision
+from repro.core.kernel import SafetyKernel
+
+__all__ = [
+    "ASIL",
+    "Hazard",
+    "SafetyGoal",
+    "Severity",
+    "Exposure",
+    "Controllability",
+    "LevelOfService",
+    "LoSCatalog",
+    "SafetyRule",
+    "DesignTimeSafetyInfo",
+    "validity_at_least",
+    "freshness_within",
+    "component_healthy",
+    "indicator_at_least",
+    "indicator_at_most",
+    "indicator_true",
+    "RuntimeSafetyData",
+    "RuntimeSafetyCollector",
+    "ComponentRegistry",
+    "ComponentKind",
+    "ComponentState",
+    "SafetyManager",
+    "LoSDecision",
+    "SafetyKernel",
+]

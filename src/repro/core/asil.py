@@ -1,0 +1,51 @@
+"""Automotive Safety Integrity Levels (ISO 26262).
+
+The paper evaluates "safety assurance according to the ISO 26262 safety
+standard" and notes that "for each level of service, and for each speed
+interval, the safety goals are different with respect [to] their attributes
+of Automotive Software Integrity Levels (ASIL)" (section VI-A.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+@functools.total_ordering
+class ASIL(enum.Enum):
+    """ISO 26262 integrity levels, ordered QM < A < B < C < D."""
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    def __lt__(self, other: "ASIL") -> bool:
+        if not isinstance(other, ASIL):
+            return NotImplemented
+        return self.value < other.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "ASIL":
+        """Parse ``"QM"``/``"A"``..``"D"`` (case-insensitive)."""
+        try:
+            return cls[name.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown ASIL {name!r}") from exc
+
+    def decompose(self) -> tuple["ASIL", "ASIL"]:
+        """A common ASIL decomposition of this level onto two redundant elements.
+
+        ISO 26262-9 allows e.g. D = C(D) + A(D), B = A(B) + A(B).  The exact
+        choice is a design decision; this helper returns one admissible pair
+        used by the evaluation bookkeeping.
+        """
+        if self is ASIL.D:
+            return (ASIL.C, ASIL.A)
+        if self is ASIL.C:
+            return (ASIL.B, ASIL.A)
+        if self is ASIL.B:
+            return (ASIL.A, ASIL.A)
+        return (self, ASIL.QM)

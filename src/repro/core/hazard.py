@@ -1,0 +1,144 @@
+"""Hazard analysis and safety goals (design-time safety information).
+
+"In design time it is necessary to perform hazard analysis and derive the set
+of conditions on the system components and data ... that, for each LoS, need
+to hold in order to ensure functional safety" (section III).  The classes
+here record that analysis: hazards are classified by severity, exposure and
+controllability (ISO 26262-3) which determines the ASIL of the derived safety
+goal; safety goals are then bound to LoS-specific safety rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.asil import ASIL
+
+
+class Severity(enum.IntEnum):
+    """S0 (no injuries) .. S3 (life-threatening injuries)."""
+
+    S0 = 0
+    S1 = 1
+    S2 = 2
+    S3 = 3
+
+
+class Exposure(enum.IntEnum):
+    """E0 (incredible) .. E4 (high probability)."""
+
+    E0 = 0
+    E1 = 1
+    E2 = 2
+    E3 = 3
+    E4 = 4
+
+
+class Controllability(enum.IntEnum):
+    """C0 (controllable in general) .. C3 (difficult or uncontrollable)."""
+
+    C0 = 0
+    C1 = 1
+    C2 = 2
+    C3 = 3
+
+
+#: ISO 26262-3 ASIL determination table indexed by (severity, exposure, controllability).
+#: Entries not listed resolve to QM.
+_ASIL_TABLE: Dict[Tuple[int, int, int], ASIL] = {}
+
+
+def _build_asil_table() -> None:
+    """Construct the standard S/E/C -> ASIL mapping."""
+    # The table can be expressed as: index = (S-1) + (E-1) + (C-1) for S>=1,
+    # E>=1, C>=1; ASIL is assigned when the combined index reaches thresholds.
+    for severity in (Severity.S1, Severity.S2, Severity.S3):
+        for exposure in (Exposure.E1, Exposure.E2, Exposure.E3, Exposure.E4):
+            for controllability in (Controllability.C1, Controllability.C2, Controllability.C3):
+                index = int(severity) + int(exposure) + int(controllability) - 3
+                if index <= 3:
+                    level = ASIL.QM
+                elif index == 4:
+                    level = ASIL.A
+                elif index == 5:
+                    level = ASIL.B
+                elif index == 6:
+                    level = ASIL.C
+                else:
+                    level = ASIL.D
+                _ASIL_TABLE[(int(severity), int(exposure), int(controllability))] = level
+
+
+_build_asil_table()
+
+
+def determine_asil(
+    severity: Severity, exposure: Exposure, controllability: Controllability
+) -> ASIL:
+    """ASIL determination from the S/E/C classification (ISO 26262-3)."""
+    if severity == Severity.S0 or exposure == Exposure.E0 or controllability == Controllability.C0:
+        return ASIL.QM
+    return _ASIL_TABLE[(int(severity), int(exposure), int(controllability))]
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """A hazardous event identified during hazard analysis."""
+
+    hazard_id: str
+    description: str
+    severity: Severity
+    exposure: Exposure
+    controllability: Controllability
+    functionality: str = ""
+
+    @property
+    def asil(self) -> ASIL:
+        return determine_asil(self.severity, self.exposure, self.controllability)
+
+
+@dataclass(frozen=True)
+class SafetyGoal:
+    """A top-level safety requirement derived from one or more hazards."""
+
+    goal_id: str
+    description: str
+    asil: ASIL
+    hazards: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_hazard(cls, goal_id: str, description: str, hazard: Hazard) -> "SafetyGoal":
+        return cls(
+            goal_id=goal_id,
+            description=description,
+            asil=hazard.asil,
+            hazards=(hazard.hazard_id,),
+        )
+
+
+class HazardAnalysis:
+    """Container for the hazards and safety goals of one vehicle function."""
+
+    def __init__(self, functionality: str):
+        self.functionality = functionality
+        self.hazards: Dict[str, Hazard] = {}
+        self.goals: Dict[str, SafetyGoal] = {}
+
+    def add_hazard(self, hazard: Hazard) -> Hazard:
+        self.hazards[hazard.hazard_id] = hazard
+        return hazard
+
+    def add_goal(self, goal: SafetyGoal) -> SafetyGoal:
+        self.goals[goal.goal_id] = goal
+        return goal
+
+    def highest_asil(self) -> ASIL:
+        """The most demanding ASIL among all safety goals (QM if none)."""
+        if not self.goals:
+            return ASIL.QM
+        return max(goal.asil for goal in self.goals.values())
+
+    def goals_for_hazard(self, hazard_id: str) -> List[SafetyGoal]:
+        return [goal for goal in self.goals.values() if hazard_id in goal.hazards]

@@ -1,0 +1,143 @@
+"""Component health model.
+
+Section III's fault model: "Computing components above the hybridization line
+can fail by crashing or doing timing faults. ... Communication components
+above the hybridization line can experience crash or timing faults, but do
+not corrupt data.  Actuators are assumed not to fail."
+
+:class:`ComponentRegistry` keeps the vehicle's component inventory annotated
+with its position relative to the hybridisation line, tracks heartbeats to
+detect crash/timing faults, and produces the health booleans consumed by the
+Run Time Safety Information collector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ComponentKind(enum.Enum):
+    SENSOR = "sensor"
+    COMPUTING = "computing"
+    COMMUNICATION = "communication"
+    ACTUATOR = "actuator"
+
+
+class ComponentState(enum.Enum):
+    HEALTHY = "healthy"
+    TIMING_FAULT = "timing_fault"
+    CRASHED = "crashed"
+
+
+@dataclass
+class ComponentRecord:
+    """Registry entry for one component."""
+
+    name: str
+    kind: ComponentKind
+    #: True when the component sits below the hybridisation line (predictable,
+    #: bounds proven at design time); False for the uncertain part.
+    predictable: bool
+    heartbeat_deadline: Optional[float] = None
+    last_heartbeat: Optional[float] = None
+    state: ComponentState = ComponentState.HEALTHY
+    timing_faults: int = 0
+
+    def is_healthy(self, now: float) -> bool:
+        if self.state is ComponentState.CRASHED:
+            return False
+        if self.heartbeat_deadline is None:
+            return self.state is ComponentState.HEALTHY
+        if self.last_heartbeat is None:
+            return False
+        if now - self.last_heartbeat > self.heartbeat_deadline:
+            return False
+        return True
+
+
+class ComponentRegistry:
+    """The vehicle's component inventory and its health tracking."""
+
+    def __init__(self):
+        self._components: Dict[str, ComponentRecord] = {}
+
+    # --------------------------------------------------------------- inventory
+    def register(
+        self,
+        name: str,
+        kind: ComponentKind,
+        predictable: bool,
+        heartbeat_deadline: Optional[float] = None,
+    ) -> ComponentRecord:
+        """Register a component; actuators must be predictable (they never fail)."""
+        if kind is ComponentKind.ACTUATOR and not predictable:
+            raise ValueError(
+                "actuators are below the hybridisation line by assumption (they do not fail)"
+            )
+        if name in self._components:
+            raise ValueError(f"component {name!r} already registered")
+        record = ComponentRecord(
+            name=name,
+            kind=kind,
+            predictable=predictable,
+            heartbeat_deadline=heartbeat_deadline,
+        )
+        self._components[name] = record
+        return record
+
+    def get(self, name: str) -> ComponentRecord:
+        return self._components[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def components(self, kind: Optional[ComponentKind] = None,
+                   predictable: Optional[bool] = None) -> List[ComponentRecord]:
+        """Filtered component listing (e.g. everything above the hybridisation line)."""
+        records = list(self._components.values())
+        if kind is not None:
+            records = [r for r in records if r.kind is kind]
+        if predictable is not None:
+            records = [r for r in records if r.predictable is predictable]
+        return records
+
+    # ------------------------------------------------------------------ events
+    def heartbeat(self, name: str, time: float) -> None:
+        """Record a liveness indication from a component."""
+        record = self._components[name]
+        if record.state is ComponentState.TIMING_FAULT:
+            # A fresh heartbeat clears a previous timing fault (but not a crash).
+            record.state = ComponentState.HEALTHY
+        record.last_heartbeat = time
+
+    def mark_crashed(self, name: str) -> None:
+        self._components[name].state = ComponentState.CRASHED
+
+    def mark_timing_fault(self, name: str) -> None:
+        record = self._components[name]
+        if record.state is not ComponentState.CRASHED:
+            record.state = ComponentState.TIMING_FAULT
+            record.timing_faults += 1
+
+    def restore(self, name: str, time: Optional[float] = None) -> None:
+        """Bring a crashed/faulty component back to service."""
+        record = self._components[name]
+        record.state = ComponentState.HEALTHY
+        if time is not None:
+            record.last_heartbeat = time
+
+    # ----------------------------------------------------------------- queries
+    def is_healthy(self, name: str, now: float) -> bool:
+        record = self._components.get(name)
+        if record is None:
+            return False
+        return record.is_healthy(now)
+
+    def health_report(self, now: float) -> Dict[str, bool]:
+        """Health booleans for every registered component."""
+        return {name: record.is_healthy(now) for name, record in self._components.items()}
+
+    def unhealthy(self, now: float) -> List[str]:
+        return [name for name, healthy in self.health_report(now).items() if not healthy]

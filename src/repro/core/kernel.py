@@ -1,0 +1,149 @@
+"""The Safety Kernel facade.
+
+"The Safety Kernel (SK) is the part of the system in charge of controlling
+the current LoS.  It includes the Safety Manager component and associated
+Design Time Safety Information and Run Time Safety Information components.
+There is logically only one SK per vehicle" (section III).
+
+:class:`SafetyKernel` wires the three parts together, keeps the component
+registry (and thus the hybridisation-line bookkeeping), and offers
+convenience hooks to plug abstract sensors, failure detectors and
+communication monitors into the Run Time Safety Information.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.hazard import HazardAnalysis
+from repro.core.health import ComponentKind, ComponentRegistry
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import DesignTimeSafetyInfo, SafetyRule
+from repro.core.runtime_data import RuntimeSafetyCollector
+from repro.core.safety_manager import SafetyManager
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class SafetyKernel:
+    """One vehicle's safety kernel: design-time info + run-time info + manager."""
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        simulator: Simulator,
+        cycle_period: float = 0.1,
+        trace: Optional[TraceRecorder] = None,
+        cycle_jitter_fn: Optional[Callable[[], float]] = None,
+    ):
+        self.vehicle_id = vehicle_id
+        self.simulator = simulator
+        self.design_info = DesignTimeSafetyInfo()
+        self.collector = RuntimeSafetyCollector()
+        self.components = ComponentRegistry()
+        self.hazard_analyses: Dict[str, HazardAnalysis] = {}
+        self.trace = trace or TraceRecorder(enabled=True)
+        self.manager = SafetyManager(
+            simulator,
+            self.design_info,
+            self.collector,
+            cycle_period=cycle_period,
+            trace=self.trace,
+            jitter_fn=cycle_jitter_fn,
+        )
+
+    # ------------------------------------------------------------ design time
+    def define_functionality(
+        self,
+        catalog: LoSCatalog,
+        enactor: Callable[[LevelOfService], None],
+        rules_by_rank: Optional[Dict[int, List[SafetyRule]]] = None,
+        initial_rank: Optional[int] = None,
+    ) -> None:
+        """Register a functionality: its LoS catalog, enactor and safety rules."""
+        for rank, rules in (rules_by_rank or {}).items():
+            self.design_info.add_rules(catalog.functionality, rank, rules)
+        self.manager.register_functionality(catalog, enactor, initial_rank=initial_rank)
+
+    def add_hazard_analysis(self, analysis: HazardAnalysis) -> None:
+        self.hazard_analyses[analysis.functionality] = analysis
+
+    # -------------------------------------------------------------- run time
+    def monitor_sensor(self, item: str, sensor, max_age_provider: bool = True) -> None:
+        """Expose an abstract (or reliable) sensor's validity and age to the RTSI.
+
+        ``sensor`` must expose ``last_reading`` carrying ``validity`` and
+        ``timestamp`` — both :class:`~repro.sensors.abstract_sensor.AbstractSensor`
+        and :class:`~repro.sensors.abstract_sensor.AbstractReliableSensor`
+        (via their latest output) satisfy this with a small adapter lambda.
+        """
+        def validity() -> float:
+            reading = getattr(sensor, "last_reading", None)
+            return reading.validity if reading is not None else 0.0
+
+        def age() -> float:
+            reading = getattr(sensor, "last_reading", None)
+            if reading is None:
+                return float("inf")
+            return self.simulator.now - reading.timestamp
+
+        self.collector.provide_validity(item, validity)
+        if max_age_provider:
+            self.collector.provide_age(item, age)
+
+    def monitor_validity(self, item: str, provider: Callable[[], Optional[float]]) -> None:
+        self.collector.provide_validity(item, provider)
+
+    def monitor_age(self, item: str, provider: Callable[[], Optional[float]]) -> None:
+        self.collector.provide_age(item, provider)
+
+    def monitor_indicator(self, name: str, provider: Callable[[], object]) -> None:
+        self.collector.provide_indicator(name, provider)
+
+    def register_component(
+        self,
+        name: str,
+        kind: ComponentKind,
+        predictable: bool,
+        heartbeat_deadline: Optional[float] = None,
+    ) -> None:
+        """Register a component and expose its health to the RTSI."""
+        self.components.register(
+            name, kind, predictable, heartbeat_deadline=heartbeat_deadline
+        )
+        self.collector.provide_health(
+            name, lambda n=name: self.components.is_healthy(n, self.simulator.now)
+        )
+
+    # ---------------------------------------------------------------- control
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Start the periodic safety-manager cycle."""
+        self.manager.start(initial_delay)
+
+    def stop(self) -> None:
+        self.manager.stop()
+
+    def current_los(self, functionality: str) -> LevelOfService:
+        return self.manager.current_los(functionality)
+
+    # ----------------------------------------------------------------- queries
+    def hybridization_report(self) -> Dict[str, List[str]]:
+        """Component names on each side of the hybridisation line."""
+        return {
+            "predictable": [r.name for r in self.components.components(predictable=True)],
+            "uncertain": [r.name for r in self.components.components(predictable=False)],
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """A small status summary used by examples and reports."""
+        return {
+            "vehicle": self.vehicle_id,
+            "cycles": self.manager.cycles,
+            "downgrades": self.manager.downgrades(),
+            "max_cycle_interval": self.manager.max_observed_cycle_interval,
+            "max_switch_latency": self.manager.max_switch_latency(),
+            "current_los": {
+                functionality: self.manager.current_los(functionality).name
+                for functionality in self.manager.functionalities()
+            },
+        }

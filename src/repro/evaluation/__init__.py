@@ -1,0 +1,27 @@
+"""Evaluation toolkit: fault-injection campaigns and ISO 26262-style bookkeeping.
+
+The paper's evaluation plan is "computer simulations with fault injection
+support to experimentally evaluate safety assurance according to the ISO
+26262 safety standard" (section I).  This subpackage provides the campaign
+runner, the safety/performance metric containers and the safety-case verdict
+used by the benchmark harness.
+"""
+
+from repro.evaluation.metrics import SafetyMetrics, PerformanceMetrics, summarize
+from repro.evaluation.campaign import FaultCampaign, CampaignRun, CampaignSummary
+from repro.evaluation.iso26262 import SafetyCase, GoalAssessment, Verdict
+from repro.evaluation.reporting import format_table, format_series
+
+__all__ = [
+    "SafetyMetrics",
+    "PerformanceMetrics",
+    "summarize",
+    "FaultCampaign",
+    "CampaignRun",
+    "CampaignSummary",
+    "SafetyCase",
+    "GoalAssessment",
+    "Verdict",
+    "format_table",
+    "format_series",
+]

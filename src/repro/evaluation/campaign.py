@@ -1,0 +1,77 @@
+"""Fault-injection campaigns.
+
+A campaign runs a scenario factory over a set of seeds and fault
+configurations and aggregates the per-run metrics.  The scenario factory is a
+callable ``factory(seed) -> result`` where ``result`` is any object exposing
+the metric attributes named in ``metric_fields`` (the use-case ``*Results``
+dataclasses all qualify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.metrics import summarize
+
+
+@dataclass
+class CampaignRun:
+    """One run of the campaign: its seed and the raw result object."""
+
+    seed: int
+    result: Any
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated campaign outcome."""
+
+    name: str
+    runs: List[CampaignRun]
+    aggregates: Dict[str, Dict[str, float]]
+
+    def metric(self, name: str, statistic: str = "mean") -> float:
+        return self.aggregates[name][statistic]
+
+    @property
+    def run_count(self) -> int:
+        return len(self.runs)
+
+
+class FaultCampaign:
+    """Runs a scenario factory over several seeds and aggregates metrics."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[int], Any],
+        metric_fields: Sequence[str],
+        seeds: Optional[Sequence[int]] = None,
+    ):
+        if not metric_fields:
+            raise ValueError("at least one metric field is required")
+        self.name = name
+        self.factory = factory
+        self.metric_fields = list(metric_fields)
+        self.seeds = list(seeds) if seeds is not None else [1, 2, 3]
+
+    def run(self) -> CampaignSummary:
+        """Execute every run and summarise each metric field."""
+        runs: List[CampaignRun] = []
+        for seed in self.seeds:
+            result = self.factory(seed)
+            runs.append(CampaignRun(seed=seed, result=result))
+        aggregates: Dict[str, Dict[str, float]] = {}
+        for field_name in self.metric_fields:
+            values = []
+            for run in runs:
+                value = getattr(run.result, field_name, None)
+                if value is None:
+                    continue
+                try:
+                    values.append(float(value))
+                except (TypeError, ValueError):
+                    continue
+            aggregates[field_name] = summarize(values)
+        return CampaignSummary(name=self.name, runs=runs, aggregates=aggregates)

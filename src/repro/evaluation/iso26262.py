@@ -1,0 +1,102 @@
+"""ISO 26262-style safety-assurance bookkeeping.
+
+The reproduction cannot certify anything, but it can make the paper's
+argument checkable: each safety goal (with its ASIL) is assessed against the
+violations observed in fault-injection campaigns, and the safety case records
+whether each goal was met in simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.asil import ASIL
+from repro.core.hazard import SafetyGoal
+
+
+class Verdict(enum.Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    NOT_ASSESSED = "not_assessed"
+
+
+@dataclass
+class GoalAssessment:
+    """Assessment of one safety goal over a campaign."""
+
+    goal: SafetyGoal
+    observed_violations: int = 0
+    exposure_hours: float = 0.0
+    verdict: Verdict = Verdict.NOT_ASSESSED
+    notes: str = ""
+
+    @property
+    def violation_rate_per_hour(self) -> float:
+        if self.exposure_hours <= 0:
+            return float("inf") if self.observed_violations else 0.0
+        return self.observed_violations / self.exposure_hours
+
+
+class SafetyCase:
+    """Collects goal assessments and produces an overall verdict."""
+
+    #: Maximum tolerated violations observed in simulation, per ASIL.  Any
+    #: violation fails goals at ASIL B and above; QM/A goals tolerate a small
+    #: number of degraded-but-recoverable events.
+    _TOLERANCE: Dict[ASIL, int] = {
+        ASIL.QM: 10,
+        ASIL.A: 2,
+        ASIL.B: 0,
+        ASIL.C: 0,
+        ASIL.D: 0,
+    }
+
+    def __init__(self, system_name: str):
+        self.system_name = system_name
+        self.assessments: Dict[str, GoalAssessment] = {}
+
+    def assess(
+        self,
+        goal: SafetyGoal,
+        observed_violations: int,
+        exposure_hours: float,
+        notes: str = "",
+    ) -> GoalAssessment:
+        """Record the observed violations for ``goal`` and derive a verdict."""
+        tolerance = self._TOLERANCE[goal.asil]
+        verdict = Verdict.PASS if observed_violations <= tolerance else Verdict.FAIL
+        assessment = GoalAssessment(
+            goal=goal,
+            observed_violations=observed_violations,
+            exposure_hours=exposure_hours,
+            verdict=verdict,
+            notes=notes,
+        )
+        self.assessments[goal.goal_id] = assessment
+        return assessment
+
+    def overall_verdict(self) -> Verdict:
+        """PASS only when every assessed goal passed (and at least one was assessed)."""
+        if not self.assessments:
+            return Verdict.NOT_ASSESSED
+        if any(a.verdict is Verdict.FAIL for a in self.assessments.values()):
+            return Verdict.FAIL
+        return Verdict.PASS
+
+    def failed_goals(self) -> List[GoalAssessment]:
+        return [a for a in self.assessments.values() if a.verdict is Verdict.FAIL]
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Tabular form used by the benchmark reports."""
+        return [
+            {
+                "goal": assessment.goal.goal_id,
+                "asil": assessment.goal.asil.name,
+                "violations": assessment.observed_violations,
+                "rate_per_hour": round(assessment.violation_rate_per_hour, 4),
+                "verdict": assessment.verdict.value,
+            }
+            for assessment in self.assessments.values()
+        ]

@@ -1,0 +1,51 @@
+"""Safety and performance metric containers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class SafetyMetrics:
+    """Safety-side outcomes of one run."""
+
+    collisions: int = 0
+    hazardous_states: int = 0
+    rule_violations: int = 0
+    min_time_gap: float = float("inf")
+    min_separation: float = float("inf")
+
+    @property
+    def is_safe(self) -> bool:
+        """No collision and no hazardous state observed."""
+        return self.collisions == 0 and self.hazardous_states == 0
+
+
+@dataclass
+class PerformanceMetrics:
+    """Performance-side outcomes of one run."""
+
+    mean_speed: float = 0.0
+    throughput: float = 0.0
+    mean_headway: float = float("inf")
+    mission_time: float = 0.0
+    deliveries: int = 0
+    deadline_miss_ratio: float = 0.0
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / p95 summary for a list of samples (NaN-free)."""
+    clean = [v for v in values if v is not None and not math.isnan(v) and not math.isinf(v)]
+    if not clean:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p95": 0.0}
+    ordered = sorted(clean)
+    p95_index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p95": ordered[p95_index],
+    }

@@ -1,0 +1,45 @@
+"""Plain-text tables and series for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    if isinstance(value, dict):
+        return ", ".join(f"{k}:{_stringify(v)}" for k, v in value.items())
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: Optional[str] = None) -> str:
+    """Format a list of row dicts as an aligned text table.
+
+    The column order is taken from the first row; later rows may omit keys.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(rendered_row[i]) for rendered_row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered_row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered_row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Iterable[Any], ys: Iterable[Any], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Format an (x, y) series the way a figure would plot it."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, title=name)

@@ -1,0 +1,28 @@
+"""FAMOUSO-style event middleware (paper section V-B, Fig 5).
+
+Typed events (subject + attributes + content) are disseminated over *event
+channels* that connect publishers to subscribers across network boundaries.
+Channels carry QoS requirements that are assessed against the underlying
+network at announcement time and monitored at run time.
+"""
+
+from repro.middleware.events import Event, Subject, ContextFilter
+from repro.middleware.qos import QoSSpec, DeliveryGuarantee, NetworkAssessor, QoSMonitor
+from repro.middleware.channels import EventChannel, ChannelState
+from repro.middleware.broker import EventBroker, LocalBusTransport
+from repro.middleware.gateway import Gateway
+
+__all__ = [
+    "Event",
+    "Subject",
+    "ContextFilter",
+    "QoSSpec",
+    "DeliveryGuarantee",
+    "NetworkAssessor",
+    "QoSMonitor",
+    "EventChannel",
+    "ChannelState",
+    "EventBroker",
+    "LocalBusTransport",
+    "Gateway",
+]

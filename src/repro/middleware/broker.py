@@ -1,0 +1,222 @@
+"""Per-node event broker: the FAMOUSO middleware instance of one node.
+
+The broker binds the event-channel abstraction to an underlying transport
+(an R2T-MAC node, a plain CSMA MAC node, or an in-vehicle
+:class:`LocalBusTransport`).  It performs the announcement-time network
+assessment, routes published events onto the transport, and dispatches
+received events to local subscriptions whose subject and context filter
+match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Union
+
+from repro.middleware.channels import ChannelState, EventChannel, Subscription
+from repro.middleware.events import ContextFilter, Event, Subject
+from repro.middleware.qos import DeliveryGuarantee, NetworkAssessor, QoSSpec
+from repro.network.frames import Frame, FrameKind
+from repro.sim.kernel import Simulator
+
+
+class Transport(Protocol):
+    """What the broker needs from a transport (duck-typed)."""
+
+    node_id: str
+
+    def send(self, frame: Frame) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def on_receive(self, listener: Callable[[Frame, float], None]) -> None:  # pragma: no cover
+        ...
+
+
+class LocalBusTransport:
+    """A reliable, low-jitter in-vehicle bus (CAN-like) connecting local nodes.
+
+    FAMOUSO "enables interaction over different communication media like the
+    CAN field-bus ... and Ethernet" — the gateway bridges this bus with the
+    wireless V2V network.
+    """
+
+    def __init__(self, simulator: Simulator, node_id: str, latency: float = 1e-3):
+        self.simulator = simulator
+        self.node_id = node_id
+        self.latency = latency
+        self._listeners: List[Callable[[Frame, float], None]] = []
+        self._peers: List["LocalBusTransport"] = []
+        self.sent = 0
+
+    def connect(self, other: "LocalBusTransport") -> None:
+        """Wire two bus endpoints together (both directions)."""
+        if other not in self._peers:
+            self._peers.append(other)
+        if self not in other._peers:
+            other._peers.append(self)
+
+    def send(self, frame: Frame) -> bool:
+        self.sent += 1
+        delivery_time = self.simulator.now + self.latency
+        for peer in self._peers:
+            self.simulator.schedule(
+                self.latency, lambda p=peer, f=frame, t=delivery_time: p._deliver(f, t)
+            )
+        return True
+
+    def on_receive(self, listener: Callable[[Frame, float], None]) -> None:
+        self._listeners.append(listener)
+
+    def _deliver(self, frame: Frame, time: float) -> None:
+        for listener in self._listeners:
+            listener(frame, time)
+
+
+class EventBroker:
+    """Event middleware instance bound to one node and one transport."""
+
+    def __init__(
+        self,
+        node_id: str,
+        simulator: Simulator,
+        transport: Transport,
+        assessor: Optional[NetworkAssessor] = None,
+        admission_control: bool = True,
+    ):
+        self.node_id = node_id
+        self.simulator = simulator
+        self.transport = transport
+        self.assessor = assessor
+        self.admission_control = admission_control
+        self.channels: Dict[str, EventChannel] = {}
+        self.subscriptions: Dict[str, List[Subscription]] = {}
+        self.events_published = 0
+        self.events_delivered = 0
+        self.events_dropped_unusable = 0
+        transport.on_receive(self._on_frame)
+
+    # ----------------------------------------------------------------- announce
+    def announce(self, subject: Union[Subject, str], spec: Optional[QoSSpec] = None) -> EventChannel:
+        """Announce an event channel; performs the dynamic network assessment.
+
+        Without an assessor (or with admission control disabled) every channel
+        is accepted best-effort, which is the baseline configuration in E5.
+        """
+        subject = Subject(subject) if isinstance(subject, str) else subject
+        spec = spec or QoSSpec()
+        if not self.admission_control or self.assessor is None or spec.max_latency is None:
+            channel = EventChannel(subject, spec, ChannelState.BEST_EFFORT)
+        else:
+            result = self.assessor.assess(subject.uid, spec)
+            if result.admitted:
+                self.assessor.reserve(f"{self.node_id}:{subject.uid}", spec)
+                channel = EventChannel(
+                    subject, spec, ChannelState.ADMITTED,
+                    expected_latency=result.expected_latency,
+                )
+            else:
+                channel = EventChannel(
+                    subject, spec, ChannelState.REJECTED,
+                    expected_latency=result.expected_latency,
+                    reason=result.reason,
+                )
+        self.channels[subject.uid] = channel
+        return channel
+
+    def close(self, subject: Union[Subject, str]) -> None:
+        uid = subject.uid if isinstance(subject, Subject) else subject
+        channel = self.channels.get(uid)
+        if channel is None:
+            return
+        channel.close()
+        if self.assessor is not None:
+            self.assessor.release(f"{self.node_id}:{uid}")
+
+    # ---------------------------------------------------------------- subscribe
+    def subscribe(
+        self,
+        subject: Union[Subject, str],
+        callback: Callable[[Event], None],
+        context_filter: Optional[ContextFilter] = None,
+        subscriber_id: str = "",
+    ) -> Subscription:
+        """Register a local subscription for ``subject``."""
+        subject = Subject(subject) if isinstance(subject, str) else subject
+        subscription = Subscription(
+            subject=subject,
+            callback=callback,
+            context_filter=context_filter or ContextFilter.accept_all(),
+            subscriber_id=subscriber_id or self.node_id,
+        )
+        self.subscriptions.setdefault(subject.uid, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        subs = self.subscriptions.get(subscription.subject.uid, [])
+        if subscription in subs:
+            subs.remove(subscription)
+
+    # ------------------------------------------------------------------ publish
+    def publish(
+        self,
+        subject: Union[Subject, str],
+        content=None,
+        context: Optional[dict] = None,
+        quality: Optional[dict] = None,
+        deadline: Optional[float] = None,
+        kind: FrameKind = FrameKind.DATA,
+    ) -> Optional[Event]:
+        """Publish an event on a previously announced channel.
+
+        Returns the event, or ``None`` when the channel is unusable (rejected
+        or closed).  The event is also delivered to *local* subscribers, which
+        models FAMOUSO's intra-node communication.
+        """
+        uid = subject.uid if isinstance(subject, Subject) else subject
+        channel = self.channels.get(uid)
+        if channel is None:
+            channel = self.announce(uid)
+        if not channel.is_usable:
+            channel.note_rejected()
+            self.events_dropped_unusable += 1
+            return None
+        now = self.simulator.now
+        event = Event(
+            subject=Subject(uid),
+            content=content,
+            context=dict(context or {}),
+            quality=dict(quality or {}),
+            published_at=now,
+            publisher=self.node_id,
+        )
+        channel.note_publish()
+        self.events_published += 1
+        if deadline is None and channel.spec.max_latency is not None:
+            deadline = now + channel.spec.max_latency
+        frame = Frame(
+            source=self.node_id,
+            destination=None,
+            payload=event,
+            kind=kind,
+            deadline=deadline,
+            size_bits=channel.spec.payload_bits,
+        )
+        self.transport.send(frame)
+        self._dispatch(event, now)
+        return event
+
+    # ---------------------------------------------------------------- internals
+    def _on_frame(self, frame: Frame, time: float) -> None:
+        event = frame.payload
+        if not isinstance(event, Event):
+            return
+        latency = time - event.published_at
+        channel = self.channels.get(event.subject.uid)
+        if channel is not None:
+            channel.observe_delivery(latency)
+        self._dispatch(event, time)
+
+    def _dispatch(self, event: Event, time: float) -> None:
+        for subscription in self.subscriptions.get(event.subject.uid, []):
+            if subscription.offer(event):
+                self.events_delivered += 1

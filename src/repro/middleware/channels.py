@@ -1,0 +1,98 @@
+"""Event channels (paper Fig 5).
+
+"An event channel provides a unidirectional communication channel connecting
+multiple publishers to multiple subscribers.  Before a publisher can
+disseminate an event, it has to announce the respective event channel ...
+The notion of an event channel allows specifying and enforcing QoS
+attributes."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.middleware.events import ContextFilter, Event, Subject
+from repro.middleware.qos import QoSMonitor, QoSSpec
+
+
+class ChannelState(enum.Enum):
+    """Life cycle of an event channel at a given broker."""
+
+    ANNOUNCED = "announced"
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    BEST_EFFORT = "best_effort"
+    CLOSED = "closed"
+
+
+@dataclass
+class Subscription:
+    """A local subscriber: callback + context filter + optional QoS interest."""
+
+    subject: Subject
+    callback: Callable[[Event], None]
+    context_filter: ContextFilter = field(default_factory=ContextFilter.accept_all)
+    subscriber_id: str = ""
+    delivered: int = 0
+    filtered_out: int = 0
+
+    def offer(self, event: Event) -> bool:
+        """Deliver the event if it passes the context filter."""
+        if not self.context_filter.matches(event):
+            self.filtered_out += 1
+            return False
+        self.delivered += 1
+        self.callback(event)
+        return True
+
+
+class EventChannel:
+    """Publisher-side view of an announced channel, with QoS enforcement."""
+
+    def __init__(
+        self,
+        subject: Subject,
+        spec: QoSSpec,
+        state: ChannelState,
+        expected_latency: float = 0.0,
+        reason: str = "",
+    ):
+        self.subject = subject
+        self.spec = spec
+        self.state = state
+        self.expected_latency = expected_latency
+        self.reason = reason
+        self.monitor = QoSMonitor(max_latency=spec.max_latency)
+        self.published = 0
+        self.rejected_publishes = 0
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether publish operations are accepted on this channel."""
+        return self.state in (ChannelState.ADMITTED, ChannelState.BEST_EFFORT)
+
+    @property
+    def has_guarantee(self) -> bool:
+        """Whether the channel's QoS was admitted (resources reserved)."""
+        return self.state is ChannelState.ADMITTED
+
+    def note_publish(self) -> None:
+        self.published += 1
+
+    def note_rejected(self) -> None:
+        self.rejected_publishes += 1
+
+    def observe_delivery(self, latency: float) -> None:
+        """Feed the run-time QoS monitor with an observed delivery latency."""
+        self.monitor.observe(latency)
+
+    def close(self) -> None:
+        self.state = ChannelState.CLOSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"EventChannel(subject={self.subject.uid!r}, state={self.state.value}, "
+            f"published={self.published})"
+        )

@@ -1,0 +1,109 @@
+"""Typed events: subject, attributes, content (paper Fig 5).
+
+"An event is composed from three parts: a subject, attributes, and content.
+A subject identifies the content of an event and is represented by a unique
+identifier (UID). ... Attributes specify quality requirements and the context
+of an event. Quality attributes provide information like timeliness and
+dependability parameters.  Context attributes supply information like
+location or time."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+_EVENT_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Subject:
+    """A subject UID spanning a global name space across all networks."""
+
+    uid: str
+
+    def __post_init__(self) -> None:
+        if not self.uid:
+            raise ValueError("subject UID must be non-empty")
+
+    def __str__(self) -> str:
+        return self.uid
+
+
+@dataclass
+class Event:
+    """A typed message object disseminated through event channels."""
+
+    subject: Subject
+    content: Any = None
+    #: Context attributes: location, source, time of observation, ...
+    context: Dict[str, Any] = field(default_factory=dict)
+    #: Quality attributes: validity, age bound, dependability parameters, ...
+    quality: Dict[str, Any] = field(default_factory=dict)
+    published_at: float = 0.0
+    publisher: str = ""
+    event_id: int = field(default_factory=lambda: next(_EVENT_IDS))
+
+    def age(self, now: float) -> float:
+        """Age of the event relative to its publication time."""
+        return max(0.0, now - self.published_at)
+
+    @property
+    def validity(self) -> float:
+        """Shortcut for the ``validity`` quality attribute (defaults to 1.0)."""
+        return float(self.quality.get("validity", 1.0))
+
+
+class ContextFilter:
+    """Subscriber-side context filter (paper Fig 5: "context filter spec").
+
+    A filter is a set of per-attribute predicates; an event passes when every
+    constrained attribute is present and satisfies its predicate.  Convenience
+    constructors cover the common cases (exact match, range, region).
+    """
+
+    def __init__(self, predicates: Optional[Dict[str, Callable[[Any], bool]]] = None):
+        self.predicates: Dict[str, Callable[[Any], bool]] = dict(predicates or {})
+
+    def matches(self, event: Event) -> bool:
+        for attribute, predicate in self.predicates.items():
+            if attribute not in event.context:
+                return False
+            if not predicate(event.context[attribute]):
+                return False
+        return True
+
+    def constrain(self, attribute: str, predicate: Callable[[Any], bool]) -> "ContextFilter":
+        """Return a new filter with an extra predicate."""
+        merged = dict(self.predicates)
+        merged[attribute] = predicate
+        return ContextFilter(merged)
+
+    @classmethod
+    def equals(cls, attribute: str, value: Any) -> "ContextFilter":
+        return cls({attribute: lambda v, expected=value: v == expected})
+
+    @classmethod
+    def in_range(cls, attribute: str, low: float, high: float) -> "ContextFilter":
+        return cls({attribute: lambda v, lo=low, hi=high: lo <= v <= hi})
+
+    @classmethod
+    def within_region(
+        cls, attribute: str, center: Tuple[float, float], radius: float
+    ) -> "ContextFilter":
+        """Accept events whose position attribute lies within a disc."""
+
+        def predicate(value: Any, c=center, r=radius) -> bool:
+            try:
+                dx = value[0] - c[0]
+                dy = value[1] - c[1]
+            except (TypeError, IndexError):
+                return False
+            return (dx * dx + dy * dy) ** 0.5 <= r
+
+        return cls({attribute: predicate})
+
+    @classmethod
+    def accept_all(cls) -> "ContextFilter":
+        return cls({})

@@ -1,0 +1,85 @@
+"""Gateway bridging heterogeneous networks.
+
+KARYON scenarios are systems of systems: an in-vehicle bus (CAN-like) carries
+local sensor events while the wireless V2V network carries cooperative
+events.  A :class:`Gateway` subscribes to selected subjects on one broker and
+re-publishes them on another, preserving context/quality attributes and
+accounting for the extra hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.middleware.broker import EventBroker
+from repro.middleware.events import ContextFilter, Event
+from repro.middleware.qos import QoSSpec
+
+
+@dataclass
+class BridgeRule:
+    """One forwarding rule: subject + direction + optional re-announce QoS."""
+
+    subject: str
+    spec: Optional[QoSSpec] = None
+    context_filter: Optional[ContextFilter] = None
+
+
+class Gateway:
+    """Forwards events between two brokers according to bridge rules."""
+
+    def __init__(self, name: str, side_a: EventBroker, side_b: EventBroker):
+        self.name = name
+        self.side_a = side_a
+        self.side_b = side_b
+        self.forwarded_a_to_b = 0
+        self.forwarded_b_to_a = 0
+        self._forwarding: Set[int] = set()
+
+    def bridge(self, rule: BridgeRule, direction: str = "both") -> None:
+        """Install a forwarding rule.
+
+        ``direction`` is ``"a_to_b"``, ``"b_to_a"`` or ``"both"``.
+        """
+        if direction not in ("a_to_b", "b_to_a", "both"):
+            raise ValueError(f"unknown direction {direction!r}")
+        if direction in ("a_to_b", "both"):
+            self._install(rule, self.side_a, self.side_b, "a_to_b")
+        if direction in ("b_to_a", "both"):
+            self._install(rule, self.side_b, self.side_a, "b_to_a")
+
+    def _install(
+        self, rule: BridgeRule, source: EventBroker, target: EventBroker, tag: str
+    ) -> None:
+        target.announce(rule.subject, rule.spec)
+
+        def forward(event: Event, _tag=tag, _target=target) -> None:
+            # Avoid echoing an event this gateway already carried across: the
+            # hop list travels inside the context attributes, and events
+            # published by the gateway's own endpoints are never re-forwarded.
+            hops = event.context.get("_gateway_hops", ())
+            if self.name in hops:
+                return
+            if event.publisher in (self.side_a.node_id, self.side_b.node_id):
+                return
+            context = dict(event.context)
+            context["_gateway_hops"] = tuple(hops) + (self.name,)
+            republished = _target.publish(
+                event.subject,
+                content=event.content,
+                context=context,
+                quality=dict(event.quality),
+            )
+            if republished is not None:
+                if _tag == "a_to_b":
+                    self.forwarded_a_to_b += 1
+                else:
+                    self.forwarded_b_to_a += 1
+
+        source.subscribe(
+            rule.subject,
+            forward,
+            context_filter=rule.context_filter,
+            subscriber_id=f"gateway:{self.name}:{tag}",
+        )

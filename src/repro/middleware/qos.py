@@ -1,0 +1,188 @@
+"""QoS specification, network assessment and run-time QoS monitoring.
+
+Paper section V-B: "The publisher may specify the QoS that is needed, e.g. a
+maximal latency, a bandwidth, a rate of events or a delivery guarantee. ...
+In a system-of-systems in which spontaneous communication is needed, the
+information about the underlying network properties have to be acquired
+dynamically during run-time.  Nevertheless, any guarantee involves some
+assessment and subsequent resource reservation before communication can
+start."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.medium import WirelessMedium
+
+
+class DeliveryGuarantee(enum.Enum):
+    """Delivery guarantee requested for an event channel."""
+
+    BEST_EFFORT = "best_effort"
+    AT_LEAST_ONCE = "at_least_once"
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """Quality-of-service requirements attached to an event channel."""
+
+    max_latency: Optional[float] = None
+    rate_hz: float = 10.0
+    payload_bits: int = 800
+    guarantee: DeliveryGuarantee = DeliveryGuarantee.BEST_EFFORT
+    min_reliability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_latency is not None and self.max_latency <= 0:
+            raise ValueError("max_latency must be positive when given")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.payload_bits <= 0:
+            raise ValueError("payload_bits must be positive")
+        if not 0.0 <= self.min_reliability <= 1.0:
+            raise ValueError("min_reliability must be in [0, 1]")
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Offered load of the channel in bits per second."""
+        return self.rate_hz * self.payload_bits
+
+
+@dataclass
+class AssessmentResult:
+    """Outcome of a dynamic network assessment for a requested QoS."""
+
+    admitted: bool
+    expected_latency: float
+    expected_reliability: float
+    utilization_after: float
+    reason: str = ""
+
+
+class NetworkAssessor:
+    """Assesses whether the underlying network can support a requested QoS.
+
+    The assessor keeps a ledger of the bandwidth already reserved by admitted
+    channels (resource reservation) and estimates the achievable latency from
+    the medium bitrate, the current utilisation and the channel-access
+    overhead.  It is deliberately conservative: the point in KARYON is not an
+    exact latency model but the *existence* of an admission decision that the
+    safety argument can rely on.
+    """
+
+    def __init__(
+        self,
+        medium: WirelessMedium,
+        max_utilization: float = 0.6,
+        access_overhead: float = 2e-3,
+        contention_factor: float = 4.0,
+    ):
+        if not 0.0 < max_utilization <= 1.0:
+            raise ValueError("max_utilization must be in (0, 1]")
+        self.medium = medium
+        self.max_utilization = max_utilization
+        self.access_overhead = access_overhead
+        self.contention_factor = contention_factor
+        self.reserved_bps = 0.0
+        self._reservations: Dict[str, float] = {}
+
+    @property
+    def utilization(self) -> float:
+        return self.reserved_bps / self.medium.config.bitrate_bps
+
+    def expected_latency(self, spec: QoSSpec, utilization: Optional[float] = None) -> float:
+        """Latency estimate: air time + access overhead inflated by contention."""
+        utilization = self.utilization if utilization is None else utilization
+        air_time = spec.payload_bits / self.medium.config.bitrate_bps
+        contention = 1.0 + self.contention_factor * utilization
+        return (air_time + self.access_overhead) * contention
+
+    def expected_reliability(self) -> float:
+        """Reliability estimate from the medium's base loss probability."""
+        return 1.0 - self.medium.config.base_loss_probability
+
+    def assess(self, channel_uid: str, spec: QoSSpec) -> AssessmentResult:
+        """Admission decision for a channel announcement (no reservation yet)."""
+        utilization_after = (self.reserved_bps + spec.bandwidth_bps) / self.medium.config.bitrate_bps
+        latency = self.expected_latency(spec, utilization_after)
+        reliability = self.expected_reliability()
+        if utilization_after > self.max_utilization:
+            return AssessmentResult(
+                admitted=False,
+                expected_latency=latency,
+                expected_reliability=reliability,
+                utilization_after=utilization_after,
+                reason="insufficient bandwidth headroom",
+            )
+        if spec.max_latency is not None and latency > spec.max_latency:
+            return AssessmentResult(
+                admitted=False,
+                expected_latency=latency,
+                expected_reliability=reliability,
+                utilization_after=utilization_after,
+                reason="latency requirement cannot be met",
+            )
+        if spec.min_reliability > reliability:
+            return AssessmentResult(
+                admitted=False,
+                expected_latency=latency,
+                expected_reliability=reliability,
+                utilization_after=utilization_after,
+                reason="reliability requirement cannot be met",
+            )
+        return AssessmentResult(
+            admitted=True,
+            expected_latency=latency,
+            expected_reliability=reliability,
+            utilization_after=utilization_after,
+        )
+
+    def reserve(self, channel_uid: str, spec: QoSSpec) -> None:
+        """Reserve bandwidth for an admitted channel."""
+        self.release(channel_uid)
+        self._reservations[channel_uid] = spec.bandwidth_bps
+        self.reserved_bps += spec.bandwidth_bps
+
+    def release(self, channel_uid: str) -> None:
+        """Release a previous reservation (channel closed or demoted)."""
+        reserved = self._reservations.pop(channel_uid, 0.0)
+        self.reserved_bps = max(0.0, self.reserved_bps - reserved)
+
+
+@dataclass
+class QoSMonitor:
+    """Run-time QoS monitoring for one channel (delivered latencies, misses)."""
+
+    max_latency: Optional[float] = None
+    latencies: List[float] = field(default_factory=list)
+    deliveries: int = 0
+    deadline_misses: int = 0
+
+    def observe(self, latency: float) -> None:
+        self.deliveries += 1
+        self.latencies.append(latency)
+        if self.max_latency is not None and latency > self.max_latency:
+            self.deadline_misses += 1
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.deadline_misses / self.deliveries
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_observed_latency(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
+    def violates(self) -> bool:
+        """Whether observed behaviour violates the agreed latency bound."""
+        return self.max_latency is not None and self.deadline_misses > 0

@@ -1,0 +1,55 @@
+"""Communication substrate (paper section V-A, Fig 4).
+
+* :mod:`repro.network.medium` -- shared wireless medium with loss, collisions
+  and interference bursts.
+* :mod:`repro.network.clocks` -- drifting local clocks (for GPS-free sync).
+* :mod:`repro.network.frames` -- frames with deadlines and priorities.
+* :mod:`repro.network.mac_csma` -- baseline CSMA/CA-style MAC.
+* :mod:`repro.network.inaccessibility` -- network-inaccessibility monitoring
+  and bounding.
+* :mod:`repro.network.r2t_mac` -- the R2T-MAC mediator/channel-control layers.
+* :mod:`repro.network.tdma` -- self-stabilising TDMA slot allocation.
+* :mod:`repro.network.pulse_sync` -- autonomous TDMA alignment (pulse sync).
+* :mod:`repro.network.end_to_end` -- self-stabilising end-to-end FIFO delivery.
+"""
+
+from repro.network.frames import Frame, FrameKind
+from repro.network.medium import WirelessMedium, InterferenceBurst, MediumConfig
+from repro.network.clocks import DriftingClock
+from repro.network.mac_csma import CsmaMacNode, CsmaConfig
+from repro.network.inaccessibility import (
+    InaccessibilityMonitor,
+    InaccessibilityController,
+    InaccessibilityPeriod,
+)
+from repro.network.r2t_mac import R2TMacNode, MediatorLayer, ChannelControlLayer, R2TConfig
+from repro.network.tdma import TdmaNode, TdmaNetwork, TdmaConfig
+from repro.network.pulse_sync import PulseSyncNode, PulseSyncNetwork, PulseSyncConfig
+from repro.network.end_to_end import SelfStabilizingSender, SelfStabilizingReceiver, LossyChannel
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "WirelessMedium",
+    "InterferenceBurst",
+    "MediumConfig",
+    "DriftingClock",
+    "CsmaMacNode",
+    "CsmaConfig",
+    "InaccessibilityMonitor",
+    "InaccessibilityController",
+    "InaccessibilityPeriod",
+    "R2TMacNode",
+    "MediatorLayer",
+    "ChannelControlLayer",
+    "R2TConfig",
+    "TdmaNode",
+    "TdmaNetwork",
+    "TdmaConfig",
+    "PulseSyncNode",
+    "PulseSyncNetwork",
+    "PulseSyncConfig",
+    "SelfStabilizingSender",
+    "SelfStabilizingReceiver",
+    "LossyChannel",
+]

@@ -1,0 +1,50 @@
+"""Drifting local clocks.
+
+The paper's autonomous TDMA-alignment work targets platforms "whose native
+clocks are driven by inexpensive crystal oscillators" (section V-A.2).  A
+:class:`DriftingClock` converts between simulated (reference) time and a
+node's local time using a constant drift rate plus an offset, and can be
+adjusted by synchronisation algorithms.
+"""
+
+from __future__ import annotations
+
+
+class DriftingClock:
+    """A local clock with constant drift relative to the simulation clock.
+
+    ``drift_ppm`` is the rate error in parts per million: a clock with
+    +100 ppm gains 100 microseconds per second of reference time.
+    """
+
+    def __init__(self, drift_ppm: float = 0.0, offset: float = 0.0):
+        self.drift_ppm = float(drift_ppm)
+        self._offset = float(offset)
+        self._adjustments = 0
+
+    @property
+    def rate(self) -> float:
+        """Local seconds elapsed per reference second."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    @property
+    def adjustments(self) -> int:
+        """Number of times the clock has been slewed/stepped."""
+        return self._adjustments
+
+    def local_time(self, reference_time: float) -> float:
+        """Local clock value at the given reference (simulation) time."""
+        return reference_time * self.rate + self._offset
+
+    def reference_time(self, local_time: float) -> float:
+        """Inverse mapping: reference time when the local clock shows ``local_time``."""
+        return (local_time - self._offset) / self.rate
+
+    def adjust(self, delta: float) -> None:
+        """Step the local clock by ``delta`` local seconds."""
+        self._offset += float(delta)
+        self._adjustments += 1
+
+    def offset_to(self, other: "DriftingClock", reference_time: float) -> float:
+        """Local-time difference (self minus other) at a reference instant."""
+        return self.local_time(reference_time) - other.local_time(reference_time)

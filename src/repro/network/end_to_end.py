@@ -1,0 +1,266 @@
+"""Self-stabilising end-to-end FIFO delivery over faulty channels.
+
+Section V-A.2 cites Dolev, Hanemann, Schiller and Sharma [12]: "We present a
+self-stabilizing end-to-end algorithm that can be applied to networks of
+bounded capacity that omit, duplicate and reorder packets", delivering
+messages "in FIFO order without omissions or duplications".
+
+The implementation follows the three-label (alternating index) scheme:
+
+* the sender attaches a label from ``{0, 1, 2}`` to the current message and
+  keeps retransmitting it until it has collected strictly more than
+  ``2 * capacity`` acknowledgements carrying that label (old acknowledgement
+  packets stuck in the channel — at most ``capacity`` of them, each delivered
+  at most twice because duplication is bounded — cannot reach the threshold);
+* the receiver delivers a message once it has counted strictly more than
+  ``2 * capacity`` data packets whose label differs from the label of the
+  last delivered message, choosing the majority payload among them, and then
+  acknowledges with that label.
+
+Starting from an arbitrary (corrupted) channel state the protocol may lose or
+mis-deliver a bounded prefix, after which it behaves like a reliable FIFO
+channel — the self-stabilisation property exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+LABELS = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single channel packet (either data or acknowledgement)."""
+
+    label: int
+    payload: Any = None
+    is_ack: bool = False
+    duplicate: bool = False
+    sequence_hint: int = 0  # diagnostic only; the algorithm must not rely on it
+
+
+class LossyChannel:
+    """A bounded-capacity channel that can omit, duplicate and reorder packets.
+
+    The channel holds at most ``capacity`` packets; sending into a full
+    channel overwrites the oldest packet (omission).  ``fetch`` removes a
+    uniformly random packet (reordering); with configurable probabilities the
+    fetched packet is dropped (omission) or re-inserted once (duplication —
+    a duplicate is never duplicated again, keeping per-packet deliveries
+    bounded by two as in the bounded-capacity model of [12]).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 5,
+        omission_probability: float = 0.1,
+        duplication_probability: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 <= omission_probability < 1.0:
+            raise ValueError("omission_probability must be in [0, 1)")
+        if not 0.0 <= duplication_probability <= 1.0:
+            raise ValueError("duplication_probability must be in [0, 1]")
+        self.capacity = capacity
+        self.omission_probability = omission_probability
+        self.duplication_probability = duplication_probability
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._packets: List[Packet] = []
+        self.sent = 0
+        self.omitted = 0
+        self.duplicated = 0
+
+    def send(self, packet: Packet) -> None:
+        self.sent += 1
+        if len(self._packets) >= self.capacity:
+            self._packets.pop(0)
+            self.omitted += 1
+        self._packets.append(packet)
+
+    def fetch(self) -> Optional[Packet]:
+        """Deliver one packet (or none), exercising omission/duplication/reordering."""
+        if not self._packets:
+            return None
+        index = int(self.rng.integers(0, len(self._packets)))
+        packet = self._packets.pop(index)
+        if self.rng.random() < self.omission_probability:
+            self.omitted += 1
+            return None
+        if (
+            not packet.duplicate
+            and self.rng.random() < self.duplication_probability
+            and len(self._packets) < self.capacity
+        ):
+            self._packets.append(
+                Packet(
+                    label=packet.label,
+                    payload=packet.payload,
+                    is_ack=packet.is_ack,
+                    duplicate=True,
+                    sequence_hint=packet.sequence_hint,
+                )
+            )
+            self.duplicated += 1
+        return packet
+
+    def corrupt_state(self, packets: List[Packet]) -> None:
+        """Overwrite the channel content (models an arbitrary initial state)."""
+        self._packets = list(packets)[: self.capacity]
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+
+class SelfStabilizingSender:
+    """Sender side of the three-label self-stabilising ARQ."""
+
+    def __init__(self, channel_out: LossyChannel, channel_in: LossyChannel, capacity_bound: int):
+        if capacity_bound < 1:
+            raise ValueError("capacity_bound must be >= 1")
+        self.channel_out = channel_out
+        self.channel_in = channel_in
+        self.capacity_bound = capacity_bound
+        self.threshold = 2 * capacity_bound
+        self.outbox: Deque[Any] = deque()
+        self.label_index = 0
+        self.matching_acks = 0
+        self.messages_completed = 0
+        self._sequence = 0
+
+    @property
+    def current_label(self) -> int:
+        return LABELS[self.label_index]
+
+    def enqueue(self, message: Any) -> None:
+        """Queue an application message for reliable delivery."""
+        self.outbox.append(message)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.outbox)
+
+    def step(self) -> None:
+        """One protocol step: consume acks, then (re)transmit the current message."""
+        packet = self.channel_in.fetch()
+        while packet is not None:
+            if packet.is_ack and packet.label == self.current_label:
+                self.matching_acks += 1
+            packet = self.channel_in.fetch()
+        if not self.outbox:
+            return
+        if self.matching_acks > self.threshold:
+            # Enough fresh acknowledgements: the receiver has delivered the
+            # current message.  Advance to the next message and label.
+            self.outbox.popleft()
+            self.messages_completed += 1
+            self.label_index = (self.label_index + 1) % len(LABELS)
+            self.matching_acks = 0
+            if not self.outbox:
+                return
+        self._sequence += 1
+        self.channel_out.send(
+            Packet(
+                label=self.current_label,
+                payload=self.outbox[0],
+                is_ack=False,
+                sequence_hint=self._sequence,
+            )
+        )
+
+
+class SelfStabilizingReceiver:
+    """Receiver side of the three-label self-stabilising ARQ."""
+
+    def __init__(
+        self,
+        channel_in: LossyChannel,
+        channel_out: LossyChannel,
+        capacity_bound: int,
+        deliver: Optional[Callable[[Any], None]] = None,
+    ):
+        if capacity_bound < 1:
+            raise ValueError("capacity_bound must be >= 1")
+        self.channel_in = channel_in
+        self.channel_out = channel_out
+        self.capacity_bound = capacity_bound
+        self.threshold = 2 * capacity_bound
+        self.deliver = deliver
+        self.delivered: List[Any] = []
+        self.last_delivered_label: Optional[int] = None
+        self._counts: Dict[int, int] = {}
+        self._payload_votes: Dict[int, Counter] = {}
+
+    def step(self) -> None:
+        """One protocol step: consume data packets, maybe deliver, send acks."""
+        packet = self.channel_in.fetch()
+        while packet is not None:
+            if not packet.is_ack:
+                self._handle_data(packet)
+            packet = self.channel_in.fetch()
+        if self.last_delivered_label is not None:
+            self.channel_out.send(Packet(label=self.last_delivered_label, is_ack=True))
+
+    def _handle_data(self, packet: Packet) -> None:
+        if packet.label == self.last_delivered_label:
+            # Retransmission of an already-delivered message: just re-ack.
+            self.channel_out.send(Packet(label=packet.label, is_ack=True))
+            return
+        self._counts[packet.label] = self._counts.get(packet.label, 0) + 1
+        votes = self._payload_votes.setdefault(packet.label, Counter())
+        votes[self._vote_key(packet.payload)] = votes[self._vote_key(packet.payload)] + 1
+        self._payloads_by_key = getattr(self, "_payloads_by_key", {})
+        self._payloads_by_key[self._vote_key(packet.payload)] = packet.payload
+        if self._counts[packet.label] > self.threshold:
+            winning_key, _ = votes.most_common(1)[0]
+            payload = self._payloads_by_key[winning_key]
+            self.delivered.append(payload)
+            if self.deliver is not None:
+                self.deliver(payload)
+            self.last_delivered_label = packet.label
+            self._counts = {}
+            self._payload_votes = {}
+            self._payloads_by_key = {}
+            self.channel_out.send(Packet(label=packet.label, is_ack=True))
+
+    @staticmethod
+    def _vote_key(payload: Any) -> str:
+        return repr(payload)
+
+
+def run_transfer(
+    messages: List[Any],
+    capacity: int = 4,
+    omission_probability: float = 0.1,
+    duplication_probability: float = 0.1,
+    max_steps: int = 200_000,
+    seed: int = 0,
+    initial_garbage: Optional[List[Packet]] = None,
+) -> Tuple[List[Any], int]:
+    """Convenience harness: transfer ``messages`` end to end.
+
+    Returns ``(delivered, steps)``.  ``initial_garbage`` populates the forward
+    channel with arbitrary packets before the protocol starts, exercising
+    self-stabilisation from a corrupted initial state.
+    """
+    rng = np.random.default_rng(seed)
+    forward = LossyChannel(capacity, omission_probability, duplication_probability, rng=rng)
+    backward = LossyChannel(capacity, omission_probability, duplication_probability, rng=rng)
+    if initial_garbage:
+        forward.corrupt_state(initial_garbage)
+    sender = SelfStabilizingSender(forward, backward, capacity_bound=capacity)
+    receiver = SelfStabilizingReceiver(forward, backward, capacity_bound=capacity)
+    for message in messages:
+        sender.enqueue(message)
+    steps = 0
+    while sender.busy and steps < max_steps:
+        sender.step()
+        receiver.step()
+        steps += 1
+    return receiver.delivered, steps

@@ -1,0 +1,92 @@
+"""Frames exchanged on the simulated networks.
+
+A frame is the MAC-level unit; the middleware maps events onto frames and the
+cooperation protocols map their protocol messages onto frames as well.
+Frames carry an optional delivery deadline so that deadline-miss rates (E3,
+E5) can be computed at the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_FRAME_IDS = itertools.count(1)
+
+
+class FrameKind(enum.Enum):
+    """Coarse frame classes used for prioritisation and accounting."""
+
+    DATA = "data"
+    BEACON = "beacon"
+    CONTROL = "control"
+    SAFETY = "safety"
+
+
+@dataclass
+class Frame:
+    """A MAC frame.
+
+    Parameters
+    ----------
+    source:
+        Sender node identifier.
+    destination:
+        Receiver node identifier, or ``None`` for broadcast.
+    payload:
+        Arbitrary payload (events, protocol messages, ...).
+    kind:
+        Frame class; safety frames are prioritised by R2T-MAC.
+    priority:
+        Smaller numbers are more urgent.
+    deadline:
+        Absolute simulated time by which delivery must complete, or ``None``.
+    size_bits:
+        Frame size, which determines air time.
+    created_at:
+        Simulated creation (enqueue) time, filled in by the MAC.
+    """
+
+    source: str
+    destination: Optional[str] = None
+    payload: Any = None
+    kind: FrameKind = FrameKind.DATA
+    priority: int = 10
+    deadline: Optional[float] = None
+    size_bits: int = 800
+    created_at: float = 0.0
+    channel: int = 0
+    frame_id: int = field(default_factory=lambda: next(_FRAME_IDS))
+    retransmission: int = 0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.destination is None
+
+    def air_time(self, bitrate_bps: float) -> float:
+        """Transmission duration at a given bitrate."""
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.size_bits / bitrate_bps
+
+    def missed_deadline(self, delivery_time: float) -> bool:
+        """Whether a delivery at ``delivery_time`` violates the deadline."""
+        return self.deadline is not None and delivery_time > self.deadline
+
+    def copy_for_retransmission(self) -> "Frame":
+        """A retransmission copy sharing the frame identity and deadline."""
+        return Frame(
+            source=self.source,
+            destination=self.destination,
+            payload=self.payload,
+            kind=self.kind,
+            priority=self.priority,
+            deadline=self.deadline,
+            size_bits=self.size_bits,
+            created_at=self.created_at,
+            channel=self.channel,
+            frame_id=self.frame_id,
+            retransmission=self.retransmission + 1,
+        )

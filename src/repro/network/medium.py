@@ -1,0 +1,290 @@
+"""Shared wireless medium.
+
+The medium model reproduces the communication uncertainties the paper argues
+about (section V-A): probabilistic frame loss, collisions between overlapping
+transmissions, and *interference bursts* — externally induced disturbance
+periods that are the root cause of network inaccessibility.
+
+Nodes attach with a position supplier (so mobile vehicles change connectivity
+as they move) and a receive callback.  MAC protocols (CSMA, R2T-MAC, TDMA)
+sit on top of :meth:`WirelessMedium.transmit` and :meth:`WirelessMedium.is_busy`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.frames import Frame
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class MediumConfig:
+    """Static medium parameters."""
+
+    bitrate_bps: float = 6_000_000.0
+    communication_range: float = 300.0
+    propagation_delay: float = 1e-6
+    base_loss_probability: float = 0.01
+    channels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.communication_range <= 0:
+            raise ValueError("communication range must be positive")
+        if not 0.0 <= self.base_loss_probability < 1.0:
+            raise ValueError("base loss probability must be in [0, 1)")
+        if self.channels < 1:
+            raise ValueError("at least one channel is required")
+
+
+@dataclass
+class InterferenceBurst:
+    """An externally induced disturbance on one channel (or all channels)."""
+
+    start: float
+    duration: float
+    channel: Optional[int] = None
+    loss_probability: float = 1.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def affects(self, time: float, channel: int) -> bool:
+        if not (self.start <= time < self.end):
+            return False
+        return self.channel is None or self.channel == channel
+
+
+@dataclass
+class _Attachment:
+    node_id: str
+    receive: Callable[[Frame, float], None]
+    position_fn: Callable[[], Tuple[float, ...]]
+    listening_channel: int = 0
+
+
+@dataclass
+class _Transmission:
+    frame: Frame
+    sender: str
+    channel: int
+    start: float
+    end: float
+    sender_position: Tuple[float, ...]
+
+
+@dataclass
+class MediumStats:
+    """Delivery accounting used by the E3/E5 experiments."""
+
+    frames_sent: int = 0
+    deliveries: int = 0
+    lost_random: int = 0
+    lost_collision: int = 0
+    lost_interference: int = 0
+    lost_out_of_range: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        attempts = self.deliveries + self.lost_random + self.lost_collision + self.lost_interference
+        if attempts == 0:
+            return 1.0
+        return self.deliveries / attempts
+
+
+class WirelessMedium:
+    """Broadcast wireless medium shared by all attached nodes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[MediumConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.simulator = simulator
+        self.config = config or MediumConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._attachments: Dict[str, _Attachment] = {}
+        self._transmissions: List[_Transmission] = []
+        self._interference: List[InterferenceBurst] = []
+        self.stats = MediumStats()
+
+    # ------------------------------------------------------------------ setup
+    def attach(
+        self,
+        node_id: str,
+        receive: Callable[[Frame, float], None],
+        position_fn: Optional[Callable[[], Tuple[float, ...]]] = None,
+        listening_channel: int = 0,
+    ) -> None:
+        """Attach a node; ``position_fn`` defaults to a fixed origin position."""
+        if node_id in self._attachments:
+            raise ValueError(f"node {node_id!r} is already attached")
+        if position_fn is None:
+            position_fn = lambda: (0.0, 0.0)
+        self._attachments[node_id] = _Attachment(
+            node_id=node_id,
+            receive=receive,
+            position_fn=position_fn,
+            listening_channel=listening_channel,
+        )
+
+    def detach(self, node_id: str) -> None:
+        self._attachments.pop(node_id, None)
+
+    def set_listening_channel(self, node_id: str, channel: int) -> None:
+        """Retune a node's receiver (used by the Channel Control Layer)."""
+        self._check_channel(channel)
+        self._attachments[node_id].listening_channel = channel
+
+    def listening_channel(self, node_id: str) -> int:
+        return self._attachments[node_id].listening_channel
+
+    def add_interference(self, burst: InterferenceBurst) -> None:
+        """Schedule an interference burst (fault injection on the medium)."""
+        self._interference.append(burst)
+
+    def attached_nodes(self) -> List[str]:
+        return list(self._attachments)
+
+    # --------------------------------------------------------------- geometry
+    @staticmethod
+    def _distance(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+        return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+    def in_range(self, node_a: str, node_b: str) -> bool:
+        """Whether two attached nodes are currently within communication range."""
+        pos_a = self._attachments[node_a].position_fn()
+        pos_b = self._attachments[node_b].position_fn()
+        return self._distance(pos_a, pos_b) <= self.config.communication_range
+
+    def neighbors(self, node_id: str) -> List[str]:
+        """Nodes currently within range of ``node_id``."""
+        return [
+            other
+            for other in self._attachments
+            if other != node_id and self.in_range(node_id, other)
+        ]
+
+    # ------------------------------------------------------------ channel state
+    def is_busy(self, node_id: str, channel: int, now: Optional[float] = None) -> bool:
+        """Carrier sense: is any in-range transmission ongoing on ``channel``?"""
+        self._check_channel(channel)
+        now = self.simulator.now if now is None else now
+        self._prune(now)
+        listener_pos = self._attachments[node_id].position_fn()
+        for tx in self._transmissions:
+            if tx.channel != channel or tx.sender == node_id:
+                continue
+            if tx.start <= now < tx.end:
+                if self._distance(listener_pos, tx.sender_position) <= self.config.communication_range:
+                    return True
+        return False
+
+    def is_interfered(self, channel: int, time: Optional[float] = None) -> bool:
+        """Whether an interference burst affects ``channel`` at ``time``."""
+        time = self.simulator.now if time is None else time
+        return any(burst.affects(time, channel) for burst in self._interference)
+
+    def interference_loss_probability(self, channel: int, time: float) -> float:
+        """Largest loss probability among bursts affecting ``channel`` at ``time``."""
+        probabilities = [
+            burst.loss_probability
+            for burst in self._interference
+            if burst.affects(time, channel)
+        ]
+        return max(probabilities) if probabilities else 0.0
+
+    # ---------------------------------------------------------------- transmit
+    def transmit(self, frame: Frame, channel: Optional[int] = None) -> float:
+        """Start transmitting ``frame`` now; returns the transmission end time.
+
+        Delivery outcomes (per receiver) are decided at the end of the air
+        time: out-of-range receivers never hear the frame; collisions destroy
+        the frame at receivers that hear overlapping transmissions; otherwise
+        the frame is lost with the interference/base loss probability and
+        delivered after the propagation delay.
+        """
+        channel = frame.channel if channel is None else channel
+        self._check_channel(channel)
+        now = self.simulator.now
+        sender_attachment = self._attachments.get(frame.source)
+        if sender_attachment is None:
+            raise ValueError(f"sender {frame.source!r} is not attached to the medium")
+        air_time = frame.air_time(self.config.bitrate_bps)
+        end = now + air_time
+        tx = _Transmission(
+            frame=frame,
+            sender=frame.source,
+            channel=channel,
+            start=now,
+            end=end,
+            sender_position=tuple(sender_attachment.position_fn()),
+        )
+        self._transmissions.append(tx)
+        self.stats.frames_sent += 1
+        self.simulator.schedule(air_time, lambda: self._complete(tx))
+        return end
+
+    def _complete(self, tx: _Transmission) -> None:
+        now = self.simulator.now
+        overlapping = [
+            other
+            for other in self._transmissions
+            if other is not tx
+            and other.channel == tx.channel
+            and other.start < tx.end
+            and other.end > tx.start
+        ]
+        targets: List[_Attachment]
+        if tx.frame.is_broadcast:
+            targets = [a for a in self._attachments.values() if a.node_id != tx.sender]
+        else:
+            target = self._attachments.get(tx.frame.destination)
+            targets = [target] if target is not None else []
+
+        for attachment in targets:
+            if attachment.listening_channel != tx.channel:
+                continue
+            receiver_pos = attachment.position_fn()
+            if self._distance(receiver_pos, tx.sender_position) > self.config.communication_range:
+                self.stats.lost_out_of_range += 1
+                continue
+            collided = any(
+                self._distance(receiver_pos, other.sender_position)
+                <= self.config.communication_range
+                for other in overlapping
+            )
+            if collided:
+                self.stats.lost_collision += 1
+                continue
+            interference_loss = self.interference_loss_probability(tx.channel, tx.start)
+            if interference_loss > 0 and self.rng.random() < interference_loss:
+                self.stats.lost_interference += 1
+                continue
+            if self.config.base_loss_probability > 0 and self.rng.random() < self.config.base_loss_probability:
+                self.stats.lost_random += 1
+                continue
+            delivery_time = now + self.config.propagation_delay
+            self.stats.deliveries += 1
+            self.simulator.schedule_at(
+                delivery_time,
+                lambda a=attachment, f=tx.frame, t=delivery_time: a.receive(f, t),
+            )
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        self._transmissions = [t for t in self._transmissions if t.end > now - 1.0]
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.config.channels:
+            raise ValueError(
+                f"channel {channel} out of range (medium has {self.config.channels} channels)"
+            )

@@ -1,0 +1,237 @@
+"""Self-stabilising TDMA slot allocation for dynamic wireless ad hoc networks.
+
+Section V-A.2: "We propose a self-stabilizing MAC algorithm that guarantees
+satisfying these severe timing requirements" — i.e. starting from *any*
+initial slot assignment (including one left over after topology changes), the
+network converges to a collision-free TDMA schedule without external time
+sources.
+
+The model abstracts the radio at slot granularity: within each TDMA frame,
+every node transmits in its chosen slot.  Two nodes collide when they are
+within interference range (two hops) and use the same slot.  Receivers that
+observe a collision report the collided slot in their own transmission during
+the next frame; a transmitter that learns its slot collided re-draws a slot
+uniformly at random from the slots it heard as free.  This is the classic
+randomised self-stabilising allocation scheme the paper builds on [25].
+
+The E4 experiment measures the number of frames until convergence as a
+function of node count, slot count and churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TdmaConfig:
+    """TDMA parameters."""
+
+    slots_per_frame: int = 16
+    slot_duration: float = 0.005
+    #: Probability that a collision report is lost (models imperfect feedback).
+    feedback_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slots_per_frame < 1:
+            raise ValueError("slots_per_frame must be >= 1")
+        if self.slot_duration <= 0:
+            raise ValueError("slot_duration must be positive")
+        if not 0.0 <= self.feedback_loss_probability < 1.0:
+            raise ValueError("feedback_loss_probability must be in [0, 1)")
+
+    @property
+    def frame_duration(self) -> float:
+        return self.slots_per_frame * self.slot_duration
+
+
+class TdmaNode:
+    """One node participating in the self-stabilising TDMA algorithm."""
+
+    def __init__(self, node_id: str, config: TdmaConfig, rng: np.random.Generator,
+                 slot: Optional[int] = None):
+        self.node_id = node_id
+        self.config = config
+        self.rng = rng
+        self.slot = int(slot) if slot is not None else int(rng.integers(0, config.slots_per_frame))
+        #: Slots heard busy (by any neighbour) during the last frame.
+        self.busy_slots: Set[int] = set()
+        #: Collisions observed during the last frame (slots that were garbled).
+        self.observed_collisions: Set[int] = set()
+        self.slot_changes = 0
+
+    def hears_free_slots(self) -> List[int]:
+        """Slots this node believes are free (not heard busy, not its own)."""
+        free = [
+            s
+            for s in range(self.config.slots_per_frame)
+            if s not in self.busy_slots and s != self.slot
+        ]
+        return free if free else list(range(self.config.slots_per_frame))
+
+    def react_to_collision(self) -> None:
+        """Re-draw the transmission slot after learning of a collision."""
+        candidates = self.hears_free_slots()
+        self.slot = int(self.rng.choice(candidates))
+        self.slot_changes += 1
+
+    def start_frame(self) -> None:
+        self.busy_slots = set()
+        self.observed_collisions = set()
+
+
+class TdmaNetwork:
+    """Runs the slot-level TDMA simulation over an explicit topology.
+
+    ``adjacency`` maps node ids to the set of one-hop neighbours.  Collisions
+    are evaluated against the *interference* relation: two transmitters
+    conflict if they share a neighbour or are neighbours themselves (the
+    hidden-terminal constraint).
+    """
+
+    def __init__(
+        self,
+        config: Optional[TdmaConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config or TdmaConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.nodes: Dict[str, TdmaNode] = {}
+        self.adjacency: Dict[str, Set[str]] = {}
+        self.frames_elapsed = 0
+        self.collision_history: List[int] = []
+
+    # ----------------------------------------------------------------- topology
+    def add_node(self, node_id: str, neighbors: Optional[Set[str]] = None,
+                 slot: Optional[int] = None) -> TdmaNode:
+        """Add a node (join); links are made symmetric automatically."""
+        node = TdmaNode(node_id, self.config, self.rng, slot=slot)
+        self.nodes[node_id] = node
+        self.adjacency.setdefault(node_id, set())
+        for neighbor in neighbors or set():
+            if neighbor in self.nodes:
+                self.adjacency[node_id].add(neighbor)
+                self.adjacency.setdefault(neighbor, set()).add(node_id)
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node (leave/crash)."""
+        self.nodes.pop(node_id, None)
+        self.adjacency.pop(node_id, None)
+        for peers in self.adjacency.values():
+            peers.discard(node_id)
+
+    def add_link(self, a: str, b: str) -> None:
+        self.adjacency.setdefault(a, set()).add(b)
+        self.adjacency.setdefault(b, set()).add(a)
+
+    def remove_link(self, a: str, b: str) -> None:
+        self.adjacency.get(a, set()).discard(b)
+        self.adjacency.get(b, set()).discard(a)
+
+    # --------------------------------------------------------------- execution
+    def conflicting_pairs(self) -> List[Tuple[str, str]]:
+        """Pairs of nodes whose current slots conflict under interference."""
+        conflicts = []
+        ids = sorted(self.nodes)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                if self.nodes[a].slot != self.nodes[b].slot:
+                    continue
+                if self._interferes(a, b):
+                    conflicts.append((a, b))
+        return conflicts
+
+    def is_converged(self) -> bool:
+        """True when the current allocation is collision-free."""
+        return not self.conflicting_pairs()
+
+    def run_frame(self) -> int:
+        """Simulate one TDMA frame; returns the number of collided slots heard.
+
+        Per slot: transmitters whose transmissions are garbled at some common
+        neighbour are in collision.  Each listener records busy/collided
+        slots; at frame end, transmitters informed of a collision in their
+        slot (feedback may be lost) re-draw a slot.
+        """
+        self.frames_elapsed += 1
+        for node in self.nodes.values():
+            node.start_frame()
+
+        slot_to_transmitters: Dict[int, List[str]] = {}
+        for node_id, node in self.nodes.items():
+            slot_to_transmitters.setdefault(node.slot, []).append(node_id)
+
+        colliders: Set[str] = set()
+        total_collided_slots = 0
+        for slot, transmitters in slot_to_transmitters.items():
+            for listener_id, listener in self.nodes.items():
+                heard = [
+                    t for t in transmitters
+                    if t != listener_id and t in self.adjacency.get(listener_id, set())
+                ]
+                if len(heard) >= 1:
+                    listener.busy_slots.add(slot)
+                if len(heard) >= 2:
+                    listener.observed_collisions.add(slot)
+            # A transmitter learns of the collision from any neighbour that
+            # observed it (collision report piggy-backed on the next frame;
+            # modelled here as end-of-frame feedback).
+            if len(transmitters) >= 2:
+                for a_index, a in enumerate(transmitters):
+                    for b in transmitters[a_index + 1:]:
+                        if self._interferes(a, b):
+                            total_collided_slots += 1
+                            for transmitter in (a, b):
+                                if self._feedback_delivered():
+                                    colliders.add(transmitter)
+        for node_id in colliders:
+            self.nodes[node_id].react_to_collision()
+        self.collision_history.append(total_collided_slots)
+        return total_collided_slots
+
+    def run_until_converged(self, max_frames: int = 1000) -> Optional[int]:
+        """Run frames until convergence; returns the frame count or ``None``."""
+        for frame in range(max_frames):
+            if self.is_converged():
+                return frame
+            self.run_frame()
+        return None if not self.is_converged() else max_frames
+
+    # --------------------------------------------------------------- internals
+    def _interferes(self, a: str, b: str) -> bool:
+        """One- or two-hop proximity (shared neighbour) implies interference."""
+        neighbors_a = self.adjacency.get(a, set())
+        neighbors_b = self.adjacency.get(b, set())
+        if b in neighbors_a:
+            return True
+        return bool(neighbors_a & neighbors_b)
+
+    def _feedback_delivered(self) -> bool:
+        p = self.config.feedback_loss_probability
+        if p <= 0:
+            return True
+        return self.rng.random() >= p
+
+
+def grid_topology(rows: int, cols: int) -> Dict[str, Set[str]]:
+    """Convenience: 4-connected grid adjacency used by tests and benches."""
+    adjacency: Dict[str, Set[str]] = {}
+    def name(r: int, c: int) -> str:
+        return f"n{r}_{c}"
+    for r in range(rows):
+        for c in range(cols):
+            peers = set()
+            if r > 0:
+                peers.add(name(r - 1, c))
+            if r < rows - 1:
+                peers.add(name(r + 1, c))
+            if c > 0:
+                peers.add(name(r, c - 1))
+            if c < cols - 1:
+                peers.add(name(r, c + 1))
+            adjacency[name(r, c)] = peers
+    return adjacency

@@ -1,0 +1,89 @@
+"""Abstract sensor model and MOSAIC node (paper section IV, Figs 2-3).
+
+The subpackage provides:
+
+* :mod:`repro.sensors.readings` -- timestamped readings with validity.
+* :mod:`repro.sensors.faults` -- the paper's five sensor fault classes.
+* :mod:`repro.sensors.injector` -- fault injection on physical sensors.
+* :mod:`repro.sensors.detectors` -- dominant and continuous failure detectors.
+* :mod:`repro.sensors.validity` -- fault-management unit combining detector
+  outputs into a 0..1 data-validity attribute.
+* :mod:`repro.sensors.fusion` -- Marzullo interval fusion, validity-weighted
+  averaging and temporal-redundancy fusion.
+* :mod:`repro.sensors.abstract_sensor` -- abstract sensor and abstract
+  reliable sensor (component/analytical/temporal redundancy).
+* :mod:`repro.sensors.mosaic` -- MOSAIC smart-sensor node.
+"""
+
+from repro.sensors.readings import SensorReading, ReadingAttributes
+from repro.sensors.faults import (
+    FaultClass,
+    SensorFault,
+    DelayFault,
+    SporadicOffsetFault,
+    PermanentOffsetFault,
+    StochasticOffsetFault,
+    StuckAtFault,
+)
+from repro.sensors.injector import FaultInjector, FaultActivation
+from repro.sensors.detectors import (
+    FailureDetector,
+    DetectorVerdict,
+    RangeDetector,
+    RateLimitDetector,
+    TimeoutDetector,
+    StuckAtDetector,
+    ModelResidualDetector,
+    CrossValidationDetector,
+)
+from repro.sensors.validity import FaultManagementUnit, ValidityPolicy
+from repro.sensors.fusion import (
+    marzullo_fuse,
+    validity_weighted_mean,
+    naive_mean,
+    TemporalFuser,
+    FusionResult,
+)
+from repro.sensors.abstract_sensor import (
+    PhysicalSensor,
+    AbstractSensor,
+    AbstractReliableSensor,
+    AnalyticalModel,
+)
+from repro.sensors.mosaic import MosaicNode, ApplicationModule, ElectronicDataSheet
+
+__all__ = [
+    "SensorReading",
+    "ReadingAttributes",
+    "FaultClass",
+    "SensorFault",
+    "DelayFault",
+    "SporadicOffsetFault",
+    "PermanentOffsetFault",
+    "StochasticOffsetFault",
+    "StuckAtFault",
+    "FaultInjector",
+    "FaultActivation",
+    "FailureDetector",
+    "DetectorVerdict",
+    "RangeDetector",
+    "RateLimitDetector",
+    "TimeoutDetector",
+    "StuckAtDetector",
+    "ModelResidualDetector",
+    "CrossValidationDetector",
+    "FaultManagementUnit",
+    "ValidityPolicy",
+    "marzullo_fuse",
+    "validity_weighted_mean",
+    "naive_mean",
+    "TemporalFuser",
+    "FusionResult",
+    "PhysicalSensor",
+    "AbstractSensor",
+    "AbstractReliableSensor",
+    "AnalyticalModel",
+    "MosaicNode",
+    "ApplicationModule",
+    "ElectronicDataSheet",
+]

@@ -1,0 +1,244 @@
+"""Abstract sensors and abstract reliable sensors.
+
+Fig 2 of the paper: a nominal component ``C`` plus failure-mapping logic
+``F`` present a well-defined failure semantics at the component interface.
+:class:`AbstractSensor` is exactly that — a physical sensor wrapped with
+failure detectors and a fault-management unit so consumers only see a value
+plus a data validity.
+
+:class:`AbstractReliableSensor` layers redundancy on top (component,
+analytical and temporal redundancy, section IV-B) and exposes a fused,
+higher-validity reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sensors.detectors import DetectorVerdict, FailureDetector
+from repro.sensors.fusion import (
+    FusionResult,
+    TemporalFuser,
+    marzullo_fuse,
+    validity_weighted_mean,
+)
+from repro.sensors.injector import FaultInjector
+from repro.sensors.readings import ReadingAttributes, SensorReading
+from repro.sensors.validity import FaultManagementUnit, ValidityPolicy
+
+
+class PhysicalSensor:
+    """A simulated transducer sampling a ground-truth signal with noise.
+
+    ``truth_fn`` maps simulated time to the true value of the measured
+    quantity; the sensor adds Gaussian noise and may be corrupted by an
+    attached :class:`~repro.sensors.injector.FaultInjector`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        quantity: str,
+        truth_fn: Callable[[float], float],
+        noise_sigma: float = 0.0,
+        error_bound: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        position: Optional[tuple] = None,
+    ):
+        self.name = name
+        self.quantity = quantity
+        self.truth_fn = truth_fn
+        self.noise_sigma = noise_sigma
+        self.error_bound = error_bound if error_bound is not None else 3.0 * noise_sigma
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.position = position
+        self.injector = FaultInjector(rng=self.rng)
+        self.samples_taken = 0
+        self._sequence = 0
+
+    def sample(self, now: float) -> Optional[SensorReading]:
+        """Take one sample at simulated time ``now``.
+
+        Returns ``None`` if an active fault drops the sample (omission).
+        """
+        self.samples_taken += 1
+        true_value = self.truth_fn(now)
+        noise = self.rng.normal(0.0, self.noise_sigma) if self.noise_sigma > 0 else 0.0
+        self._sequence += 1
+        reading = SensorReading(
+            quantity=self.quantity,
+            value=float(true_value + noise),
+            timestamp=now,
+            validity=1.0,
+            error_bound=self.error_bound,
+            attributes=ReadingAttributes(
+                position=self.position, source_id=self.name, sequence=self._sequence
+            ),
+        )
+        return self.injector.process(reading, now)
+
+    def inject(self, fault, start: float, end: float = float("inf")) -> None:
+        """Convenience wrapper over the attached fault injector."""
+        self.injector.add(fault, start, end)
+
+
+class AbstractSensor:
+    """Physical sensor + detectors + fault management = failure semantics at the interface."""
+
+    def __init__(
+        self,
+        physical: PhysicalSensor,
+        detectors: Optional[Sequence[FailureDetector]] = None,
+        policy: ValidityPolicy = ValidityPolicy.PRODUCT,
+    ):
+        self.physical = physical
+        self.detectors: List[FailureDetector] = list(detectors) if detectors else []
+        self.fault_management = FaultManagementUnit(policy=policy)
+        self.last_reading: Optional[SensorReading] = None
+        self.last_verdicts: List[DetectorVerdict] = []
+        self.omissions = 0
+
+    @property
+    def name(self) -> str:
+        return self.physical.name
+
+    @property
+    def quantity(self) -> str:
+        return self.physical.quantity
+
+    def add_detector(self, detector: FailureDetector) -> None:
+        self.detectors.append(detector)
+
+    def read(self, now: float) -> Optional[SensorReading]:
+        """Sample, run every detector, and return a validity-annotated reading.
+
+        An omission (dropped sample) returns ``None``; the caller's timeout
+        detector — or the safety kernel's freshness rule — turns persistent
+        omissions into a timing failure.
+        """
+        raw = self.physical.sample(now)
+        if raw is None:
+            self.omissions += 1
+            self.last_verdicts = []
+            return None
+        verdicts = [detector.check(raw, now) for detector in self.detectors]
+        annotated = self.fault_management.assess(raw, verdicts)
+        self.last_reading = annotated
+        self.last_verdicts = verdicts
+        return annotated
+
+    def reset(self) -> None:
+        for detector in self.detectors:
+            detector.reset()
+        self.last_reading = None
+        self.last_verdicts = []
+
+
+@dataclass
+class AnalyticalModel:
+    """Analytical redundancy: a model predicting the measured quantity.
+
+    ``predict`` maps simulated time to the expected value; ``error_bound`` is
+    the model's accuracy.  The reliable sensor treats the prediction as one
+    more (virtual) contributor to fusion.
+    """
+
+    name: str
+    predict: Callable[[float], float]
+    error_bound: float = 1.0
+    validity: float = 0.8
+
+    def reading(self, quantity: str, now: float) -> SensorReading:
+        return SensorReading(
+            quantity=quantity,
+            value=float(self.predict(now)),
+            timestamp=now,
+            validity=self.validity,
+            error_bound=self.error_bound,
+            attributes=ReadingAttributes(source_id=f"model:{self.name}"),
+        )
+
+
+class AbstractReliableSensor:
+    """An abstract sensor exploiting redundancy and fusion (paper section IV-B).
+
+    Combines any number of :class:`AbstractSensor` replicas (component
+    redundancy), optional :class:`AnalyticalModel` predictions (analytical
+    redundancy) and a :class:`TemporalFuser` (temporal redundancy) into a
+    single reading whose validity reflects the agreement of the evidence.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        quantity: str,
+        replicas: Sequence[AbstractSensor],
+        models: Optional[Sequence[AnalyticalModel]] = None,
+        temporal_window: int = 5,
+        temporal_max_age: float = 1.0,
+        fusion: str = "validity_weighted",
+        min_validity: float = 0.05,
+    ):
+        if not replicas and not models:
+            raise ValueError("a reliable sensor needs at least one replica or model")
+        if fusion not in ("validity_weighted", "marzullo"):
+            raise ValueError(f"unknown fusion strategy: {fusion}")
+        self.name = name
+        self.quantity = quantity
+        self.replicas: List[AbstractSensor] = list(replicas)
+        self.models: List[AnalyticalModel] = list(models) if models else []
+        self.temporal = TemporalFuser(window=temporal_window, max_age=temporal_max_age)
+        self.fusion = fusion
+        self.min_validity = min_validity
+        self.last_result: Optional[FusionResult] = None
+
+    def read(self, now: float) -> Optional[SensorReading]:
+        """Fused reading at time ``now`` (``None`` when no usable evidence exists)."""
+        contributions: List[SensorReading] = []
+        for replica in self.replicas:
+            reading = replica.read(now)
+            if reading is not None:
+                contributions.append(reading)
+        for model in self.models:
+            contributions.append(model.reading(self.quantity, now))
+
+        if self.fusion == "marzullo":
+            result = marzullo_fuse([r for r in contributions if r.validity > self.min_validity])
+        else:
+            result = validity_weighted_mean(contributions, min_validity=self.min_validity)
+        if result is None:
+            # Fall back to temporal redundancy alone.
+            result = self.temporal.estimate(now)
+            if result is None:
+                self.last_result = None
+                return None
+        fused = SensorReading(
+            quantity=self.quantity,
+            value=result.value,
+            timestamp=now,
+            validity=result.validity,
+            error_bound=result.error_bound,
+            attributes=ReadingAttributes(source_id=self.name),
+        )
+        self.temporal.add(fused)
+        smoothed = self.temporal.estimate(now)
+        if smoothed is not None:
+            fused = SensorReading(
+                quantity=self.quantity,
+                value=smoothed.value,
+                timestamp=now,
+                validity=max(result.validity, smoothed.validity * 0.99),
+                error_bound=result.error_bound,
+                attributes=ReadingAttributes(source_id=self.name),
+            )
+        self.last_result = result
+        return fused
+
+    def reset(self) -> None:
+        for replica in self.replicas:
+            replica.reset()
+        self.temporal.clear()
+        self.last_result = None

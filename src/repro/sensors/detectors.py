@@ -1,0 +1,263 @@
+"""Failure detectors for continuous-valued sensors.
+
+MOSAIC "distinguishes between two types of failure detectors: a) dominant
+detectors that render a result invalid (i.e. a validity of 0) if they detect
+a failure, and b) other detectors that lead to a certain continuous validity
+estimate" (section IV-B).  Each detector here reports a
+:class:`DetectorVerdict` with a suspicion in ``[0, 1]`` and a ``dominant``
+flag; the fault-management unit (:mod:`repro.sensors.validity`) combines the
+verdicts into the data-validity attribute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.sensors.readings import SensorReading
+
+
+@dataclass(frozen=True)
+class DetectorVerdict:
+    """Outcome of one detector for one reading."""
+
+    detector: str
+    suspicion: float  # 0.0 = looks correct, 1.0 = certainly faulty
+    dominant: bool = False
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.suspicion <= 1.0:
+            raise ValueError(f"suspicion must be in [0, 1], got {self.suspicion}")
+
+    @property
+    def invalidates(self) -> bool:
+        """A dominant detector with full suspicion forces validity to zero."""
+        return self.dominant and self.suspicion >= 1.0
+
+
+class FailureDetector:
+    """Base class for per-reading failure detectors."""
+
+    #: Dominant detectors force validity to 0 when they fire (paper Fig 3,
+    #: solid dots); non-dominant detectors contribute a continuous estimate.
+    dominant: bool = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self.evaluations = 0
+        self.detections = 0
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        """Evaluate one reading; must be overridden."""
+        raise NotImplementedError
+
+    def _verdict(self, suspicion: float, reason: str = "") -> DetectorVerdict:
+        self.evaluations += 1
+        if suspicion > 0:
+            self.detections += 1
+        return DetectorVerdict(
+            detector=self.name,
+            suspicion=float(min(1.0, max(0.0, suspicion))),
+            dominant=self.dominant,
+            reason=reason,
+        )
+
+    def reset(self) -> None:
+        """Clear detector history (sensor restart)."""
+
+
+class RangeDetector(FailureDetector):
+    """Dominant detector: the value must lie within a physical range."""
+
+    dominant = True
+
+    def __init__(self, low: float, high: float, name: str = "range"):
+        super().__init__(name)
+        if high < low:
+            raise ValueError(f"range high {high} < low {low}")
+        self.low = low
+        self.high = high
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        if reading.value < self.low or reading.value > self.high:
+            return self._verdict(1.0, f"value {reading.value} outside [{self.low}, {self.high}]")
+        return self._verdict(0.0)
+
+
+class RateLimitDetector(FailureDetector):
+    """The measured quantity cannot change faster than ``max_rate`` per second.
+
+    Suspicion grows linearly with the excess rate; it is a continuous
+    (non-dominant) detector because a large-but-plausible jump may be real.
+    """
+
+    dominant = False
+
+    def __init__(self, max_rate: float, name: str = "rate_limit", hard_factor: float = 4.0):
+        super().__init__(name)
+        if max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        self.max_rate = max_rate
+        self.hard_factor = hard_factor
+        self._last: Optional[SensorReading] = None
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        last = self._last
+        self._last = reading
+        if last is None:
+            return self._verdict(0.0)
+        dt = reading.timestamp - last.timestamp
+        if dt <= 0:
+            return self._verdict(0.0)
+        rate = abs(reading.value - last.value) / dt
+        if rate <= self.max_rate:
+            return self._verdict(0.0)
+        excess = (rate - self.max_rate) / (self.max_rate * (self.hard_factor - 1.0))
+        return self._verdict(min(1.0, excess), f"rate {rate:.2f} exceeds {self.max_rate:.2f}")
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class TimeoutDetector(FailureDetector):
+    """Dominant detector for delay/omission faults: readings must be fresh."""
+
+    dominant = True
+
+    def __init__(self, max_age: float, name: str = "timeout"):
+        super().__init__(name)
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        self.max_age = max_age
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        age = reading.age(now)
+        if age > self.max_age:
+            return self._verdict(1.0, f"reading age {age:.3f}s exceeds {self.max_age:.3f}s")
+        return self._verdict(0.0)
+
+
+class StuckAtDetector(FailureDetector):
+    """Detects a frozen output: suspicion rises once the value stops changing.
+
+    The detector keeps the last ``window`` readings; if the spread of values
+    is below ``epsilon`` while the reference quantity is expected to vary,
+    suspicion increases with the run length of identical values.
+    """
+
+    dominant = False
+
+    def __init__(
+        self,
+        window: int = 8,
+        epsilon: float = 1e-9,
+        min_run: int = 3,
+        name: str = "stuck_at",
+    ):
+        super().__init__(name)
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.epsilon = epsilon
+        self.min_run = min_run
+        self._history: Deque[float] = deque(maxlen=window)
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        self._history.append(reading.value)
+        if len(self._history) < self.min_run:
+            return self._verdict(0.0)
+        run = 1
+        values = list(self._history)
+        for previous, current in zip(reversed(values[:-1]), reversed(values[1:])):
+            if abs(current - previous) <= self.epsilon:
+                run += 1
+            else:
+                break
+        if run < self.min_run:
+            return self._verdict(0.0)
+        suspicion = (run - self.min_run + 1) / (self.window - self.min_run + 1)
+        return self._verdict(min(1.0, suspicion), f"value frozen for {run} samples")
+
+    def reset(self) -> None:
+        self._history.clear()
+
+
+class ModelResidualDetector(FailureDetector):
+    """Analytical-redundancy detector: compares the reading with a model prediction.
+
+    ``model`` maps the current simulated time to the expected value (e.g. a
+    kinematic prediction from other sensors).  Suspicion grows with the
+    residual normalised by ``tolerance``.
+    """
+
+    dominant = False
+
+    def __init__(
+        self,
+        model: Callable[[float], float],
+        tolerance: float,
+        name: str = "model_residual",
+        hard_factor: float = 4.0,
+    ):
+        super().__init__(name)
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.model = model
+        self.tolerance = tolerance
+        self.hard_factor = hard_factor
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        expected = self.model(reading.timestamp)
+        residual = abs(reading.value - expected)
+        if residual <= self.tolerance:
+            return self._verdict(0.0)
+        excess = (residual - self.tolerance) / (self.tolerance * (self.hard_factor - 1.0))
+        return self._verdict(
+            min(1.0, excess), f"residual {residual:.3f} exceeds tolerance {self.tolerance:.3f}"
+        )
+
+
+class CrossValidationDetector(FailureDetector):
+    """Component-redundancy detector: compares against peer readings.
+
+    The peer supplier returns the most recent readings of redundant sensors
+    measuring the same quantity; the detector flags readings far from the
+    peer median.
+    """
+
+    dominant = False
+
+    def __init__(
+        self,
+        peer_supplier: Callable[[], Iterable[SensorReading]],
+        tolerance: float,
+        name: str = "cross_validation",
+        hard_factor: float = 4.0,
+    ):
+        super().__init__(name)
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.peer_supplier = peer_supplier
+        self.tolerance = tolerance
+        self.hard_factor = hard_factor
+
+    def check(self, reading: SensorReading, now: float) -> DetectorVerdict:
+        peers: List[float] = [p.value for p in self.peer_supplier() if p.is_valid]
+        if len(peers) < 2:
+            return self._verdict(0.0)
+        peers_sorted = sorted(peers)
+        mid = len(peers_sorted) // 2
+        if len(peers_sorted) % 2:
+            median = peers_sorted[mid]
+        else:
+            median = 0.5 * (peers_sorted[mid - 1] + peers_sorted[mid])
+        deviation = abs(reading.value - median)
+        if deviation <= self.tolerance:
+            return self._verdict(0.0)
+        excess = (deviation - self.tolerance) / (self.tolerance * (self.hard_factor - 1.0))
+        return self._verdict(
+            min(1.0, excess),
+            f"deviation {deviation:.3f} from peer median {median:.3f}",
+        )

@@ -1,0 +1,170 @@
+"""Sensor fault classes.
+
+Section IV-A: "In KARYON we performed a failure mode analysis for different
+sensors and identified several fault modes that were categorized along five
+main dimensions: delay faults, sporadic offset faults, permanent offset
+faults, stochastic offset faults and stuck-at faults."
+
+Each fault class transforms a correct reading into a faulty one; the fault
+injector (:mod:`repro.sensors.injector`) decides *when* a fault is active.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sensors.readings import SensorReading
+
+
+class FaultClass(enum.Enum):
+    """The paper's five sensor-fault dimensions."""
+
+    DELAY = "delay"
+    SPORADIC_OFFSET = "sporadic_offset"
+    PERMANENT_OFFSET = "permanent_offset"
+    STOCHASTIC_OFFSET = "stochastic_offset"
+    STUCK_AT = "stuck_at"
+
+
+@dataclass
+class SensorFault:
+    """Base class for sensor faults.
+
+    Subclasses override :meth:`apply` to corrupt a reading and may keep state
+    across readings (e.g. the frozen value of a stuck-at fault).
+    """
+
+    def fault_class(self) -> FaultClass:
+        raise NotImplementedError
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        """Return the corrupted reading, or ``None`` if the reading is dropped.
+
+        Returning ``None`` models an omission (the transducer produced no
+        output for this sampling instant).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-activation state (called when the fault deactivates)."""
+
+
+@dataclass
+class DelayFault(SensorFault):
+    """The reading is delivered late by ``delay`` seconds (possibly dropped).
+
+    A delay larger than the consumer's freshness bound manifests as a timing
+    failure detectable by a timeout/omission detector.
+    """
+
+    delay: float = 0.2
+    drop_probability: float = 0.0
+
+    def fault_class(self) -> FaultClass:
+        return FaultClass.DELAY
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        if self.drop_probability > 0 and rng.random() < self.drop_probability:
+            return None
+        # The value was acquired at `timestamp`, but the timestamp the
+        # downstream pipeline sees does not change: the reading simply becomes
+        # stale, which is exactly how a delay fault manifests.
+        return reading
+
+
+@dataclass
+class SporadicOffsetFault(SensorFault):
+    """Occasional outliers: with ``probability`` the value jumps by ``offset``."""
+
+    offset: float = 10.0
+    probability: float = 0.2
+
+    def fault_class(self) -> FaultClass:
+        return FaultClass.SPORADIC_OFFSET
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        if rng.random() < self.probability:
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            return reading.with_value(reading.value + sign * self.offset)
+        return reading
+
+
+@dataclass
+class PermanentOffsetFault(SensorFault):
+    """A constant bias added to every reading while the fault is active."""
+
+    offset: float = 5.0
+
+    def fault_class(self) -> FaultClass:
+        return FaultClass.PERMANENT_OFFSET
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        return reading.with_value(reading.value + self.offset)
+
+
+@dataclass
+class StochasticOffsetFault(SensorFault):
+    """Increased measurement noise: zero-mean Gaussian with ``sigma``."""
+
+    sigma: float = 3.0
+
+    def fault_class(self) -> FaultClass:
+        return FaultClass.STOCHASTIC_OFFSET
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        return reading.with_value(reading.value + rng.normal(0.0, self.sigma))
+
+
+@dataclass
+class StuckAtFault(SensorFault):
+    """The output freezes at the first value observed after activation."""
+
+    stuck_value: Optional[float] = None
+    _frozen: Optional[float] = None
+
+    def fault_class(self) -> FaultClass:
+        return FaultClass.STUCK_AT
+
+    def apply(
+        self, reading: SensorReading, rng: np.random.Generator
+    ) -> Optional[SensorReading]:
+        if self._frozen is None:
+            self._frozen = (
+                self.stuck_value if self.stuck_value is not None else reading.value
+            )
+        return reading.with_value(self._frozen)
+
+    def reset(self) -> None:
+        self._frozen = None
+
+
+def make_fault(fault_class: FaultClass, magnitude: float = 1.0) -> SensorFault:
+    """Factory used by fault-injection campaigns.
+
+    ``magnitude`` scales the fault severity relative to the class's default.
+    """
+    if fault_class is FaultClass.DELAY:
+        return DelayFault(delay=0.2 * magnitude)
+    if fault_class is FaultClass.SPORADIC_OFFSET:
+        return SporadicOffsetFault(offset=10.0 * magnitude)
+    if fault_class is FaultClass.PERMANENT_OFFSET:
+        return PermanentOffsetFault(offset=5.0 * magnitude)
+    if fault_class is FaultClass.STOCHASTIC_OFFSET:
+        return StochasticOffsetFault(sigma=3.0 * magnitude)
+    if fault_class is FaultClass.STUCK_AT:
+        return StuckAtFault()
+    raise ValueError(f"unknown fault class: {fault_class}")

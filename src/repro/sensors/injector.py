@@ -1,0 +1,94 @@
+"""Sensor fault injection.
+
+The paper's evaluation plan is "computer simulations with fault injection
+support to experimentally evaluate safety assurance according to the ISO
+26262 safety standard" (section I).  :class:`FaultInjector` attaches fault
+activations (a fault + an activation window) to a physical sensor and
+corrupts readings while a fault is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sensors.faults import SensorFault
+from repro.sensors.readings import SensorReading
+
+
+@dataclass
+class FaultActivation:
+    """A fault together with the simulated-time window in which it is active."""
+
+    fault: SensorFault
+    start: float
+    end: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"activation end {self.end} precedes start {self.start}"
+            )
+
+    def is_active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class FaultInjector:
+    """Applies scheduled fault activations to a stream of readings."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.activations: List[FaultActivation] = []
+        self.injected_count = 0
+        self.dropped_count = 0
+        self._previously_active: set = set()
+
+    def add(self, fault: SensorFault, start: float, end: float = float("inf")) -> FaultActivation:
+        """Schedule ``fault`` to be active during ``[start, end)``."""
+        activation = FaultActivation(fault=fault, start=start, end=end)
+        self.activations.append(activation)
+        return activation
+
+    def clear(self) -> None:
+        self.activations.clear()
+        self._previously_active.clear()
+
+    def active_faults(self, now: float) -> List[SensorFault]:
+        """Faults active at time ``now``."""
+        return [a.fault for a in self.activations if a.is_active(now)]
+
+    def process(self, reading: SensorReading, now: float) -> Optional[SensorReading]:
+        """Pass ``reading`` through every active fault.
+
+        Returns the (possibly corrupted) reading, or ``None`` if a fault
+        dropped it.  Faults whose activation window just ended are reset so a
+        later re-activation starts from a clean state.
+        """
+        currently_active = set()
+        result: Optional[SensorReading] = reading
+        for activation in self.activations:
+            if activation.is_active(now):
+                currently_active.add(id(activation))
+                if result is None:
+                    continue
+                corrupted = activation.fault.apply(result, self.rng)
+                if corrupted is None:
+                    self.dropped_count += 1
+                    result = None
+                elif corrupted is not result:
+                    self.injected_count += 1
+                    result = corrupted
+        for activation in self.activations:
+            ident = id(activation)
+            if ident in self._previously_active and ident not in currently_active:
+                activation.fault.reset()
+        self._previously_active = currently_active
+        return result
+
+    @property
+    def any_active(self) -> bool:
+        """Whether any activation window is still open (now or in the future)."""
+        return bool(self.activations)

@@ -1,0 +1,153 @@
+"""MOSAIC smart-sensor node (paper Fig 3).
+
+A MOSAIC node combines:
+
+* an **input layer** of abstract sensors (``Sensor A`` in the figure), which
+  may monitor transducer delays/omissions;
+* **application modules** (``Detection 0/1``, ``Module 2``) that process the
+  sensor stream and may themselves emit failure-detection results;
+* a crosscutting **fault management** unit combining all detection results
+  into the data validity;
+* an **abstract communication layer** that disseminates typed events; and
+* an **electronic data sheet** describing the node's static properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sensors.abstract_sensor import AbstractSensor
+from repro.sensors.detectors import DetectorVerdict
+from repro.sensors.readings import SensorReading
+from repro.sensors.validity import FaultManagementUnit, ValidityPolicy
+
+
+@dataclass
+class ElectronicDataSheet:
+    """Static, machine-readable description of a MOSAIC component.
+
+    "Static properties and information of a MOSAIC component are described in
+    an electronic data sheet stored on the node" (section IV-B).
+    """
+
+    node_id: str
+    quantity: str
+    unit: str = ""
+    sampling_period: float = 0.1
+    value_range: Optional[tuple] = None
+    accuracy: float = 0.0
+    vendor: str = "repro"
+    description: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "quantity": self.quantity,
+            "unit": self.unit,
+            "sampling_period": self.sampling_period,
+            "value_range": self.value_range,
+            "accuracy": self.accuracy,
+            "vendor": self.vendor,
+            "description": self.description,
+            **self.extra,
+        }
+
+
+class ApplicationModule:
+    """A processing stage inside a MOSAIC node.
+
+    ``transform`` maps the incoming reading to the outgoing reading (e.g. a
+    filter or a unit conversion); ``detect`` optionally returns a
+    :class:`DetectorVerdict` that feeds the node's fault management unit —
+    this is how "Detection 0" and "Detection 1" in Fig 3 contribute failure
+    information.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transform: Optional[Callable[[SensorReading], SensorReading]] = None,
+        detect: Optional[Callable[[SensorReading, float], Optional[DetectorVerdict]]] = None,
+        dominant: bool = False,
+    ):
+        self.name = name
+        self.transform = transform
+        self.detect = detect
+        self.dominant = dominant
+        self.processed = 0
+
+    def process(
+        self, reading: SensorReading, now: float
+    ) -> tuple[SensorReading, Optional[DetectorVerdict]]:
+        self.processed += 1
+        verdict = self.detect(reading, now) if self.detect else None
+        output = self.transform(reading) if self.transform else reading
+        return output, verdict
+
+
+class MosaicNode:
+    """A smart sensor/actuator node as structured in Fig 3 of the paper.
+
+    The node samples its input layer, pipes the reading through its
+    application modules, lets the fault-management unit compute the final
+    data validity, and hands the result to ``publish`` (the abstract
+    communication layer — typically an event-channel publisher from
+    :mod:`repro.middleware`).
+    """
+
+    def __init__(
+        self,
+        datasheet: ElectronicDataSheet,
+        input_sensor: AbstractSensor,
+        modules: Optional[Sequence[ApplicationModule]] = None,
+        publish: Optional[Callable[[SensorReading], None]] = None,
+        policy: ValidityPolicy = ValidityPolicy.PRODUCT,
+    ):
+        self.datasheet = datasheet
+        self.input_sensor = input_sensor
+        self.modules: List[ApplicationModule] = list(modules) if modules else []
+        self.publish = publish
+        self.fault_management = FaultManagementUnit(policy=policy)
+        self.outputs: List[SensorReading] = []
+        self.omissions = 0
+
+    @property
+    def node_id(self) -> str:
+        return self.datasheet.node_id
+
+    def add_module(self, module: ApplicationModule) -> None:
+        self.modules.append(module)
+
+    def step(self, now: float) -> Optional[SensorReading]:
+        """One acquisition/processing/dissemination cycle.
+
+        Returns the published reading, or ``None`` if the input layer omitted
+        a sample this cycle.
+        """
+        reading = self.input_sensor.read(now)
+        if reading is None:
+            self.omissions += 1
+            return None
+        # Verdicts gathered so far: the input layer's own detectors...
+        verdicts: List[DetectorVerdict] = list(self.input_sensor.last_verdicts)
+        # ...plus each application module's detection result.
+        for module in self.modules:
+            reading, verdict = module.process(reading, now)
+            if verdict is not None:
+                verdicts.append(verdict)
+        final = self.fault_management.assess(reading, verdicts)
+        self.outputs.append(final)
+        if self.publish is not None:
+            self.publish(final)
+        return final
+
+    def run_on(self, simulator, period: Optional[float] = None, name: Optional[str] = None):
+        """Register the node's sampling loop as a periodic task on ``simulator``."""
+        period = period if period is not None else self.datasheet.sampling_period
+        return simulator.periodic(
+            period,
+            lambda: self.step(simulator.now),
+            name=name or f"mosaic:{self.node_id}",
+        )

@@ -1,0 +1,86 @@
+"""Sensor readings and their attributes.
+
+The paper's MOSAIC components exchange "typed message objects called events,
+including the respective sensor data and additional attributes like position,
+timestamps, validity estimation" (section IV-B).  :class:`SensorReading` is the
+in-library representation of such a data set; the middleware wraps it into an
+event when it crosses node boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ReadingAttributes:
+    """Context attributes attached to a reading (paper Fig 5: attributes)."""
+
+    position: Optional[Tuple[float, ...]] = None
+    source_id: str = ""
+    sequence: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A single continuous-valued measurement with its validity estimate.
+
+    Parameters
+    ----------
+    quantity:
+        Name of the measured quantity (e.g. ``"range"``, ``"speed"``).
+    value:
+        The measured value.
+    timestamp:
+        Simulated acquisition time.
+    validity:
+        Data validity in ``[0, 1]`` (1.0 = fully trusted).  The paper's
+        fault-management unit "calculates a general validity value between 0
+        and 100%"; we use the 0..1 scale internally.
+    error_bound:
+        Half-width of the symmetric interval believed to contain the true
+        value (used by Marzullo interval fusion).
+    attributes:
+        Context attributes (position, source, sequence number, ...).
+    """
+
+    quantity: str
+    value: float
+    timestamp: float
+    validity: float = 1.0
+    error_bound: float = 0.0
+    attributes: ReadingAttributes = field(default_factory=ReadingAttributes)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.validity <= 1.0:
+            raise ValueError(f"validity must be in [0, 1], got {self.validity}")
+        if self.error_bound < 0.0:
+            raise ValueError(f"error_bound must be >= 0, got {self.error_bound}")
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The ``[value - error_bound, value + error_bound]`` interval."""
+        return (self.value - self.error_bound, self.value + self.error_bound)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when validity is strictly positive."""
+        return self.validity > 0.0
+
+    def with_validity(self, validity: float) -> "SensorReading":
+        """Return a copy carrying a new validity estimate."""
+        return replace(self, validity=float(min(1.0, max(0.0, validity))))
+
+    def with_value(self, value: float) -> "SensorReading":
+        """Return a copy carrying a new value (used by fault injection)."""
+        return replace(self, value=float(value))
+
+    def age(self, now: float) -> float:
+        """Age of the reading at simulated time ``now``."""
+        return max(0.0, now - self.timestamp)
+
+    def is_fresh(self, now: float, max_age: float) -> bool:
+        """Whether the reading is younger than ``max_age`` at time ``now``."""
+        return self.age(now) <= max_age

@@ -1,0 +1,90 @@
+"""Fault-management unit: combining detector verdicts into a data validity.
+
+Paper section IV-B: "All tests are connected to the fault management module
+that combines the individual fault estimations and calculates a general
+validity value between 0 and 100%."  Dominant detections force validity to
+zero; otherwise the continuous detectors' suspicions are combined according
+to a :class:`ValidityPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.sensors.detectors import DetectorVerdict
+from repro.sensors.readings import SensorReading
+
+
+class ValidityPolicy(enum.Enum):
+    """How non-dominant suspicions combine into a validity value."""
+
+    #: validity = product of (1 - suspicion_i) — independent evidence.
+    PRODUCT = "product"
+    #: validity = 1 - max(suspicion_i) — worst single piece of evidence.
+    WORST_CASE = "worst_case"
+    #: validity = 1 - mean(suspicion_i) — averaged evidence.
+    MEAN = "mean"
+
+
+@dataclass
+class ValidityAssessment:
+    """Result of combining detector verdicts for one reading."""
+
+    validity: float
+    verdicts: List[DetectorVerdict] = field(default_factory=list)
+    dominant_triggered: bool = False
+
+    @property
+    def reasons(self) -> List[str]:
+        return [v.reason for v in self.verdicts if v.suspicion > 0 and v.reason]
+
+
+class FaultManagementUnit:
+    """Combines per-detector verdicts into the reading's data validity."""
+
+    def __init__(
+        self,
+        policy: ValidityPolicy = ValidityPolicy.PRODUCT,
+        floor: float = 0.0,
+    ):
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        self.policy = policy
+        self.floor = floor
+        self.assessments = 0
+        self.invalidations = 0
+
+    def combine(self, verdicts: Sequence[DetectorVerdict]) -> ValidityAssessment:
+        """Combine verdicts according to the policy."""
+        self.assessments += 1
+        verdict_list = list(verdicts)
+        for verdict in verdict_list:
+            if verdict.invalidates:
+                self.invalidations += 1
+                return ValidityAssessment(
+                    validity=0.0, verdicts=verdict_list, dominant_triggered=True
+                )
+        continuous = [v.suspicion for v in verdict_list if not v.dominant]
+        if not continuous:
+            return ValidityAssessment(validity=1.0, verdicts=verdict_list)
+        if self.policy is ValidityPolicy.PRODUCT:
+            validity = 1.0
+            for suspicion in continuous:
+                validity *= 1.0 - suspicion
+        elif self.policy is ValidityPolicy.WORST_CASE:
+            validity = 1.0 - max(continuous)
+        else:  # MEAN
+            validity = 1.0 - sum(continuous) / len(continuous)
+        validity = max(self.floor, min(1.0, validity))
+        return ValidityAssessment(validity=validity, verdicts=verdict_list)
+
+    def assess(
+        self,
+        reading: SensorReading,
+        verdicts: Iterable[DetectorVerdict],
+    ) -> SensorReading:
+        """Return ``reading`` annotated with the combined validity."""
+        assessment = self.combine(list(verdicts))
+        return reading.with_validity(assessment.validity)

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation substrate.
+
+All KARYON components (sensors, MAC protocols, the safety kernel, vehicles)
+run on a single :class:`~repro.sim.kernel.Simulator` clock so that timing
+properties (bounded kernel cycles, bounded inaccessibility, LoS switch
+latency) can be asserted over simulated time.
+"""
+
+from repro.sim.kernel import Simulator, Timer, PeriodicTask
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "PeriodicTask",
+    "RandomStreams",
+    "TraceRecorder",
+    "TraceRecord",
+]

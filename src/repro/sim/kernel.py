@@ -1,0 +1,237 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic scheduler: events are ``(time, priority, seq,
+callback)`` tuples held in a heap.  Ties are broken by insertion order so a
+given seed always produces an identical schedule.  The kernel is the single
+source of time for every KARYON component.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (negative delays, running a stopped sim)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle to a scheduled event that can be cancelled or queried."""
+
+    def __init__(self, event: _Event, simulator: "Simulator"):
+        self._event = event
+        self._simulator = simulator
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the timer fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._simulator.now >= self._event.time and not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the timer.  Cancelling an already-fired timer is a no-op."""
+        self._event.cancelled = True
+
+
+class PeriodicTask:
+    """A task re-scheduled every ``period`` until stopped.
+
+    The KARYON safety manager, heartbeat senders and sensor sampling loops are
+    all periodic tasks.  The task keeps jitter bookkeeping so experiments can
+    assert bounded-cycle behaviour.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        period: float,
+        callback: Callable[[], None],
+        name: str = "periodic",
+        jitter_fn: Optional[Callable[[], float]] = None,
+        priority: int = 0,
+    ):
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self.simulator = simulator
+        self.period = period
+        self.callback = callback
+        self.name = name
+        self.jitter_fn = jitter_fn
+        self.priority = priority
+        self.running = False
+        self.invocations = 0
+        self.last_fire_time: Optional[float] = None
+        self.max_observed_interval = 0.0
+        self._timer: Optional[Timer] = None
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._schedule(initial_delay)
+
+    def stop(self) -> None:
+        self.running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule(self, delay: float) -> None:
+        jitter = self.jitter_fn() if self.jitter_fn else 0.0
+        delay = max(0.0, delay + jitter)
+        self._timer = self.simulator.schedule(delay, self._fire, priority=self.priority)
+
+    def _fire(self) -> None:
+        if not self.running:
+            return
+        now = self.simulator.now
+        if self.last_fire_time is not None:
+            interval = now - self.last_fire_time
+            if interval > self.max_observed_interval:
+                self.max_observed_interval = interval
+        self.last_fire_time = now
+        self.invocations += 1
+        self.callback()
+        if self.running:
+            self._schedule(self.period)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run_until(2.0)
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[_Event] = []
+        self._seq = 0
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> Timer:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> Timer:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        event = _Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return Timer(event, self)
+
+    def periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        name: str = "periodic",
+        initial_delay: float = 0.0,
+        jitter_fn: Optional[Callable[[], float]] = None,
+        priority: int = 0,
+    ) -> PeriodicTask:
+        """Create and start a :class:`PeriodicTask`."""
+        task = PeriodicTask(
+            self, period, callback, name=name, jitter_fn=jitter_fn, priority=priority
+        )
+        task.start(initial_delay)
+        return task
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run_until` / :meth:`run` loop."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Process the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until simulated time reaches ``end_time``.
+
+        The clock is advanced to exactly ``end_time`` even if no event is
+        pending there, so back-to-back ``run_until`` calls behave like a
+        continuous timeline.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self._now}"
+            )
+        self._stopped = False
+        while not self._stopped:
+            next_time = self.peek()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        if not self._stopped:
+            self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` is reached)."""
+        self._stopped = False
+        count = 0
+        while not self._stopped and self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,40 @@
+"""Named, seeded random streams.
+
+Every stochastic component (wireless medium, sensor noise, fault injector,
+traffic generator) draws from its own named stream so that changing one
+component's random consumption does not perturb the others — a prerequisite
+for the paired comparisons in the E1–E9 experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of independent, reproducible ``numpy`` generators."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode("utf-8")
+            ).digest()
+            seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(seed)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive a child :class:`RandomStreams` (e.g. one per vehicle)."""
+        digest = hashlib.sha256(f"{self.master_seed}:{name}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[8:16], "little"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RandomStreams(master_seed={self.master_seed}, streams={sorted(self._streams)})"

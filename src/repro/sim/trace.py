@@ -1,0 +1,84 @@
+"""Structured trace recording for experiments.
+
+Components emit :class:`TraceRecord` entries (kind + fields) to a shared
+:class:`TraceRecorder`; the evaluation layer turns recorded traces into the
+metric tables reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    kind: str
+    source: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Collects trace records and offers simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, kind: str, source: str, **fields: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time=time, kind=kind, source=source, fields=fields)
+        self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every new record."""
+        self._listeners.append(listener)
+
+    def by_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of a given kind, in emission order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def by_source(self, source: str) -> List[TraceRecord]:
+        """All records emitted by a given source."""
+        return [r for r in self.records if r.source == source]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        return counts
+
+    def values(self, kind: str, field_name: str) -> List[Any]:
+        """Extract one field from every record of ``kind`` that carries it."""
+        return [r.fields[field_name] for r in self.by_kind(kind) if field_name in r.fields]
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Most recent record of ``kind``, or ``None``."""
+        for rec in reversed(self.records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,55 @@
+"""The paper's automotive and avionic use cases (section VI).
+
+* :mod:`repro.usecases.acc` -- cooperative adaptive cruise control / platooning
+  with LoS-dependent time margins (VI-A.1).
+* :mod:`repro.usecases.intersection` -- intersection crossing with an
+  infrastructure traffic light and a virtual-traffic-light fallback (VI-A.2).
+* :mod:`repro.usecases.lane_change` -- coordinated lane-change manoeuvres
+  (VI-A.3).
+* :mod:`repro.usecases.avionics` -- the three RPV scenarios (VI-B).
+"""
+
+from repro.usecases.acc import (
+    PlatoonScenario,
+    PlatoonConfig,
+    PlatoonResults,
+    ArchitectureVariant,
+    build_acc_los_catalog,
+)
+from repro.usecases.intersection import (
+    IntersectionScenario,
+    IntersectionConfig,
+    IntersectionResults,
+    IntersectionMode,
+)
+from repro.usecases.lane_change import (
+    LaneChangeScenario,
+    LaneChangeConfig,
+    LaneChangeResults,
+)
+from repro.usecases.avionics import (
+    AvionicsScenario,
+    AvionicsConfig,
+    AvionicsResults,
+    AvionicsUseCase,
+)
+
+__all__ = [
+    "PlatoonScenario",
+    "PlatoonConfig",
+    "PlatoonResults",
+    "ArchitectureVariant",
+    "build_acc_los_catalog",
+    "IntersectionScenario",
+    "IntersectionConfig",
+    "IntersectionResults",
+    "IntersectionMode",
+    "LaneChangeScenario",
+    "LaneChangeConfig",
+    "LaneChangeResults",
+    "LaneChangeResults",
+    "AvionicsScenario",
+    "AvionicsConfig",
+    "AvionicsResults",
+    "AvionicsUseCase",
+]

@@ -1,0 +1,647 @@
+"""Cooperative Adaptive Cruise Control / platooning (paper section VI-A.1).
+
+"ACCs allow vehicles to slow when approaching other vehicle and to accelerate
+to their cruising speed when possible. ... The level of service for this use
+case is mainly the needed time margin between vehicles for meeting the safety
+goals.  Higher level of service means a lower time margin between vehicles.
+... the integrity includes health status of sensors both on the actual
+vehicle and the vehicles in front as well as communication channels and
+computing resources."
+
+A platoon of vehicles drives on a highway.  Each follower perceives its
+predecessor through (a) an on-board ranging sensor (abstract sensor with
+validity) and (b) V2V state events received over the wireless network.  Three
+Levels of Service are defined:
+
+===== ====================== ======================= =========================
+rank  name                   controller              conditions (safety rules)
+===== ====================== ======================= =========================
+2     ``cooperative``        CACC, small time gap    fresh + valid ranging,
+                                                      fresh V2V leader state,
+                                                      leader alive (membership)
+1     ``autonomous``         ACC, medium time gap    fresh + valid ranging
+0     ``conservative``       ACC, large time gap     (always safe)
+===== ====================== ======================= =========================
+
+The scenario supports three architecture variants compared in experiment E1:
+
+* ``KARYON`` — the safety kernel selects the LoS at run time;
+* ``ALWAYS_COOPERATIVE`` — no kernel: the follower always trusts V2V data
+  (even stale) and always uses the tight time gap;
+* ``NEVER_COOPERATIVE`` — no kernel: the follower always uses the
+  conservative configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hazard import Controllability, Exposure, Hazard, HazardAnalysis, SafetyGoal, Severity
+from repro.core.kernel import SafetyKernel
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import freshness_within, indicator_true, validity_at_least
+from repro.middleware.broker import EventBroker
+from repro.middleware.qos import QoSSpec
+from repro.network.frames import FrameKind
+from repro.network.medium import InterferenceBurst, MediumConfig, WirelessMedium
+from repro.network.r2t_mac import R2TConfig, R2TMacNode
+from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
+from repro.sensors.detectors import RangeDetector, RateLimitDetector, StuckAtDetector
+from repro.sensors.faults import SensorFault
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.controllers import AccController, CaccController, CruiseController
+from repro.vehicles.vehicle import Vehicle
+from repro.vehicles.world import HighwayWorld
+
+
+class ArchitectureVariant(enum.Enum):
+    """Which architecture controls the follower configuration."""
+
+    KARYON = "karyon"
+    ALWAYS_COOPERATIVE = "always_cooperative"
+    NEVER_COOPERATIVE = "never_cooperative"
+
+
+V2V_SUBJECT = "karyon/vehicle_state"
+
+
+def build_acc_los_catalog(
+    cooperative_gap: float = 0.6,
+    autonomous_gap: float = 1.4,
+    conservative_gap: float = 2.5,
+) -> LoSCatalog:
+    """The three-level LoS catalog for the ACC functionality."""
+    catalog = LoSCatalog("acc")
+    catalog.add(
+        LevelOfService(
+            name="conservative",
+            rank=0,
+            configuration={"time_gap": conservative_gap, "use_v2v": False},
+            cooperative=False,
+            description="large time margin, autonomous perception only",
+        )
+    )
+    catalog.add(
+        LevelOfService(
+            name="autonomous",
+            rank=1,
+            configuration={"time_gap": autonomous_gap, "use_v2v": False},
+            cooperative=False,
+            description="medium time margin using trusted on-board ranging",
+        )
+    )
+    catalog.add(
+        LevelOfService(
+            name="cooperative",
+            rank=2,
+            configuration={"time_gap": cooperative_gap, "use_v2v": True},
+            cooperative=True,
+            description="small time margin using V2V leader state",
+        )
+    )
+    return catalog
+
+
+def build_acc_hazard_analysis() -> HazardAnalysis:
+    """The design-time hazard analysis backing the ACC safety rules."""
+    analysis = HazardAnalysis("acc")
+    rear_end = analysis.add_hazard(
+        Hazard(
+            hazard_id="H-ACC-1",
+            description="rear-end collision due to insufficient time margin",
+            severity=Severity.S3,
+            exposure=Exposure.E4,
+            controllability=Controllability.C3,
+            functionality="acc",
+        )
+    )
+    analysis.add_goal(
+        SafetyGoal.from_hazard(
+            "SG-ACC-1",
+            "maintain a time margin sufficient to stop without collision",
+            rear_end,
+        )
+    )
+    stale_data = analysis.add_hazard(
+        Hazard(
+            hazard_id="H-ACC-2",
+            description="control based on stale or invalid remote data",
+            severity=Severity.S3,
+            exposure=Exposure.E3,
+            controllability=Controllability.C2,
+            functionality="acc",
+        )
+    )
+    analysis.add_goal(
+        SafetyGoal.from_hazard(
+            "SG-ACC-2",
+            "only use cooperative data that is fresh and valid",
+            stale_data,
+        )
+    )
+    return analysis
+
+
+@dataclass
+class LeaderProfile:
+    """Speed profile of the platoon leader: cruise with braking episodes."""
+
+    cruise_speed: float = 28.0
+    braking_episodes: Tuple[Tuple[float, float, float], ...] = ((20.0, 4.0, 12.0),)
+    acceleration_gain: float = 0.6
+
+    def target_speed(self, now: float) -> float:
+        for start, duration, reduced_speed in self.braking_episodes:
+            if start <= now < start + duration:
+                return reduced_speed
+        return self.cruise_speed
+
+    def acceleration(self, now: float, current_speed: float) -> float:
+        error = self.target_speed(now) - current_speed
+        gain = self.acceleration_gain if error >= 0 else 2.0 * self.acceleration_gain
+        return gain * error
+
+
+@dataclass
+class PlatoonConfig:
+    """Scenario parameters."""
+
+    followers: int = 4
+    variant: ArchitectureVariant = ArchitectureVariant.KARYON
+    duration: float = 60.0
+    seed: int = 1
+    initial_spacing: float = 40.0
+    leader_profile: LeaderProfile = field(default_factory=LeaderProfile)
+    cooperative_gap: float = 0.6
+    autonomous_gap: float = 1.4
+    conservative_gap: float = 2.5
+    v2v_period: float = 0.1
+    v2v_max_age: float = 0.4
+    range_max_age: float = 0.4
+    range_min_validity: float = 0.5
+    ranging_period: float = 0.05
+    ranging_noise: float = 0.4
+    kernel_period: float = 0.1
+    world_step: float = 0.05
+    base_loss_probability: float = 0.02
+    #: (start, duration) interference bursts injected on every channel.
+    interference_bursts: Tuple[Tuple[float, float], ...] = ()
+    #: Sensor fault injections: (follower_index, fault, start, end).
+    sensor_faults: Tuple[Tuple[int, SensorFault, float, float], ...] = ()
+    #: Time gap below which a state is counted as hazardous even without impact.
+    hazard_time_gap: float = 0.35
+    use_r2t_mac: bool = True
+
+
+@dataclass
+class PlatoonResults:
+    """Metrics extracted after a scenario run (one row of the E1/E6 tables)."""
+
+    variant: str
+    collisions: int
+    hazardous_states: int
+    min_gap: float
+    min_time_gap: float
+    mean_speed: float
+    mean_time_gap: float
+    throughput: float
+    los_residency: Dict[str, float]
+    downgrades: int
+    max_kernel_cycle_interval: float
+    max_switch_latency: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "variant": self.variant,
+            "collisions": self.collisions,
+            "hazardous_states": self.hazardous_states,
+            "min_time_gap": round(self.min_time_gap, 3),
+            "mean_time_gap": round(self.mean_time_gap, 3),
+            "mean_speed": round(self.mean_speed, 2),
+            "throughput_veh_h": round(self.throughput, 0),
+            "downgrades": self.downgrades,
+            "los_residency": {k: round(v, 2) for k, v in self.los_residency.items()},
+        }
+
+
+@dataclass
+class _LeaderStateSample:
+    """Most recent V2V state received from the predecessor."""
+
+    position: float
+    speed: float
+    acceleration: float
+    timestamp: float
+    validity: float = 1.0
+
+
+class FollowerAgent:
+    """One platoon follower: perception, controllers, safety kernel, enactment."""
+
+    def __init__(
+        self,
+        index: int,
+        vehicle: Vehicle,
+        predecessor: Vehicle,
+        scenario: "PlatoonScenario",
+    ):
+        self.index = index
+        self.vehicle = vehicle
+        self.predecessor = predecessor
+        self.scenario = scenario
+        config = scenario.config
+        streams = scenario.streams.spawn(f"follower{index}")
+
+        # ----------------------------------------------------- perception: ranging
+        truth_gap = lambda _now: self.vehicle.gap_to(self.predecessor)
+        physical = PhysicalSensor(
+            name=f"radar{index}",
+            quantity="range",
+            truth_fn=truth_gap,
+            noise_sigma=config.ranging_noise,
+            rng=streams.stream("radar"),
+        )
+        self.range_sensor = AbstractSensor(
+            physical,
+            detectors=[
+                RangeDetector(low=-5.0, high=500.0),
+                RateLimitDetector(max_rate=80.0),
+                StuckAtDetector(window=10, min_run=4),
+            ],
+        )
+        truth_rel_speed = lambda _now: self.predecessor.speed - self.vehicle.speed
+        physical_speed = PhysicalSensor(
+            name=f"radar_doppler{index}",
+            quantity="relative_speed",
+            truth_fn=truth_rel_speed,
+            noise_sigma=0.2,
+            rng=streams.stream("doppler"),
+        )
+        self.relative_speed_sensor = AbstractSensor(
+            physical_speed,
+            detectors=[RangeDetector(low=-60.0, high=60.0)],
+        )
+        scenario.simulator.periodic(
+            config.ranging_period,
+            self._sample_ranging,
+            name=f"ranging:{vehicle.vehicle_id}",
+        )
+
+        # ----------------------------------------------------------- perception: V2V
+        self.last_v2v: Optional[_LeaderStateSample] = None
+        self.broker: Optional[EventBroker] = scenario.brokers.get(vehicle.vehicle_id)
+        if self.broker is not None:
+            self.broker.subscribe(V2V_SUBJECT, self._on_v2v_event)
+
+        # -------------------------------------------------------------- controllers
+        self.controllers = {
+            "conservative": AccController(
+                time_gap=config.conservative_gap,
+                cruise=CruiseController(target_speed=config.leader_profile.cruise_speed),
+            ),
+            "autonomous": AccController(
+                time_gap=config.autonomous_gap,
+                cruise=CruiseController(target_speed=config.leader_profile.cruise_speed),
+            ),
+            "cooperative": CaccController(
+                acc=AccController(
+                    time_gap=config.cooperative_gap,
+                    cruise=CruiseController(target_speed=config.leader_profile.cruise_speed),
+                )
+            ),
+        }
+        self.active_configuration = {"time_gap": config.conservative_gap, "use_v2v": False}
+        self.active_los_name = "conservative"
+        #: Most recent ranging reading that passed the validity threshold.
+        self._last_trusted_range = None
+        self._last_trusted_rel_speed = None
+
+        # ------------------------------------------------------------ safety kernel
+        self.kernel: Optional[SafetyKernel] = None
+        if config.variant is ArchitectureVariant.KARYON:
+            self.kernel = self._build_kernel()
+        elif config.variant is ArchitectureVariant.ALWAYS_COOPERATIVE:
+            self.active_configuration = {
+                "time_gap": config.cooperative_gap,
+                "use_v2v": True,
+            }
+            self.active_los_name = "cooperative"
+        else:  # NEVER_COOPERATIVE keeps the conservative defaults.
+            pass
+
+    # ------------------------------------------------------------------ kernel
+    def _build_kernel(self) -> SafetyKernel:
+        config = self.scenario.config
+        kernel = SafetyKernel(
+            vehicle_id=self.vehicle.vehicle_id,
+            simulator=self.scenario.simulator,
+            cycle_period=config.kernel_period,
+            trace=self.scenario.trace,
+        )
+        kernel.monitor_sensor("range", self.range_sensor)
+        kernel.monitor_validity("v2v_leader", self._v2v_validity)
+        kernel.monitor_age("v2v_leader", self._v2v_age)
+        kernel.monitor_indicator("leader_alive", self._leader_alive)
+        kernel.add_hazard_analysis(build_acc_hazard_analysis())
+        catalog = build_acc_los_catalog(
+            cooperative_gap=config.cooperative_gap,
+            autonomous_gap=config.autonomous_gap,
+            conservative_gap=config.conservative_gap,
+        )
+        rules_by_rank = {
+            1: [
+                validity_at_least("range", config.range_min_validity, safety_goal="SG-ACC-1"),
+                freshness_within("range", config.range_max_age, safety_goal="SG-ACC-1"),
+            ],
+            2: [
+                freshness_within("v2v_leader", config.v2v_max_age, safety_goal="SG-ACC-2"),
+                validity_at_least("v2v_leader", 0.5, safety_goal="SG-ACC-2"),
+                indicator_true("leader_alive", safety_goal="SG-ACC-2"),
+            ],
+        }
+        kernel.define_functionality(catalog, self._enact_los, rules_by_rank=rules_by_rank)
+        kernel.start(initial_delay=0.01 * (self.index + 1))
+        return kernel
+
+    def _enact_los(self, level: LevelOfService) -> None:
+        self.active_configuration = dict(level.configuration)
+        self.active_los_name = level.name
+
+    # -------------------------------------------------------------- perception
+    def _sample_ranging(self) -> None:
+        now = self.scenario.simulator.now
+        range_reading = self.range_sensor.read(now)
+        speed_reading = self.relative_speed_sensor.read(now)
+        threshold = self.scenario.config.range_min_validity
+        if range_reading is not None and range_reading.validity >= threshold:
+            self._last_trusted_range = range_reading
+        if speed_reading is not None and speed_reading.validity >= threshold:
+            self._last_trusted_rel_speed = speed_reading
+
+    def _on_v2v_event(self, event) -> None:
+        content = event.content or {}
+        if content.get("vehicle_id") != self.predecessor.vehicle_id:
+            return
+        self.last_v2v = _LeaderStateSample(
+            position=float(content.get("position", 0.0)),
+            speed=float(content.get("speed", 0.0)),
+            acceleration=float(content.get("acceleration", 0.0)),
+            timestamp=event.published_at,
+            validity=event.validity,
+        )
+
+    def _v2v_validity(self) -> float:
+        return self.last_v2v.validity if self.last_v2v is not None else 0.0
+
+    def _v2v_age(self) -> float:
+        if self.last_v2v is None:
+            return float("inf")
+        return self.scenario.simulator.now - self.last_v2v.timestamp
+
+    def _leader_alive(self) -> bool:
+        transport = self.scenario.transports.get(self.vehicle.vehicle_id)
+        if transport is None or not hasattr(transport, "alive_members"):
+            return self.last_v2v is not None and self._v2v_age() < self.scenario.config.v2v_max_age
+        return self.predecessor.vehicle_id in transport.alive_members()
+
+    # ----------------------------------------------------------------- control
+    def control(self, now: float) -> float:
+        """Acceleration command for the current LoS/configuration."""
+        use_v2v = bool(self.active_configuration.get("use_v2v", False))
+        time_gap = float(self.active_configuration.get("time_gap", 2.5))
+
+        gap: Optional[float] = None
+        leader_speed: Optional[float] = None
+        leader_acceleration: Optional[float] = None
+
+        reading = self._last_trusted_range
+        if reading is not None and reading.is_fresh(now, 0.5):
+            gap = reading.value
+            speed_reading = self._last_trusted_rel_speed
+            if speed_reading is not None and speed_reading.is_fresh(now, 0.5):
+                leader_speed = self.vehicle.speed + speed_reading.value
+
+        if use_v2v and self.last_v2v is not None:
+            # Cooperative perception: the predecessor state reported over V2V
+            # is dead-reckoned to "now" and replaces the on-board estimate.
+            # With fresh data this is accurate; with stale data (e.g. during a
+            # communication blackout) the dead-reckoned ghost keeps cruising
+            # while the real predecessor may be braking — exactly the hazard
+            # the safety kernel exists to prevent (it rejects stale data and
+            # downgrades the LoS instead).
+            age = now - self.last_v2v.timestamp
+            ghost_position = self.last_v2v.position + self.last_v2v.speed * age
+            gap = ghost_position - self.predecessor.length - self.vehicle.position
+            leader_speed = self.last_v2v.speed
+            leader_acceleration = self.last_v2v.acceleration
+
+        if use_v2v:
+            controller = self.controllers["cooperative"]
+            controller.acc.time_gap = time_gap
+            return controller.acceleration(
+                self.vehicle.speed, gap, leader_speed, leader_acceleration
+            )
+        if gap is None:
+            # No trustworthy perception at all (degraded ranging, no usable
+            # V2V): the safe action is to slow down to a crawl rather than to
+            # cruise blindly behind an unseen predecessor.
+            if self.vehicle.speed > 8.0:
+                return -2.0
+            return 0.4 * (8.0 - self.vehicle.speed)
+        name = "autonomous" if time_gap <= self.scenario.config.autonomous_gap else "conservative"
+        controller = self.controllers[name]
+        controller.time_gap = time_gap
+        return controller.acceleration(self.vehicle.speed, gap, leader_speed)
+
+
+class PlatoonScenario:
+    """Builds and runs one platoon scenario (experiments E1, E6, E9)."""
+
+    def __init__(self, config: Optional[PlatoonConfig] = None):
+        self.config = config or PlatoonConfig()
+        self.streams = RandomStreams(self.config.seed)
+        self.simulator = Simulator()
+        self.trace = TraceRecorder(enabled=True)
+        self.world = HighwayWorld(
+            self.simulator, lanes=1, step_period=self.config.world_step, trace=self.trace
+        )
+        self.medium = WirelessMedium(
+            self.simulator,
+            MediumConfig(base_loss_probability=self.config.base_loss_probability),
+            rng=self.streams.stream("medium"),
+        )
+        self.transports: Dict[str, object] = {}
+        self.brokers: Dict[str, EventBroker] = {}
+        self.followers: List[FollowerAgent] = []
+        self.leader: Optional[Vehicle] = None
+        self._time_gap_samples: List[float] = []
+        self._hazard_sample_count = 0
+        self._build()
+
+    # ------------------------------------------------------------------- build
+    def _build(self) -> None:
+        config = self.config
+        vehicle_count = config.followers + 1
+        vehicles: List[Vehicle] = []
+        for i in range(vehicle_count):
+            vehicle = Vehicle(
+                vehicle_id=f"veh{i}",
+                lane=0,
+            )
+            vehicle.state.position = (vehicle_count - 1 - i) * config.initial_spacing
+            vehicle.state.speed = config.leader_profile.cruise_speed
+            vehicles.append(vehicle)
+        self.leader = vehicles[0]
+
+        # Communication stack per vehicle.
+        for vehicle in vehicles:
+            position_fn = (lambda v=vehicle: v.xy())
+            if config.use_r2t_mac:
+                transport = R2TMacNode(
+                    vehicle.vehicle_id,
+                    self.simulator,
+                    self.medium,
+                    config=R2TConfig(),
+                    rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
+                    position_fn=position_fn,
+                )
+            else:
+                from repro.network.mac_csma import CsmaMacNode
+
+                transport = CsmaMacNode(
+                    vehicle.vehicle_id,
+                    self.simulator,
+                    self.medium,
+                    rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
+                    position_fn=position_fn,
+                )
+            self.transports[vehicle.vehicle_id] = transport
+            broker = EventBroker(vehicle.vehicle_id, self.simulator, transport)
+            broker.announce(V2V_SUBJECT, QoSSpec(rate_hz=1.0 / config.v2v_period, max_latency=None))
+            self.brokers[vehicle.vehicle_id] = broker
+
+        # Leader behaviour: follow the speed profile and broadcast V2V state.
+        self.world.add_vehicle(
+            self.leader,
+            controller=lambda now: config.leader_profile.acceleration(now, self.leader.speed),
+        )
+        self.simulator.periodic(
+            config.v2v_period, self._broadcast_leader_state, name="v2v:leader"
+        )
+
+        # Followers.
+        for i in range(1, vehicle_count):
+            follower = FollowerAgent(
+                index=i, vehicle=vehicles[i], predecessor=vehicles[i - 1], scenario=self
+            )
+            self.followers.append(follower)
+            self.world.add_vehicle(vehicles[i], controller=follower.control)
+            self.simulator.periodic(
+                config.v2v_period,
+                lambda v=vehicles[i]: self._broadcast_vehicle_state(v),
+                name=f"v2v:{vehicles[i].vehicle_id}",
+            )
+
+        # Fault injection: interference bursts on every channel.
+        for start, duration in config.interference_bursts:
+            for channel in range(self.medium.config.channels):
+                self.medium.add_interference(
+                    InterferenceBurst(start=start, duration=duration, channel=channel)
+                )
+        # Fault injection: sensor faults on follower ranging sensors.
+        for follower_index, fault, start, end in config.sensor_faults:
+            if 1 <= follower_index <= len(self.followers):
+                agent = self.followers[follower_index - 1]
+                agent.range_sensor.physical.inject(fault, start, end)
+
+        # Hazard sampling (time-gap monitoring) runs on the world period.
+        self.simulator.periodic(config.world_step, self._sample_hazards, name="hazard-monitor")
+        self.world.start()
+
+    # --------------------------------------------------------------- behaviour
+    def _broadcast_leader_state(self) -> None:
+        self._broadcast_vehicle_state(self.leader)
+
+    def _broadcast_vehicle_state(self, vehicle: Vehicle) -> None:
+        broker = self.brokers.get(vehicle.vehicle_id)
+        if broker is None:
+            return
+        broker.publish(
+            V2V_SUBJECT,
+            content={
+                "vehicle_id": vehicle.vehicle_id,
+                "position": vehicle.position,
+                "speed": vehicle.speed,
+                "acceleration": vehicle.acceleration,
+            },
+            context={"position": vehicle.xy()},
+            quality={"validity": 1.0},
+            kind=FrameKind.SAFETY,
+        )
+
+    def _sample_hazards(self) -> None:
+        for follower in self.followers:
+            time_gap = follower.vehicle.time_gap_to(follower.predecessor)
+            if time_gap != float("inf"):
+                self._time_gap_samples.append(time_gap)
+            if time_gap < self.config.hazard_time_gap:
+                self._hazard_sample_count += 1
+                self.trace.record(
+                    self.simulator.now,
+                    "hazardous_state",
+                    follower.vehicle.vehicle_id,
+                    time_gap=time_gap,
+                )
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> PlatoonResults:
+        """Run the scenario for the configured duration and compute metrics."""
+        self.simulator.run_until(self.config.duration)
+        return self._results()
+
+    def _results(self) -> PlatoonResults:
+        mean_time_gap = (
+            sum(self._time_gap_samples) / len(self._time_gap_samples)
+            if self._time_gap_samples
+            else float("inf")
+        )
+        residency: Dict[str, float] = {}
+        downgrades = 0
+        max_cycle = 0.0
+        max_switch = 0.0
+        kernels = [f.kernel for f in self.followers if f.kernel is not None]
+        if kernels:
+            total_cycles = 0
+            counts: Dict[str, int] = {}
+            for kernel in kernels:
+                for _functionality, by_name in kernel.manager.los_residency().items():
+                    for name, cycles in by_name.items():
+                        counts[name] = counts.get(name, 0) + cycles
+                        total_cycles += cycles
+                downgrades += kernel.manager.downgrades()
+                max_cycle = max(max_cycle, kernel.manager.max_observed_cycle_interval)
+                max_switch = max(max_switch, kernel.manager.max_switch_latency())
+            if total_cycles:
+                residency = {name: count / total_cycles for name, count in counts.items()}
+        else:
+            residency = {self.followers[0].active_los_name if self.followers else "n/a": 1.0}
+        return PlatoonResults(
+            variant=self.config.variant.value,
+            collisions=len(self.world.collisions),
+            hazardous_states=self._hazard_sample_count,
+            min_gap=self.world.min_gap_observed,
+            min_time_gap=self.world.min_time_gap_observed,
+            mean_speed=self.world.mean_speed(),
+            mean_time_gap=mean_time_gap,
+            throughput=self.world.throughput_estimate(),
+            los_residency=residency,
+            downgrades=downgrades,
+            max_kernel_cycle_interval=max_cycle,
+            max_switch_latency=max_switch,
+        )

@@ -1,0 +1,445 @@
+"""Avionic use cases: RPV integration into shared airspace (paper section VI-B).
+
+Three traffic scenarios, each "analogous" to an automotive one:
+
+1. **Common trajectory, same direction** (in-trail) — like ACC: the RPV
+   follows another aircraft on the same track and must keep the longitudinal
+   separation above the separation minima.
+2. **Levelled crossing trajectories** — like an intersection: two aircraft at
+   the same flight level on crossing tracks.
+3. **Coordinated flight-level change** — like a lane change: the RPV climbs
+   through the flight level of another aircraft.
+
+In each scenario the *intruder* may be **collaborative** (broadcasts an
+accurate ADS-B-like position every second) or **non-collaborative** (only a
+coarse, infrequent position estimate is available).  The safety kernel selects
+between a *tight* separation margin (cooperative LoS, allowed only when the
+intruder state is fresh and accurate) and a *conservative* margin (fallback).
+Experiment E8 compares conflicts and mission time with and without the
+kernel, for both traffic types.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.kernel import SafetyKernel
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import freshness_within, validity_at_least
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.aircraft import Aircraft, AirspaceWorld, SeparationMinima
+
+
+class AvionicsUseCase(enum.Enum):
+    IN_TRAIL = "in_trail"
+    CROSSING = "crossing"
+    LEVEL_CHANGE = "level_change"
+
+
+def build_avionics_los_catalog(
+    tight_margin: float = 1.15, conservative_margin: float = 1.8
+) -> LoSCatalog:
+    """Two-level LoS catalog for the RPV separation-assurance functionality."""
+    catalog = LoSCatalog("separation_assurance")
+    catalog.add(
+        LevelOfService(
+            name="conservative",
+            rank=0,
+            configuration={"margin_factor": conservative_margin},
+            cooperative=False,
+            description="large separation margin, coarse intruder knowledge",
+        )
+    )
+    catalog.add(
+        LevelOfService(
+            name="collaborative",
+            rank=1,
+            configuration={"margin_factor": tight_margin},
+            cooperative=True,
+            description="tight separation margin using fresh ADS-B data",
+        )
+    )
+    return catalog
+
+
+@dataclass
+class AvionicsConfig:
+    """Scenario parameters."""
+
+    use_case: AvionicsUseCase = AvionicsUseCase.IN_TRAIL
+    with_safety_kernel: bool = True
+    intruder_collaborative: bool = True
+    duration: float = 600.0
+    seed: int = 3
+    step_period: float = 1.0
+    separation: SeparationMinima = field(default_factory=lambda: SeparationMinima(lateral=5000.0, vertical=300.0))
+    tight_margin: float = 1.05
+    conservative_margin: float = 1.8
+    rpv_speed: float = 130.0
+    intruder_speed: float = 110.0
+    adsb_period: float = 1.0
+    voice_report_period: float = 12.0
+    collaborative_uncertainty: float = 30.0
+    non_collaborative_uncertainty: float = 900.0
+    position_max_age: float = 4.0
+    position_min_validity: float = 0.7
+    kernel_period: float = 1.0
+    #: Target flight level for the level-change use case; the intruder cruises
+    #: at an intermediate level that the RPV has to climb through.
+    target_altitude: float = 2800.0
+    intruder_level: float = 2400.0
+
+
+@dataclass
+class AvionicsResults:
+    """One row of the E8 table."""
+
+    use_case: str
+    with_safety_kernel: bool
+    intruder_collaborative: bool
+    conflicts: int
+    min_horizontal_separation: float
+    min_vertical_separation: float
+    mission_time: float
+    mission_completed: bool
+    los_share_collaborative: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "use_case": self.use_case,
+            "kernel": self.with_safety_kernel,
+            "collaborative_traffic": self.intruder_collaborative,
+            "conflicts": self.conflicts,
+            "min_horizontal_m": round(self.min_horizontal_separation, 0),
+            "mission_time_s": round(self.mission_time, 1),
+            "completed": self.mission_completed,
+            "los_collaborative_share": round(self.los_share_collaborative, 2),
+        }
+
+
+@dataclass
+class _IntruderEstimate:
+    position: Tuple[float, float, float]
+    timestamp: float
+    validity: float
+
+
+class RpvAgent:
+    """The RPV's separation-assurance logic plus (optionally) its safety kernel."""
+
+    def __init__(self, rpv: Aircraft, intruder: Aircraft, scenario: "AvionicsScenario"):
+        self.rpv = rpv
+        self.intruder = intruder
+        self.scenario = scenario
+        config = scenario.config
+        self.estimate: Optional[_IntruderEstimate] = None
+        self.margin_factor = config.conservative_margin
+        self.active_los_name = "conservative"
+        self.mission_completed_at: Optional[float] = None
+        self._level_change_started = False
+        self.kernel: Optional[SafetyKernel] = None
+        if config.with_safety_kernel:
+            self.kernel = self._build_kernel()
+        else:
+            # Without the kernel the RPV always flies the tight margin based on
+            # whatever intruder estimate it has — the unsafe baseline.
+            self.margin_factor = config.tight_margin
+            self.active_los_name = "collaborative"
+
+    # ------------------------------------------------------------------ kernel
+    def _build_kernel(self) -> SafetyKernel:
+        config = self.scenario.config
+        kernel = SafetyKernel(
+            vehicle_id=self.rpv.aircraft_id,
+            simulator=self.scenario.simulator,
+            cycle_period=config.kernel_period,
+            trace=self.scenario.trace,
+        )
+        kernel.monitor_validity("intruder_position", self._estimate_validity)
+        kernel.monitor_age("intruder_position", self._estimate_age)
+        catalog = build_avionics_los_catalog(config.tight_margin, config.conservative_margin)
+        rules = {
+            1: [
+                validity_at_least("intruder_position", config.position_min_validity),
+                freshness_within("intruder_position", config.position_max_age),
+            ]
+        }
+        kernel.define_functionality(catalog, self._enact_los, rules_by_rank=rules)
+        kernel.start()
+        return kernel
+
+    def _enact_los(self, level: LevelOfService) -> None:
+        self.margin_factor = float(level.setting("margin_factor", self.scenario.config.conservative_margin))
+        self.active_los_name = level.name
+
+    def _estimate_validity(self) -> float:
+        return self.estimate.validity if self.estimate is not None else 0.0
+
+    def _estimate_age(self) -> float:
+        if self.estimate is None:
+            return float("inf")
+        return self.scenario.simulator.now - self.estimate.timestamp
+
+    # -------------------------------------------------------------- perception
+    def receive_position_report(self, position: Tuple[float, float, float], validity: float) -> None:
+        self.estimate = _IntruderEstimate(
+            position=position, timestamp=self.scenario.simulator.now, validity=validity
+        )
+
+    def _required_horizontal(self) -> float:
+        return self.scenario.config.separation.lateral * self.margin_factor
+
+    def _required_vertical(self) -> float:
+        return self.scenario.config.separation.vertical * self.margin_factor
+
+    def _estimated_intruder_position(self) -> Optional[Tuple[float, float, float]]:
+        return self.estimate.position if self.estimate is not None else None
+
+    # ----------------------------------------------------------------- control
+    def control(self, now: float) -> None:
+        use_case = self.scenario.config.use_case
+        if use_case is AvionicsUseCase.IN_TRAIL:
+            self._control_in_trail(now)
+        elif use_case is AvionicsUseCase.CROSSING:
+            self._control_crossing(now)
+        else:
+            self._control_level_change(now)
+
+    def _control_in_trail(self, now: float) -> None:
+        config = self.scenario.config
+        estimate = self._estimated_intruder_position()
+        required = self._required_horizontal()
+        if estimate is None:
+            # No knowledge at all: fly a strongly reduced speed.
+            self.rpv.set_speed(config.intruder_speed * 0.8)
+        else:
+            distance = math.hypot(
+                estimate[0] - self.rpv.position[0], estimate[1] - self.rpv.position[1]
+            )
+            if distance <= required:
+                self.rpv.set_speed(max(60.0, config.intruder_speed - 10.0))
+            elif distance <= 1.15 * required:
+                self.rpv.set_speed(config.intruder_speed)
+            else:
+                self.rpv.set_speed(config.rpv_speed)
+        if self.mission_completed_at is None and now >= config.duration * 0.8:
+            # Mission = complete the common-trajectory leg without conflict.
+            self.mission_completed_at = now
+
+    def _control_crossing(self, now: float) -> None:
+        config = self.scenario.config
+        estimate = self._estimated_intruder_position()
+        required = self._required_horizontal()
+        if estimate is not None:
+            # Temporal deconfliction at the crossing point: compare the two
+            # estimated times of arrival at the trajectory intersection and
+            # keep them apart by enough to preserve the lateral separation.
+            # The decision has hysteresis (resume only when the predicted miss
+            # is comfortably larger than required) so the speed command does
+            # not oscillate around the threshold.
+            # The prediction always assumes the nominal cruise speed so the
+            # decision does not oscillate with the speed command itself.
+            distance_to_crossing = math.hypot(self.rpv.position[0], self.rpv.position[1])
+            own_eta_nominal = distance_to_crossing / max(config.rpv_speed, 1.0)
+            intruder_eta = self._intruder_eta_to_point(estimate, (0.0, 0.0))
+            predicted_miss = abs(own_eta_nominal - intruder_eta) * config.intruder_speed
+            intruder_passed = estimate[1] > 0.2 * required
+            if intruder_passed:
+                self._crossing_slowed = False
+                self.rpv.set_speed(config.rpv_speed)
+            elif getattr(self, "_crossing_slowed", False):
+                # Hold the reduced speed until the intruder has actually
+                # cleared the crossing point.
+                self.rpv.set_speed(max(70.0, config.rpv_speed * 0.6))
+            elif predicted_miss < required:
+                self._crossing_slowed = True
+                self.rpv.set_speed(max(70.0, config.rpv_speed * 0.6))
+            else:
+                self.rpv.set_speed(config.rpv_speed)
+        else:
+            self.rpv.set_speed(config.rpv_speed * 0.7)
+        if self.mission_completed_at is None and self.rpv.position[0] > 10000.0:
+            self.mission_completed_at = now
+
+    def _control_level_change(self, now: float) -> None:
+        config = self.scenario.config
+        estimate = self._estimated_intruder_position()
+        required = self._required_horizontal()
+        if not self._level_change_started:
+            clear = False
+            if estimate is not None:
+                dx = estimate[0] - self.rpv.position[0]
+                horizontal = math.hypot(dx, estimate[1] - self.rpv.position[1])
+                climb_rate = 8.0
+                full_climb_time = max(
+                    0.0, (config.target_altitude - self.rpv.altitude) / climb_rate
+                )
+                closing_speed = self.rpv.speed + config.intruder_speed
+                if dx < -required:
+                    # The intruder has passed behind by more than the required
+                    # separation: by the time the RPV reaches the intruder's
+                    # vertical band the gap will only have grown further.
+                    clear = True
+                elif horizontal - closing_speed * full_climb_time > required:
+                    # Far enough away to complete the entire climb before the
+                    # intruder can get close, even in the worst case.
+                    clear = True
+            if clear:
+                self.rpv.climb_to(config.target_altitude, rate=8.0)
+                self._level_change_started = True
+        if (
+            self.mission_completed_at is None
+            and self._level_change_started
+            and self.rpv.vertical_profile is not None
+            and self.rpv.vertical_profile.reached(self.rpv.altitude)
+        ):
+            self.mission_completed_at = now
+
+    def _eta_to_point(self, point: Tuple[float, float]) -> float:
+        distance = math.hypot(point[0] - self.rpv.position[0], point[1] - self.rpv.position[1])
+        return distance / max(self.rpv.speed, 1.0)
+
+    def _intruder_eta_to_point(
+        self, estimate: Tuple[float, float, float], point: Tuple[float, float]
+    ) -> float:
+        distance = math.hypot(point[0] - estimate[0], point[1] - estimate[1])
+        return distance / max(self.scenario.config.intruder_speed, 1.0)
+
+
+class AvionicsScenario:
+    """Builds and runs one avionic scenario (experiment E8)."""
+
+    def __init__(self, config: Optional[AvionicsConfig] = None):
+        self.config = config or AvionicsConfig()
+        self.streams = RandomStreams(self.config.seed)
+        self.simulator = Simulator()
+        self.trace = TraceRecorder(enabled=True)
+        self.world = AirspaceWorld(self.simulator, step_period=self.config.step_period, trace=self.trace)
+        self.rpv: Optional[Aircraft] = None
+        self.intruder: Optional[Aircraft] = None
+        self.agent: Optional[RpvAgent] = None
+        self._los_samples: List[str] = []
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        separation = config.separation
+        if config.use_case is AvionicsUseCase.IN_TRAIL:
+            intruder = Aircraft(
+                "intruder",
+                position=(9000.0, 0.0, 2100.0),
+                speed=config.intruder_speed,
+                heading=0.0,
+                collaborative=config.intruder_collaborative,
+                position_uncertainty=(
+                    config.collaborative_uncertainty
+                    if config.intruder_collaborative
+                    else config.non_collaborative_uncertainty
+                ),
+                separation=separation,
+            )
+            rpv = Aircraft(
+                "rpv",
+                position=(0.0, 0.0, 2100.0),
+                speed=config.rpv_speed,
+                heading=0.0,
+                separation=separation,
+                is_rpv=True,
+            )
+        elif config.use_case is AvionicsUseCase.CROSSING:
+            intruder = Aircraft(
+                "intruder",
+                position=(0.0, -18000.0, 2100.0),
+                speed=config.intruder_speed,
+                heading=math.pi / 2.0,
+                collaborative=config.intruder_collaborative,
+                position_uncertainty=(
+                    config.collaborative_uncertainty
+                    if config.intruder_collaborative
+                    else config.non_collaborative_uncertainty
+                ),
+                separation=separation,
+            )
+            rpv = Aircraft(
+                "rpv",
+                position=(-20000.0, 0.0, 2100.0),
+                speed=config.rpv_speed,
+                heading=0.0,
+                separation=separation,
+                is_rpv=True,
+            )
+        else:  # LEVEL_CHANGE
+            intruder = Aircraft(
+                "intruder",
+                position=(14000.0, 0.0, config.intruder_level),
+                speed=config.intruder_speed,
+                heading=math.pi,
+                collaborative=config.intruder_collaborative,
+                position_uncertainty=(
+                    config.collaborative_uncertainty
+                    if config.intruder_collaborative
+                    else config.non_collaborative_uncertainty
+                ),
+                separation=separation,
+            )
+            rpv = Aircraft(
+                "rpv",
+                position=(0.0, 0.0, 2000.0),
+                speed=config.rpv_speed,
+                heading=0.0,
+                separation=separation,
+                is_rpv=True,
+            )
+        self.rpv = rpv
+        self.intruder = intruder
+        self.agent = RpvAgent(rpv, intruder, self)
+        self.world.add_aircraft(intruder)
+        self.world.add_aircraft(rpv, controller=self.agent.control)
+
+        self.world.start()
+        report_period = (
+            config.adsb_period if config.intruder_collaborative else config.voice_report_period
+        )
+        validity = 1.0 if config.intruder_collaborative else 0.4
+        rng = self.streams.stream("position-reports")
+        self.simulator.periodic(
+            report_period,
+            lambda: self.agent.receive_position_report(
+                self.intruder.reported_position(rng), validity
+            ),
+            name="intruder-position-reports",
+        )
+        self.simulator.periodic(config.kernel_period, self._sample_los, name="los-sampler")
+
+    def _sample_los(self) -> None:
+        if self.agent is not None:
+            self._los_samples.append(self.agent.active_los_name)
+
+    def run(self) -> AvionicsResults:
+        self.simulator.run_until(self.config.duration)
+        mission_time = (
+            self.agent.mission_completed_at
+            if self.agent.mission_completed_at is not None
+            else self.config.duration
+        )
+        collaborative_share = (
+            sum(1 for name in self._los_samples if name == "collaborative") / len(self._los_samples)
+            if self._los_samples
+            else 0.0
+        )
+        return AvionicsResults(
+            use_case=self.config.use_case.value,
+            with_safety_kernel=self.config.with_safety_kernel,
+            intruder_collaborative=self.config.intruder_collaborative,
+            conflicts=len(self.world.conflicts),
+            min_horizontal_separation=self.world.min_horizontal_separation,
+            min_vertical_separation=self.world.min_vertical_separation,
+            mission_time=mission_time,
+            mission_completed=self.agent.mission_completed_at is not None,
+            los_share_collaborative=collaborative_share,
+        )

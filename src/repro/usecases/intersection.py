@@ -1,0 +1,478 @@
+"""Intersection crossing with ITS traffic lights and a virtual-traffic-light fallback.
+
+Paper section VI-A.2: "Future traffic light systems will periodically
+broadcast I-am-alive messages to the arriving vehicles.  The arriving
+vehicles will monitor the reception of the I-am-alive messages.  When the
+traffic light system is in an inoperative mode, the vehicles will switch to
+the use of a backup system: a virtual traffic light that relies on
+vehicle-to-vehicle communications for coordinating the intersection
+crossing."
+
+The scenario crosses two single-lane approaches (``NS`` and ``EW``) at the
+origin.  Experiment E7 compares:
+
+* ``INFRASTRUCTURE`` — the road-side light stays healthy;
+* ``VTL_FALLBACK`` — the light crashes mid-run and vehicles fall back to a
+  virtual traffic light emulated on a region-bound virtual node;
+* ``UNCOORDINATED`` — the light crashes and vehicles cross after a courtesy
+  stop without any coordination (the hazard baseline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cooperation.failure_detector import HeartbeatFailureDetector
+from repro.cooperation.virtual_node import (
+    VirtualNodeHost,
+    VirtualNodeRegion,
+    VirtualStationaryNode,
+)
+from repro.middleware.broker import EventBroker
+from repro.network.frames import FrameKind
+from repro.network.medium import MediumConfig, WirelessMedium
+from repro.network.r2t_mac import R2TMacNode
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.kinematics import clamp
+
+LIGHT_SUBJECT = "karyon/traffic_light"
+VTL_SUBJECT = "karyon/virtual_traffic_light"
+BEACON_SUBJECT = "karyon/intersection_beacon"
+
+APPROACHES = ("NS", "EW")
+
+
+class IntersectionMode(enum.Enum):
+    INFRASTRUCTURE = "infrastructure"
+    VTL_FALLBACK = "vtl_fallback"
+    UNCOORDINATED = "uncoordinated"
+
+
+@dataclass
+class IntersectionConfig:
+    """Scenario parameters."""
+
+    mode: IntersectionMode = IntersectionMode.INFRASTRUCTURE
+    vehicles_per_approach: int = 6
+    duration: float = 120.0
+    seed: int = 7
+    approach_length: float = 250.0
+    box_length: float = 12.0
+    vehicle_spacing: float = 12.0
+    approach_speed: float = 12.0
+    max_acceleration: float = 2.5
+    max_deceleration: float = 5.0
+    green_duration: float = 8.0
+    clearance_duration: float = 3.0
+    light_period: float = 0.5
+    light_timeout: float = 2.0
+    light_failure_time: Optional[float] = None
+    courtesy_wait: float = 2.0
+    step_period: float = 0.1
+    base_loss_probability: float = 0.02
+
+
+@dataclass
+class IntersectionResults:
+    """One row of the E7 table."""
+
+    mode: str
+    crossed: int
+    conflicts: int
+    throughput: float
+    mean_delay: float
+    vtl_activations: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "crossed": self.crossed,
+            "conflicts": self.conflicts,
+            "throughput_veh_h": round(self.throughput, 0),
+            "mean_delay_s": round(self.mean_delay, 2),
+            "vtl_activations": self.vtl_activations,
+        }
+
+
+#: Phase sequence shared by the infrastructure light and the virtual light:
+#: each green phase is followed by an all-red clearance interval so the box
+#: can empty before the crossing direction is released.
+_PHASE_CYCLE = ("NS", "NONE", "EW", "NONE")
+
+
+def _next_phase(phase_index: int) -> int:
+    return (phase_index + 1) % len(_PHASE_CYCLE)
+
+
+def _vtl_initial_state() -> dict:
+    return {"phase_index": 0, "remaining": 8.0}
+
+
+def _vtl_transition(state: dict, command) -> Tuple[dict, dict]:
+    """Virtual-traffic-light state machine: green / clearance phase cycling."""
+    if isinstance(command, dict) and command.get("op") == "tick":
+        dt = float(command.get("dt", 1.0))
+        green = float(command.get("green_duration", 8.0))
+        clearance = float(command.get("clearance", 3.0))
+        phase_index = int(state.get("phase_index", 0))
+        remaining = float(state.get("remaining", green)) - dt
+        if remaining <= 0:
+            phase_index = _next_phase(phase_index)
+            remaining = green if _PHASE_CYCLE[phase_index] in APPROACHES else clearance
+        new_state = {"phase_index": phase_index, "remaining": remaining}
+        return new_state, {"phase": _PHASE_CYCLE[phase_index]}
+    return dict(state), {"phase": _PHASE_CYCLE[int(state.get("phase_index", 0))]}
+
+
+@dataclass
+class _IntersectionVehicle:
+    """A vehicle on one approach (1-D motion toward and through the box)."""
+
+    vehicle_id: str
+    approach: str
+    position: float          # metres; 0 is the stop line, box is [0, box_length]
+    speed: float
+    arrived_at_line: Optional[float] = None
+    crossed_at: Optional[float] = None
+    spawned_at: float = 0.0
+    committed: bool = False
+    waiting_since: Optional[float] = None
+
+
+class TrafficLightController:
+    """The road-side infrastructure light: phase cycling + I-am-alive beacons."""
+
+    def __init__(self, scenario: "IntersectionScenario"):
+        self.scenario = scenario
+        self.failed = False
+        self._phase_index = 0
+        self._phase_started = 0.0
+        self.beacons_sent = 0
+
+    @property
+    def phase(self) -> str:
+        return _PHASE_CYCLE[self._phase_index]
+
+    def _phase_duration(self) -> float:
+        config = self.scenario.config
+        return config.green_duration if self.phase in APPROACHES else config.clearance_duration
+
+    def fail(self) -> None:
+        """Inject the light failure (it stops broadcasting)."""
+        self.failed = True
+
+    def tick(self) -> None:
+        if self.failed:
+            return
+        now = self.scenario.simulator.now
+        if now - self._phase_started >= self._phase_duration():
+            self._phase_index = _next_phase(self._phase_index)
+            self._phase_started = now
+        self.beacons_sent += 1
+        self.scenario.light_broker.publish(
+            LIGHT_SUBJECT,
+            content={"phase": self.phase, "alive": True},
+            kind=FrameKind.SAFETY,
+        )
+
+
+class IntersectionScenario:
+    """Builds and runs one intersection-crossing scenario (experiment E7)."""
+
+    def __init__(self, config: Optional[IntersectionConfig] = None):
+        self.config = config or IntersectionConfig()
+        self.streams = RandomStreams(self.config.seed)
+        self.simulator = Simulator()
+        self.trace = TraceRecorder(enabled=True)
+        self.medium = WirelessMedium(
+            self.simulator,
+            MediumConfig(base_loss_probability=self.config.base_loss_probability,
+                         communication_range=600.0),
+            rng=self.streams.stream("medium"),
+        )
+        self.vehicles: List[_IntersectionVehicle] = []
+        self.brokers: Dict[str, EventBroker] = {}
+        self.vn_hosts: Dict[str, VirtualNodeHost] = {}
+        self._light_state: Dict[str, Tuple[str, float]] = {}
+        self._vtl_state: Dict[str, Tuple[str, float]] = {}
+        self.conflicts = 0
+        self._conflict_pairs: Set[Tuple[str, str]] = set()
+        self.vtl_activations = 0
+        self._build()
+
+    # ------------------------------------------------------------------- build
+    def _build(self) -> None:
+        config = self.config
+        # Infrastructure light node at the intersection.
+        light_mac = R2TMacNode(
+            "traffic_light",
+            self.simulator,
+            self.medium,
+            rng=self.streams.stream("mac:light"),
+            position_fn=lambda: (0.0, 0.0),
+        )
+        self.light_broker = EventBroker("traffic_light", self.simulator, light_mac)
+        self.light_broker.announce(LIGHT_SUBJECT)
+        self.light = TrafficLightController(self)
+        self.simulator.periodic(config.light_period, self.light.tick, name="traffic-light")
+        if config.light_failure_time is not None:
+            self.simulator.schedule(config.light_failure_time, self.light.fail)
+
+        # Virtual node region covering the intersection neighbourhood.
+        region = VirtualNodeRegion("intersection", -150.0, -150.0, 150.0, 150.0)
+        vtl_node = VirtualStationaryNode(region, _vtl_initial_state, _vtl_transition)
+
+        # Vehicles on both approaches.
+        for approach_index, approach in enumerate(APPROACHES):
+            for i in range(config.vehicles_per_approach):
+                vehicle_id = f"{approach.lower()}{i}"
+                vehicle = _IntersectionVehicle(
+                    vehicle_id=vehicle_id,
+                    approach=approach,
+                    position=-(config.approach_length - i * 0.0) + (-i * config.vehicle_spacing),
+                    speed=config.approach_speed,
+                )
+                vehicle.position = -config.approach_length - i * config.vehicle_spacing
+                self.vehicles.append(vehicle)
+                mac = R2TMacNode(
+                    vehicle_id,
+                    self.simulator,
+                    self.medium,
+                    rng=self.streams.stream(f"mac:{vehicle_id}"),
+                    position_fn=(lambda v=vehicle: self._xy(v)),
+                )
+                broker = EventBroker(vehicle_id, self.simulator, mac)
+                broker.announce(BEACON_SUBJECT)
+                broker.announce(VTL_SUBJECT)
+                broker.subscribe(LIGHT_SUBJECT, lambda event, vid=vehicle_id: self._on_light(vid, event))
+                broker.subscribe(VTL_SUBJECT, lambda event, vid=vehicle_id: self._on_vtl(vid, event))
+                self.brokers[vehicle_id] = broker
+                host = VirtualNodeHost(
+                    vehicle_id,
+                    broadcast=(lambda message, b=broker: b.publish(VTL_SUBJECT, content=message)),
+                    nodes=[vtl_node],
+                )
+                self.vn_hosts[vehicle_id] = host
+                broker.subscribe(
+                    VTL_SUBJECT,
+                    lambda event, h=host: h.on_message(event.content)
+                    if isinstance(event.content, dict)
+                    else None,
+                )
+
+        self.simulator.periodic(0.5, self._broadcast_beacons, name="vehicle-beacons")
+        self.simulator.periodic(1.0, self._vtl_tick, name="vtl-tick")
+        self.simulator.periodic(config.step_period, self._step, name="intersection-step")
+
+    # ---------------------------------------------------------------- geometry
+    def _xy(self, vehicle: _IntersectionVehicle) -> Tuple[float, float]:
+        if vehicle.approach == "NS":
+            return (0.0, vehicle.position)
+        return (vehicle.position, 0.0)
+
+    # ----------------------------------------------------------------- beacons
+    def _broadcast_beacons(self) -> None:
+        for vehicle in self.vehicles:
+            broker = self.brokers[vehicle.vehicle_id]
+            position = self._xy(vehicle)
+            broker.publish(
+                BEACON_SUBJECT,
+                content={"vehicle_id": vehicle.vehicle_id, "position": position},
+                context={"position": position},
+            )
+        # Every vehicle also feeds peer positions into its virtual-node host.
+        for vehicle_id, host in self.vn_hosts.items():
+            vehicle = self._vehicle(vehicle_id)
+            host.update_position(self._xy(vehicle))
+            for other in self.vehicles:
+                if other.vehicle_id != vehicle_id and other.crossed_at is None:
+                    host.observe_peer(other.vehicle_id, self._xy(other))
+                elif other.crossed_at is not None:
+                    host.forget_peer(other.vehicle_id)
+
+    def _on_light(self, vehicle_id: str, event) -> None:
+        content = event.content or {}
+        self._light_state[vehicle_id] = (content.get("phase", "NS"), event.published_at)
+
+    def _on_vtl(self, vehicle_id: str, event) -> None:
+        content = event.content or {}
+        if isinstance(content, dict) and content.get("type") == "vn_state":
+            state = content.get("state", {})
+            phase_index = int(state.get("phase_index", 0))
+            self._vtl_state[vehicle_id] = (_PHASE_CYCLE[phase_index], event.published_at)
+
+    def _vtl_tick(self) -> None:
+        """The virtual-node leader advances the virtual light's state machine."""
+        if self.config.mode is not IntersectionMode.VTL_FALLBACK:
+            return
+        now = self.simulator.now
+        for vehicle_id, host in self.vn_hosts.items():
+            if not self._light_is_alive(vehicle_id, now):
+                if host.is_leader("intersection"):
+                    output = host.submit(
+                        "intersection",
+                        {
+                            "op": "tick",
+                            "dt": 1.0,
+                            "green_duration": self.config.green_duration,
+                            "clearance": self.config.clearance_duration,
+                        },
+                    )
+                    if output is not None:
+                        self.vtl_activations += 1
+
+    # -------------------------------------------------------------- vehicle law
+    def _light_is_alive(self, vehicle_id: str, now: float) -> bool:
+        state = self._light_state.get(vehicle_id)
+        return state is not None and (now - state[1]) <= self.config.light_timeout
+
+    def _may_cross(self, vehicle: _IntersectionVehicle, now: float) -> bool:
+        """Crossing permission according to the active coordination source."""
+        if vehicle.committed:
+            return True
+        if self._light_is_alive(vehicle.vehicle_id, now):
+            phase, _ = self._light_state[vehicle.vehicle_id]
+            return phase == vehicle.approach
+        if self.config.mode is IntersectionMode.VTL_FALLBACK:
+            vtl = self._vtl_state.get(vehicle.vehicle_id)
+            if vtl is not None and (now - vtl[1]) <= 3.0:
+                return vtl[0] == vehicle.approach
+            return False
+        if self.config.mode is IntersectionMode.UNCOORDINATED:
+            # Blinking-orange behaviour: the driver proceeds when the box
+            # *looks* empty from the approach, or after a courtesy stop.  The
+            # look-and-go check only sees vehicles already inside the box, not
+            # vehicles about to commit from the crossing direction — which is
+            # precisely why uncoordinated crossing produces conflicts.
+            if -vehicle.position <= 30.0 and not self._box_occupied_by_other_approach(vehicle):
+                return True
+            if vehicle.waiting_since is None:
+                return False
+            return (now - vehicle.waiting_since) >= self.config.courtesy_wait
+        return False
+
+    def _box_occupied_by_other_approach(self, vehicle: _IntersectionVehicle) -> bool:
+        for other in self.vehicles:
+            if other.approach == vehicle.approach:
+                continue
+            if 0.0 <= other.position <= self.config.box_length:
+                return True
+        return False
+
+    def _leader_gap(self, vehicle: _IntersectionVehicle) -> float:
+        """Distance to the nearest vehicle ahead on the same approach.
+
+        Vehicles that have already cleared the intersection keep driving away;
+        once they are well past the box they no longer constrain the queue.
+        """
+        best = float("inf")
+        for other in self.vehicles:
+            if other.approach != vehicle.approach or other is vehicle:
+                continue
+            if other.position > vehicle.position and other.position < self.config.box_length + 40.0:
+                best = min(best, other.position - vehicle.position - 5.0)
+        return best
+
+    def _step(self) -> None:
+        now = self.simulator.now
+        config = self.config
+        dt = config.step_period
+        for vehicle in self.vehicles:
+            if vehicle.crossed_at is not None:
+                # Cleared vehicles keep driving away from the intersection so
+                # they neither block the queue nor re-enter the conflict box.
+                vehicle.speed = clamp(
+                    vehicle.speed + config.max_acceleration * dt, 0.0, config.approach_speed
+                )
+                vehicle.position += vehicle.speed * dt
+                continue
+            distance_to_line = -vehicle.position
+            may_cross = self._may_cross(vehicle, now)
+            gap = self._leader_gap(vehicle)
+
+            if vehicle.position >= 0.0:
+                vehicle.committed = True
+
+            target_speed = config.approach_speed
+            must_stop = False
+            if not vehicle.committed and not may_cross and distance_to_line < 60.0:
+                must_stop = True
+            if gap < 8.0:
+                must_stop = True
+
+            if must_stop:
+                stop_distance = max(0.5, min(distance_to_line - 1.0, gap - 4.0))
+                if stop_distance <= 2.0 or vehicle.speed ** 2 > 2 * config.max_deceleration * stop_distance:
+                    acceleration = -config.max_deceleration
+                else:
+                    acceleration = -(vehicle.speed ** 2) / (2 * max(stop_distance, 0.5))
+            else:
+                acceleration = clamp(
+                    0.8 * (target_speed - vehicle.speed),
+                    -config.max_deceleration,
+                    config.max_acceleration,
+                )
+            vehicle.speed = clamp(vehicle.speed + acceleration * dt, 0.0, target_speed)
+            vehicle.position += vehicle.speed * dt
+
+            if vehicle.arrived_at_line is None and distance_to_line <= 20.0:
+                vehicle.arrived_at_line = now
+            if vehicle.speed < 0.3 and not vehicle.committed and distance_to_line < 10.0:
+                if vehicle.waiting_since is None:
+                    vehicle.waiting_since = now
+            if vehicle.position > config.box_length:
+                vehicle.crossed_at = now
+        self._check_conflicts(now)
+
+    def _check_conflicts(self, now: float) -> None:
+        inside = {
+            approach: [
+                v for v in self.vehicles
+                if v.approach == approach and 0.0 <= v.position <= self.config.box_length
+            ]
+            for approach in APPROACHES
+        }
+        for ns_vehicle in inside["NS"]:
+            for ew_vehicle in inside["EW"]:
+                pair = (ns_vehicle.vehicle_id, ew_vehicle.vehicle_id)
+                if pair not in self._conflict_pairs:
+                    self._conflict_pairs.add(pair)
+                    self.conflicts += 1
+                    self.trace.record(
+                        now, "intersection_conflict", "intersection",
+                        ns=ns_vehicle.vehicle_id, ew=ew_vehicle.vehicle_id,
+                    )
+
+    # --------------------------------------------------------------------- run
+    def _vehicle(self, vehicle_id: str) -> _IntersectionVehicle:
+        for vehicle in self.vehicles:
+            if vehicle.vehicle_id == vehicle_id:
+                return vehicle
+        raise KeyError(vehicle_id)
+
+    def run(self) -> IntersectionResults:
+        self.simulator.run_until(self.config.duration)
+        crossed = [v for v in self.vehicles if v.crossed_at is not None]
+        delays = []
+        for vehicle in crossed:
+            # Delay relative to free-flow travel from spawn to the end of the box.
+            free_flow = (
+                self.config.approach_length
+                + abs(vehicle.spawned_at) * 0.0
+                + self.config.box_length
+            ) / self.config.approach_speed
+            delays.append(max(0.0, (vehicle.crossed_at - vehicle.spawned_at) - free_flow))
+        mean_delay = sum(delays) / len(delays) if delays else 0.0
+        throughput = len(crossed) / self.config.duration * 3600.0
+        return IntersectionResults(
+            mode=self.config.mode.value,
+            crossed=len(crossed),
+            conflicts=self.conflicts,
+            throughput=throughput,
+            mean_delay=mean_delay,
+            vtl_activations=self.vtl_activations,
+        )

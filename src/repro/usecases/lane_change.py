@@ -1,0 +1,294 @@
+"""Coordinated lane-change manoeuvres on highways (paper section VI-A.3).
+
+"The idea here i[s] to provide a distributed mechanism for assuring that at
+any time and any region there is at most one vehicle that is changing its
+lane and that the nearby vehicles allow it to safely complete the manoeuvre."
+
+Vehicles cruise on a two-lane highway; a subset of them request a lane change
+at scheduled times.  With coordination enabled, each requester runs the
+manoeuvre-agreement protocol with the vehicles in its region and only starts
+the manoeuvre after a commit; without coordination every requester simply
+starts changing when it wants to.  The safety property checked is the paper's
+"at most one changer per region at any time" plus lateral near-miss distance
+in the target lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cooperation.agreement import AgreementOutcome, ManeuverAgreement, ManeuverProposal
+from repro.middleware.broker import EventBroker
+from repro.middleware.qos import QoSSpec
+from repro.network.medium import MediumConfig, WirelessMedium
+from repro.network.r2t_mac import R2TMacNode
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.controllers import AccController, CruiseController
+from repro.vehicles.vehicle import Vehicle
+from repro.vehicles.world import HighwayWorld
+
+COORDINATION_SUBJECT = "karyon/lane_change"
+
+
+@dataclass
+class LaneChangeConfig:
+    """Scenario parameters."""
+
+    vehicles: int = 8
+    #: Vehicle indices that request a lane change, with the request time.
+    requests: Tuple[Tuple[int, float], ...] = ((1, 5.0), (3, 5.2), (5, 5.4))
+    coordinated: bool = True
+    duration: float = 40.0
+    seed: int = 11
+    initial_spacing: float = 30.0
+    cruise_speed: float = 25.0
+    region_length: float = 200.0
+    neighbourhood_radius: float = 80.0
+    maneuver_duration: float = 3.0
+    agreement_timeout: float = 1.0
+    lateral_conflict_gap: float = 8.0
+    world_step: float = 0.05
+    retry_period: float = 2.0
+
+
+@dataclass
+class LaneChangeResults:
+    """One row of the lane-change safety/throughput table."""
+
+    coordinated: bool
+    completed_changes: int
+    simultaneous_violations: int
+    lateral_conflicts: int
+    aborted_proposals: int
+    mean_wait: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "coordinated": self.coordinated,
+            "completed_changes": self.completed_changes,
+            "simultaneous_violations": self.simultaneous_violations,
+            "lateral_conflicts": self.lateral_conflicts,
+            "aborted_proposals": self.aborted_proposals,
+            "mean_wait_s": round(self.mean_wait, 2),
+        }
+
+
+class LaneChangeAgent:
+    """Per-vehicle lane-change coordination logic."""
+
+    def __init__(self, vehicle: Vehicle, scenario: "LaneChangeScenario"):
+        self.vehicle = vehicle
+        self.scenario = scenario
+        self.broker = scenario.brokers[vehicle.vehicle_id]
+        self.agreement = ManeuverAgreement(
+            own_id=vehicle.vehicle_id,
+            simulator=scenario.simulator,
+            send=self._send,
+            lease_duration=scenario.config.maneuver_duration + 2.0,
+            exclusive_lock=True,
+        )
+        self.broker.subscribe(COORDINATION_SUBJECT, self._on_event)
+        self.wants_change_at: Optional[float] = None
+        self.change_requested_at: Optional[float] = None
+        self.change_started_at: Optional[float] = None
+        self.change_completed_at: Optional[float] = None
+        self.active_proposal: Optional[ManeuverProposal] = None
+        self.controller = AccController(
+            time_gap=1.4, cruise=CruiseController(target_speed=scenario.config.cruise_speed)
+        )
+
+    # --------------------------------------------------------------- messaging
+    def _send(self, destination: Optional[str], message: dict) -> None:
+        payload = dict(message)
+        payload["to"] = destination
+        payload["from"] = self.vehicle.vehicle_id
+        self.broker.publish(COORDINATION_SUBJECT, content=payload)
+
+    def _on_event(self, event) -> None:
+        content = event.content or {}
+        if not isinstance(content, dict):
+            return
+        destination = content.get("to")
+        if destination is not None and destination != self.vehicle.vehicle_id:
+            return
+        if content.get("from") == self.vehicle.vehicle_id:
+            return
+        self.agreement.on_message(content, sender=content.get("from"))
+
+    # ------------------------------------------------------------------ control
+    def region(self) -> str:
+        return f"region_{int(self.vehicle.position // self.scenario.config.region_length)}"
+
+    def control(self, now: float) -> float:
+        leader = self.scenario.world.leader_of(self.vehicle.vehicle_id)
+        gap = self.vehicle.gap_to(leader) if leader is not None else None
+        leader_speed = leader.speed if leader is not None else None
+        return self.controller.acceleration(self.vehicle.speed, gap, leader_speed)
+
+    # -------------------------------------------------------------- lane change
+    def request_change(self, now: float) -> None:
+        if self.change_requested_at is None:
+            self.change_requested_at = now
+        if not self.scenario.config.coordinated:
+            self._start_change(now)
+            return
+        if self.active_proposal is not None or self.vehicle.changing_lane:
+            return
+        participants = {
+            other.vehicle_id
+            for other in self.scenario.world.vehicles_within(
+                self.vehicle.vehicle_id, self.scenario.config.neighbourhood_radius
+            )
+        }
+        self.active_proposal = self.agreement.propose(
+            maneuver="lane_change",
+            region=self.region(),
+            participants=participants,
+            timeout=self.scenario.config.agreement_timeout,
+            on_decision=self._on_decision,
+        )
+
+    def _on_decision(self, proposal: ManeuverProposal) -> None:
+        now = self.scenario.simulator.now
+        self.active_proposal = None
+        if proposal.outcome is AgreementOutcome.COMMITTED:
+            self._start_change(now, proposal)
+        else:
+            # Retry after a back-off unless the scenario is about to end.
+            self.scenario.simulator.schedule(
+                self.scenario.config.retry_period, lambda: self.request_change(self.scenario.simulator.now)
+            )
+
+    def _start_change(self, now: float, proposal: Optional[ManeuverProposal] = None) -> None:
+        if self.vehicle.changing_lane or self.change_completed_at is not None:
+            return
+        target_lane = 1 if self.vehicle.lane == 0 else 0
+        self.vehicle.begin_lane_change(target_lane, now, self.scenario.config.maneuver_duration)
+        self.change_started_at = now
+        completion_delay = self.scenario.config.maneuver_duration + 0.01
+        self.scenario.simulator.schedule(
+            completion_delay, lambda: self._finish_change(proposal)
+        )
+
+    def _finish_change(self, proposal: Optional[ManeuverProposal]) -> None:
+        self.change_completed_at = self.scenario.simulator.now
+        if proposal is not None:
+            self.agreement.complete(proposal)
+
+
+class LaneChangeScenario:
+    """Builds and runs one coordinated-lane-change scenario."""
+
+    def __init__(self, config: Optional[LaneChangeConfig] = None):
+        self.config = config or LaneChangeConfig()
+        self.streams = RandomStreams(self.config.seed)
+        self.simulator = Simulator()
+        self.trace = TraceRecorder(enabled=True)
+        self.world = HighwayWorld(
+            self.simulator, lanes=2, step_period=self.config.world_step, trace=self.trace
+        )
+        self.medium = WirelessMedium(
+            self.simulator,
+            MediumConfig(communication_range=400.0),
+            rng=self.streams.stream("medium"),
+        )
+        self.brokers: Dict[str, EventBroker] = {}
+        self.agents: Dict[str, LaneChangeAgent] = {}
+        self.simultaneous_violations = 0
+        self.lateral_conflicts = 0
+        self._conflict_pairs: Set[Tuple[str, str]] = set()
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        for i in range(config.vehicles):
+            vehicle = Vehicle(vehicle_id=f"veh{i}", lane=0)
+            vehicle.state.position = (config.vehicles - i) * config.initial_spacing
+            vehicle.state.speed = config.cruise_speed
+            mac = R2TMacNode(
+                vehicle.vehicle_id,
+                self.simulator,
+                self.medium,
+                rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
+                position_fn=(lambda v=vehicle: v.xy()),
+            )
+            broker = EventBroker(vehicle.vehicle_id, self.simulator, mac)
+            broker.announce(COORDINATION_SUBJECT, QoSSpec(rate_hz=20.0))
+            self.brokers[vehicle.vehicle_id] = broker
+            agent = LaneChangeAgent(vehicle, self)
+            self.agents[vehicle.vehicle_id] = agent
+            self.world.add_vehicle(vehicle, controller=agent.control)
+        for index, request_time in config.requests:
+            vehicle_id = f"veh{index}"
+            if vehicle_id in self.agents:
+                self.simulator.schedule(
+                    request_time,
+                    lambda vid=vehicle_id: self.agents[vid].request_change(self.simulator.now),
+                )
+        self.simulator.periodic(config.world_step, self._monitor, name="lane-change-monitor")
+        self.world.start()
+
+    # ----------------------------------------------------------------- monitor
+    def _monitor(self) -> None:
+        now = self.simulator.now
+        # Safety property 1: at most one changer per region at any time.  A
+        # "region" is the requester's neighbourhood: two vehicles changing
+        # lanes simultaneously while within ``region_length`` of each other
+        # violate the property.
+        changers = [agent for agent in self.agents.values() if agent.vehicle.changing_lane]
+        for i, first in enumerate(changers):
+            for second in changers[i + 1:]:
+                distance = abs(first.vehicle.position - second.vehicle.position)
+                if distance <= self.config.region_length:
+                    self.simultaneous_violations += 1
+                    self.trace.record(
+                        now,
+                        "simultaneous_lane_change",
+                        "lane-change",
+                        vehicles=[first.vehicle.vehicle_id, second.vehicle.vehicle_id],
+                        distance=distance,
+                    )
+        # Safety property 2: no near miss in the target lane while changing.
+        for agent in self.agents.values():
+            if not agent.vehicle.changing_lane:
+                continue
+            target_lane = 1 if agent.vehicle.lane == 0 else 0
+            for other in self.world.vehicles.values():
+                if other.vehicle_id == agent.vehicle.vehicle_id:
+                    continue
+                if other.lane != target_lane and not other.changing_lane:
+                    continue
+                if abs(other.position - agent.vehicle.position) < self.config.lateral_conflict_gap:
+                    pair = tuple(sorted((agent.vehicle.vehicle_id, other.vehicle_id)))
+                    if pair not in self._conflict_pairs:
+                        self._conflict_pairs.add(pair)
+                        self.lateral_conflicts += 1
+                        self.trace.record(
+                            now, "lateral_conflict", "lane-change",
+                            first=pair[0], second=pair[1],
+                        )
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> LaneChangeResults:
+        self.simulator.run_until(self.config.duration)
+        completed = sum(
+            1 for agent in self.agents.values() if agent.change_completed_at is not None
+        )
+        aborted = sum(len(agent.agreement.aborted) for agent in self.agents.values())
+        waits = [
+            agent.change_started_at - agent.change_requested_at
+            for agent in self.agents.values()
+            if agent.change_started_at is not None and agent.change_requested_at is not None
+        ]
+        mean_wait = sum(waits) / len(waits) if waits else 0.0
+        return LaneChangeResults(
+            coordinated=self.config.coordinated,
+            completed_changes=completed,
+            simultaneous_violations=self.simultaneous_violations,
+            lateral_conflicts=self.lateral_conflicts,
+            aborted_proposals=aborted,
+            mean_wait=mean_wait,
+        )

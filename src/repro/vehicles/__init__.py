@@ -1,0 +1,35 @@
+"""Vehicle and airspace substrate.
+
+Kinematic models for road vehicles and aircraft, longitudinal controllers
+(ACC / CACC / cruise), a highway world with lanes and neighbour queries, and
+an airspace with separation-minima bookkeeping (paper Figs 6-7).
+"""
+
+from repro.vehicles.kinematics import LongitudinalState, clamp
+from repro.vehicles.controllers import (
+    AccController,
+    CaccController,
+    CruiseController,
+    EmergencyBrake,
+    VerticalProfile,
+)
+from repro.vehicles.vehicle import Vehicle
+from repro.vehicles.world import HighwayWorld, CollisionEvent
+from repro.vehicles.aircraft import Aircraft, SeparationMinima, AirspaceWorld, ConflictEvent
+
+__all__ = [
+    "LongitudinalState",
+    "clamp",
+    "AccController",
+    "CaccController",
+    "CruiseController",
+    "EmergencyBrake",
+    "VerticalProfile",
+    "Vehicle",
+    "HighwayWorld",
+    "CollisionEvent",
+    "Aircraft",
+    "SeparationMinima",
+    "AirspaceWorld",
+    "ConflictEvent",
+]

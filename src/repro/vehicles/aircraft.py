@@ -1,0 +1,212 @@
+"""Aerial vehicles, separation minima and the airspace world (paper Figs 6-7).
+
+"A 'safety state' for an aerial vehicle can be considered as a spatial volume
+around the vehicle where the possibility of entrance of other objects is
+minimal ... Usually this spatial volume is described in terms of a vertical
+and a lateral distance, called 'separation minima'" (section VI-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.controllers import VerticalProfile
+from repro.vehicles.kinematics import clamp
+
+
+@dataclass(frozen=True)
+class SeparationMinima:
+    """The protected volume around an aircraft (Fig 7)."""
+
+    lateral: float = 9260.0     # 5 NM in metres
+    vertical: float = 300.0     # ~1000 ft in metres
+
+    def violated_by(
+        self,
+        own_position: Tuple[float, float, float],
+        other_position: Tuple[float, float, float],
+    ) -> bool:
+        """Whether the other position intrudes into the protected volume."""
+        horizontal = math.hypot(
+            other_position[0] - own_position[0], other_position[1] - own_position[1]
+        )
+        vertical = abs(other_position[2] - own_position[2])
+        return horizontal < self.lateral and vertical < self.vertical
+
+
+@dataclass
+class Aircraft:
+    """A (possibly remotely piloted) aerial vehicle with simple point-mass motion.
+
+    ``collaborative`` marks whether the aircraft broadcasts its (accurate,
+    ADS-B-like) position; non-collaborative intruders only expose a degraded
+    position estimate (section VI-B: "A non-collaborative vehicle ... has a
+    much less accurate estimative of its actual position").
+    """
+
+    aircraft_id: str
+    position: Tuple[float, float, float] = (0.0, 0.0, 1000.0)
+    speed: float = 120.0
+    heading: float = 0.0           # radians, in the horizontal plane
+    vertical_speed: float = 0.0
+    collaborative: bool = True
+    position_uncertainty: float = 0.0
+    max_speed: float = 250.0
+    vertical_profile: Optional[VerticalProfile] = None
+    separation: SeparationMinima = field(default_factory=SeparationMinima)
+    is_rpv: bool = False
+
+    @property
+    def altitude(self) -> float:
+        return self.position[2]
+
+    def set_heading_towards(self, waypoint: Tuple[float, float]) -> None:
+        self.heading = math.atan2(waypoint[1] - self.position[1], waypoint[0] - self.position[0])
+
+    def set_speed(self, speed: float) -> None:
+        self.speed = clamp(speed, 0.0, self.max_speed)
+
+    def climb_to(self, altitude: float, rate: float = 10.0) -> None:
+        self.vertical_profile = VerticalProfile(target_altitude=altitude, climb_rate=rate)
+
+    def step(self, dt: float) -> None:
+        """Integrate one time step of horizontal and vertical motion."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.vertical_profile is not None:
+            self.vertical_speed = self.vertical_profile.vertical_speed(self.altitude)
+        x, y, z = self.position
+        x += self.speed * math.cos(self.heading) * dt
+        y += self.speed * math.sin(self.heading) * dt
+        z += self.vertical_speed * dt
+        self.position = (x, y, max(0.0, z))
+
+    def horizontal_distance_to(self, other: "Aircraft") -> float:
+        return math.hypot(
+            other.position[0] - self.position[0], other.position[1] - self.position[1]
+        )
+
+    def vertical_distance_to(self, other: "Aircraft") -> float:
+        return abs(other.position[2] - self.position[2])
+
+    def in_conflict_with(self, other: "Aircraft") -> bool:
+        """Air-traffic conflict: the other aircraft intrudes into the safe volume."""
+        return self.separation.violated_by(self.position, other.position)
+
+    def reported_position(self, rng=None) -> Tuple[float, float, float]:
+        """Position as observable by others (degraded for non-collaborative traffic)."""
+        if self.collaborative or self.position_uncertainty <= 0 or rng is None:
+            return self.position
+        x, y, z = self.position
+        return (
+            x + float(rng.normal(0.0, self.position_uncertainty)),
+            y + float(rng.normal(0.0, self.position_uncertainty)),
+            z + float(rng.normal(0.0, self.position_uncertainty / 3.0)),
+        )
+
+
+@dataclass
+class ConflictEvent:
+    """A recorded separation-minima violation between two aircraft."""
+
+    time: float
+    first: str
+    second: str
+    horizontal_distance: float
+    vertical_distance: float
+
+
+class AirspaceWorld:
+    """A shared airspace stepping all aircraft and recording conflicts."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        step_period: float = 0.5,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.simulator = simulator
+        self.step_period = step_period
+        self.trace = trace or TraceRecorder(enabled=True)
+        self.aircraft: Dict[str, Aircraft] = {}
+        self.conflicts: List[ConflictEvent] = []
+        self.min_horizontal_separation = float("inf")
+        self.min_vertical_separation = float("inf")
+        self._controllers: Dict[str, Callable[[float], None]] = {}
+        self._conflict_pairs: set = set()
+        self._task = None
+        self.steps = 0
+
+    def add_aircraft(
+        self, aircraft: Aircraft, controller: Optional[Callable[[float], None]] = None
+    ) -> Aircraft:
+        """Add an aircraft; ``controller(now)`` may adjust speed/heading/profile."""
+        if aircraft.aircraft_id in self.aircraft:
+            raise ValueError(f"aircraft {aircraft.aircraft_id!r} already in airspace")
+        self.aircraft[aircraft.aircraft_id] = aircraft
+        if controller is not None:
+            self._controllers[aircraft.aircraft_id] = controller
+        return aircraft
+
+    def set_controller(self, aircraft_id: str, controller: Callable[[float], None]) -> None:
+        self._controllers[aircraft_id] = controller
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self.simulator.periodic(self.step_period, self._step, name="airspace")
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # --------------------------------------------------------------- internals
+    def _step(self) -> None:
+        now = self.simulator.now
+        self.steps += 1
+        for aircraft_id, controller in self._controllers.items():
+            if aircraft_id in self.aircraft:
+                controller(now)
+        for aircraft in self.aircraft.values():
+            aircraft.step(self.step_period)
+        self._check_conflicts(now)
+
+    def _check_conflicts(self, now: float) -> None:
+        ids = sorted(self.aircraft)
+        for i, first_id in enumerate(ids):
+            first = self.aircraft[first_id]
+            for second_id in ids[i + 1:]:
+                second = self.aircraft[second_id]
+                horizontal = first.horizontal_distance_to(second)
+                vertical = first.vertical_distance_to(second)
+                # Track the tightest approach only while the pair is at a
+                # comparable altitude (otherwise horizontal distance is moot).
+                if vertical < first.separation.vertical:
+                    self.min_horizontal_separation = min(self.min_horizontal_separation, horizontal)
+                if horizontal < first.separation.lateral:
+                    self.min_vertical_separation = min(self.min_vertical_separation, vertical)
+                if first.in_conflict_with(second):
+                    pair = (first_id, second_id)
+                    if pair not in self._conflict_pairs:
+                        self._conflict_pairs.add(pair)
+                        event = ConflictEvent(
+                            time=now,
+                            first=first_id,
+                            second=second_id,
+                            horizontal_distance=horizontal,
+                            vertical_distance=vertical,
+                        )
+                        self.conflicts.append(event)
+                        self.trace.record(
+                            now,
+                            "air_conflict",
+                            "airspace",
+                            first=first_id,
+                            second=second_id,
+                            horizontal=horizontal,
+                            vertical=vertical,
+                        )

@@ -1,0 +1,137 @@
+"""Longitudinal controllers and vertical profiles.
+
+* :class:`CruiseController` — plain speed regulation (the non-cooperative
+  fallback when no vehicle is ahead or no ranging data is trusted).
+* :class:`AccController` — constant-time-gap adaptive cruise control using
+  on-board ranging only (autonomous perception).
+* :class:`CaccController` — cooperative ACC additionally using the
+  predecessor's V2V-reported acceleration, enabling a smaller time gap (the
+  higher LoS of use case VI-A.1).
+* :class:`EmergencyBrake` — maximum braking, the fail-safe action.
+* :class:`VerticalProfile` — climb/descent speed command for aircraft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vehicles.kinematics import clamp
+
+
+@dataclass
+class CruiseController:
+    """Proportional speed regulation toward a target speed."""
+
+    target_speed: float = 30.0
+    gain: float = 0.5
+
+    def acceleration(self, current_speed: float) -> float:
+        return self.gain * (self.target_speed - current_speed)
+
+
+@dataclass
+class AccController:
+    """Constant-time-gap ACC law.
+
+    ``a = k_gap * (gap - standstill - v * time_gap) + k_speed * relative_speed``
+
+    The time gap is the LoS-controlled safety parameter: the safety kernel
+    enacts a larger time gap when the LoS degrades.
+    """
+
+    time_gap: float = 1.4
+    standstill_distance: float = 5.0
+    k_gap: float = 0.45
+    k_speed: float = 0.9
+    cruise: CruiseController = None
+    #: While closing a large gap the follower may exceed the cruise speed by
+    #: this factor (it cannot close the gap at all otherwise).
+    catch_up_factor: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.time_gap <= 0:
+            raise ValueError("time_gap must be positive")
+        if self.cruise is None:
+            self.cruise = CruiseController()
+
+    def desired_gap(self, speed: float) -> float:
+        return self.standstill_distance + self.time_gap * speed
+
+    def acceleration(
+        self,
+        speed: float,
+        gap: Optional[float],
+        leader_speed: Optional[float],
+    ) -> float:
+        """Acceleration command given the measured gap and leader speed.
+
+        With no leader information the controller falls back to cruising.
+        """
+        if gap is None or leader_speed is None:
+            return self.cruise.acceleration(speed)
+        gap_error = gap - self.desired_gap(speed)
+        relative_speed = leader_speed - speed
+        following = self.k_gap * gap_error + self.k_speed * relative_speed
+        # Do not chase the leader faster than the catch-up speed allows.
+        catch_up_limit = self.cruise.gain * (
+            self.cruise.target_speed * self.catch_up_factor - speed
+        )
+        return min(following, catch_up_limit)
+
+
+@dataclass
+class CaccController:
+    """Cooperative ACC: ACC plus a feed-forward term from V2V leader acceleration."""
+
+    acc: AccController = None
+    feedforward_gain: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.acc is None:
+            self.acc = AccController(time_gap=0.6)
+
+    @property
+    def time_gap(self) -> float:
+        return self.acc.time_gap
+
+    def acceleration(
+        self,
+        speed: float,
+        gap: Optional[float],
+        leader_speed: Optional[float],
+        leader_acceleration: Optional[float],
+    ) -> float:
+        base = self.acc.acceleration(speed, gap, leader_speed)
+        if leader_acceleration is None:
+            return base
+        return base + self.feedforward_gain * leader_acceleration
+
+
+@dataclass
+class EmergencyBrake:
+    """Fail-safe maximal braking."""
+
+    deceleration: float = 8.0
+
+    def acceleration(self) -> float:
+        return -abs(self.deceleration)
+
+
+@dataclass
+class VerticalProfile:
+    """Climb/descent command toward a target altitude with a bounded rate."""
+
+    target_altitude: float
+    climb_rate: float = 10.0
+    tolerance: float = 5.0
+
+    def vertical_speed(self, altitude: float) -> float:
+        """Commanded vertical speed at the current altitude."""
+        error = self.target_altitude - altitude
+        if abs(error) <= self.tolerance:
+            return 0.0
+        return clamp(error, -self.climb_rate, self.climb_rate)
+
+    def reached(self, altitude: float) -> bool:
+        return abs(self.target_altitude - altitude) <= self.tolerance

@@ -1,0 +1,56 @@
+"""Longitudinal kinematics shared by road vehicles and (per-axis) aircraft."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"invalid clamp bounds: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+@dataclass
+class LongitudinalState:
+    """Position / speed / acceleration along a path, with physical limits."""
+
+    position: float = 0.0
+    speed: float = 0.0
+    acceleration: float = 0.0
+    max_speed: float = 45.0
+    min_acceleration: float = -8.0
+    max_acceleration: float = 3.0
+
+    def apply(self, commanded_acceleration: float) -> float:
+        """Set the acceleration, clipped to the actuator limits."""
+        self.acceleration = clamp(
+            commanded_acceleration, self.min_acceleration, self.max_acceleration
+        )
+        return self.acceleration
+
+    def step(self, dt: float) -> None:
+        """Integrate one time step (semi-implicit Euler, speed clipped to [0, max])."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.speed = clamp(self.speed + self.acceleration * dt, 0.0, self.max_speed)
+        self.position += self.speed * dt
+
+    def stopping_distance(self, reaction_time: float = 0.0, deceleration: float = None) -> float:
+        """Distance needed to stop from the current speed.
+
+        ``deceleration`` defaults to the maximum braking capability.
+        """
+        deceleration = abs(self.min_acceleration) if deceleration is None else abs(deceleration)
+        if deceleration <= 0:
+            raise ValueError("deceleration must be positive")
+        return self.speed * reaction_time + (self.speed ** 2) / (2.0 * deceleration)
+
+    def time_to_reach(self, distance: float) -> float:
+        """Time to travel ``distance`` at the current speed (inf when stopped)."""
+        if distance <= 0:
+            return 0.0
+        if self.speed <= 0:
+            return float("inf")
+        return distance / self.speed

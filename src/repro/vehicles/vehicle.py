@@ -1,0 +1,93 @@
+"""Road vehicle model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.vehicles.kinematics import LongitudinalState
+
+
+@dataclass
+class Vehicle:
+    """A road vehicle moving along a (possibly multi-lane) highway.
+
+    The vehicle is purely kinematic: a controller (ACC/CACC/cruise, selected
+    by the use case according to the current LoS) commands an acceleration,
+    and :meth:`step` integrates the motion.  Lane changes are modelled as a
+    discrete lane switch after a fixed manoeuvre duration, which is all the
+    coordinated-lane-change use case needs.
+    """
+
+    vehicle_id: str
+    state: LongitudinalState = field(default_factory=LongitudinalState)
+    lane: int = 0
+    length: float = 4.5
+    lane_width: float = 3.5
+    #: Lane-change bookkeeping: target lane and completion time, or None.
+    _lane_change_target: Optional[int] = None
+    _lane_change_completes_at: Optional[float] = None
+    lane_changes_completed: int = 0
+
+    # ------------------------------------------------------------------ motion
+    @property
+    def position(self) -> float:
+        """Longitudinal position (metres along the road)."""
+        return self.state.position
+
+    @property
+    def speed(self) -> float:
+        return self.state.speed
+
+    @property
+    def acceleration(self) -> float:
+        return self.state.acceleration
+
+    def xy(self) -> Tuple[float, float]:
+        """2-D position used by the wireless medium (lane mapped to y)."""
+        return (self.state.position, self.lane * self.lane_width)
+
+    def apply_control(self, acceleration: float) -> float:
+        return self.state.apply(acceleration)
+
+    def step(self, dt: float, now: Optional[float] = None) -> None:
+        """Integrate one step and complete a pending lane change if due."""
+        self.state.step(dt)
+        if (
+            self._lane_change_target is not None
+            and now is not None
+            and self._lane_change_completes_at is not None
+            and now >= self._lane_change_completes_at
+        ):
+            self.lane = self._lane_change_target
+            self._lane_change_target = None
+            self._lane_change_completes_at = None
+            self.lane_changes_completed += 1
+
+    # ------------------------------------------------------------- lane change
+    @property
+    def changing_lane(self) -> bool:
+        return self._lane_change_target is not None
+
+    def begin_lane_change(self, target_lane: int, now: float, duration: float = 3.0) -> None:
+        """Start a lane change completing ``duration`` seconds from ``now``."""
+        if target_lane == self.lane:
+            return
+        self._lane_change_target = target_lane
+        self._lane_change_completes_at = now + duration
+
+    def abort_lane_change(self) -> None:
+        self._lane_change_target = None
+        self._lane_change_completes_at = None
+
+    # ----------------------------------------------------------------- queries
+    def gap_to(self, leader: "Vehicle") -> float:
+        """Bumper-to-bumper gap to a leading vehicle (negative means overlap)."""
+        return leader.position - leader.length - self.position
+
+    def time_gap_to(self, leader: "Vehicle") -> float:
+        """Time gap (headway) to the leader at the current speed."""
+        gap = self.gap_to(leader)
+        if self.speed <= 0:
+            return float("inf")
+        return gap / self.speed

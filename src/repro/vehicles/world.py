@@ -1,0 +1,201 @@
+"""Highway world: the shared road environment for the automotive use cases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.vehicles.vehicle import Vehicle
+
+
+@dataclass
+class CollisionEvent:
+    """A recorded collision (or near-collision) between two vehicles."""
+
+    time: float
+    follower: str
+    leader: str
+    gap: float
+    lane: int
+
+
+class HighwayWorld:
+    """A multi-lane highway hosting :class:`Vehicle` instances.
+
+    The world advances every vehicle on a common period, invokes per-vehicle
+    control callbacks before integration, and records safety-relevant events
+    (minimum gaps, collisions).  The E1/E6 experiments read their safety and
+    performance metrics from the world's trace.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        lanes: int = 1,
+        step_period: float = 0.05,
+        trace: Optional[TraceRecorder] = None,
+        collision_gap: float = 0.0,
+    ):
+        if lanes < 1:
+            raise ValueError("at least one lane is required")
+        self.simulator = simulator
+        self.lanes = lanes
+        self.step_period = step_period
+        self.trace = trace or TraceRecorder(enabled=True)
+        self.collision_gap = collision_gap
+        self.vehicles: Dict[str, Vehicle] = {}
+        self.collisions: List[CollisionEvent] = []
+        self.min_gap_observed: float = float("inf")
+        self.min_time_gap_observed: float = float("inf")
+        self._controllers: Dict[str, Callable[[float], float]] = {}
+        self._collided_pairs: set = set()
+        self._task = None
+        self.steps = 0
+
+    # ------------------------------------------------------------------ set-up
+    def add_vehicle(
+        self,
+        vehicle: Vehicle,
+        controller: Optional[Callable[[float], float]] = None,
+    ) -> Vehicle:
+        """Add a vehicle; ``controller(now) -> acceleration`` is optional."""
+        if vehicle.vehicle_id in self.vehicles:
+            raise ValueError(f"vehicle {vehicle.vehicle_id!r} already in world")
+        self.vehicles[vehicle.vehicle_id] = vehicle
+        if controller is not None:
+            self._controllers[vehicle.vehicle_id] = controller
+        return vehicle
+
+    def set_controller(self, vehicle_id: str, controller: Callable[[float], float]) -> None:
+        self._controllers[vehicle_id] = controller
+
+    def start(self) -> None:
+        """Start the periodic world step."""
+        if self._task is None:
+            self._task = self.simulator.periodic(
+                self.step_period, self._step, name="highway-world"
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ----------------------------------------------------------------- queries
+    def vehicle(self, vehicle_id: str) -> Vehicle:
+        return self.vehicles[vehicle_id]
+
+    def leader_of(self, vehicle_id: str) -> Optional[Vehicle]:
+        """The nearest vehicle ahead in the same lane, or ``None``."""
+        me = self.vehicles[vehicle_id]
+        best: Optional[Vehicle] = None
+        for other in self.vehicles.values():
+            if other.vehicle_id == vehicle_id or other.lane != me.lane:
+                continue
+            if other.position <= me.position:
+                continue
+            if best is None or other.position < best.position:
+                best = other
+        return best
+
+    def vehicles_in_lane(self, lane: int) -> List[Vehicle]:
+        """Vehicles in a lane ordered front (largest position) to back."""
+        return sorted(
+            (v for v in self.vehicles.values() if v.lane == lane),
+            key=lambda v: -v.position,
+        )
+
+    def vehicles_within(self, vehicle_id: str, radius: float) -> List[Vehicle]:
+        """Vehicles within ``radius`` metres (any lane), excluding the vehicle itself."""
+        me = self.vehicles[vehicle_id]
+        nearby = []
+        for other in self.vehicles.values():
+            if other.vehicle_id == vehicle_id:
+                continue
+            if abs(other.position - me.position) <= radius:
+                nearby.append(other)
+        return nearby
+
+    def lane_is_clear(self, vehicle_id: str, lane: int, front_margin: float, rear_margin: float) -> bool:
+        """Whether a vehicle could occupy ``lane`` with the given safety margins."""
+        me = self.vehicles[vehicle_id]
+        for other in self.vehicles.values():
+            if other.vehicle_id == vehicle_id or other.lane != lane:
+                continue
+            delta = other.position - me.position
+            if -rear_margin <= delta <= front_margin:
+                return False
+        return True
+
+    # ----------------------------------------------------------------- metrics
+    def mean_speed(self) -> float:
+        if not self.vehicles:
+            return 0.0
+        return sum(v.speed for v in self.vehicles.values()) / len(self.vehicles)
+
+    def throughput_estimate(self) -> float:
+        """Vehicles per hour per lane estimated from mean speed and mean spacing."""
+        per_lane: List[float] = []
+        for lane in range(self.lanes):
+            ordered = self.vehicles_in_lane(lane)
+            if len(ordered) < 2:
+                continue
+            spacings = [
+                ordered[i].position - ordered[i + 1].position
+                for i in range(len(ordered) - 1)
+            ]
+            mean_spacing = sum(spacings) / len(spacings)
+            if mean_spacing <= 0:
+                continue
+            mean_speed = sum(v.speed for v in ordered) / len(ordered)
+            per_lane.append(3600.0 * mean_speed / mean_spacing)
+        if not per_lane:
+            return 0.0
+        return sum(per_lane) / len(per_lane)
+
+    # --------------------------------------------------------------- internals
+    def _step(self) -> None:
+        now = self.simulator.now
+        self.steps += 1
+        for vehicle_id, controller in self._controllers.items():
+            vehicle = self.vehicles.get(vehicle_id)
+            if vehicle is None:
+                continue
+            vehicle.apply_control(controller(now))
+        for vehicle in self.vehicles.values():
+            vehicle.step(self.step_period, now=now)
+        self._check_safety(now)
+
+    def _check_safety(self, now: float) -> None:
+        for lane in range(self.lanes):
+            ordered = self.vehicles_in_lane(lane)
+            for i in range(len(ordered) - 1):
+                leader = ordered[i]
+                follower = ordered[i + 1]
+                gap = follower.gap_to(leader)
+                time_gap = follower.time_gap_to(leader)
+                self.min_gap_observed = min(self.min_gap_observed, gap)
+                self.min_time_gap_observed = min(self.min_time_gap_observed, time_gap)
+                if gap <= self.collision_gap:
+                    pair = (follower.vehicle_id, leader.vehicle_id)
+                    if pair not in self._collided_pairs:
+                        self._collided_pairs.add(pair)
+                        event = CollisionEvent(
+                            time=now,
+                            follower=follower.vehicle_id,
+                            leader=leader.vehicle_id,
+                            gap=gap,
+                            lane=lane,
+                        )
+                        self.collisions.append(event)
+                        self.trace.record(
+                            now,
+                            "collision",
+                            "highway-world",
+                            follower=follower.vehicle_id,
+                            leader=leader.vehicle_id,
+                            gap=gap,
+                            lane=lane,
+                        )

@@ -1,0 +1,330 @@
+"""Tests for failure detection, membership, agreement, virtual nodes and topology."""
+
+import networkx as nx
+import pytest
+
+from repro.cooperation.agreement import AgreementOutcome, ManeuverAgreement, RegionLock
+from repro.cooperation.failure_detector import HeartbeatFailureDetector, PeerStatus
+from repro.cooperation.membership import CooperativeGroup
+from repro.cooperation.topology import (
+    TopologyDiscovery,
+    byzantine_delivery_possible,
+    deliver_with_disjoint_paths,
+    vertex_disjoint_paths,
+)
+from repro.cooperation.virtual_node import (
+    VirtualNodeHost,
+    VirtualNodeRegion,
+    VirtualStationaryNode,
+    plane_tiling,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestHeartbeatFailureDetector:
+    def test_unknown_peer(self):
+        detector = HeartbeatFailureDetector(suspect_timeout=0.3)
+        assert detector.status("x", 0.0) is PeerStatus.UNKNOWN
+
+    def test_alive_then_suspected_then_failed(self):
+        detector = HeartbeatFailureDetector(suspect_timeout=0.3, fail_timeout=1.0)
+        detector.heartbeat("x", 0.0)
+        assert detector.status("x", 0.2) is PeerStatus.ALIVE
+        assert detector.status("x", 0.5) is PeerStatus.SUSPECTED
+        assert detector.status("x", 2.0) is PeerStatus.FAILED
+
+    def test_recovery_counted(self):
+        detector = HeartbeatFailureDetector(suspect_timeout=0.3)
+        detector.heartbeat("x", 0.0)
+        detector.heartbeat("x", 5.0)
+        assert detector.false_suspicion_recoveries == 1
+        assert detector.status("x", 5.1) is PeerStatus.ALIVE
+
+    def test_alive_peers_listing(self):
+        detector = HeartbeatFailureDetector(suspect_timeout=0.3)
+        detector.heartbeat("a", 0.0)
+        detector.heartbeat("b", 1.0)
+        assert detector.alive_peers(1.1) == ["b"]
+
+    def test_invalid_timeouts(self):
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(suspect_timeout=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(suspect_timeout=1.0, fail_timeout=0.5)
+
+    def test_forget(self):
+        detector = HeartbeatFailureDetector(suspect_timeout=0.3)
+        detector.heartbeat("x", 0.0)
+        detector.forget("x")
+        assert detector.status("x", 0.1) is PeerStatus.UNKNOWN
+
+
+class TestCooperativeGroup:
+    def test_view_contains_self_and_fresh_peers(self):
+        group = CooperativeGroup("me", suspect_timeout=0.5)
+        group.observe("peer", 0.0)
+        view = group.current_view(0.1)
+        assert "me" in view and "peer" in view
+
+    def test_scope_excludes_distant_peers(self):
+        group = CooperativeGroup("me", suspect_timeout=0.5, scope_radius=50.0)
+        group.update_own_position((0.0, 0.0))
+        group.observe("near", 0.0, position=(10.0, 0.0))
+        group.observe("far", 0.0, position=(500.0, 0.0))
+        assert group.members(0.1) == ["me", "near"]
+
+    def test_view_id_increases_on_change(self):
+        group = CooperativeGroup("me", suspect_timeout=0.5)
+        first = group.current_view(0.0)
+        group.observe("peer", 0.1)
+        second = group.current_view(0.2)
+        assert second.view_id > first.view_id
+
+    def test_stability_requires_quiet_period(self):
+        group = CooperativeGroup("me", suspect_timeout=1.0, stability_period=0.5)
+        group.observe("peer", 0.0)
+        assert not group.is_stable(0.1)
+        assert group.is_stable(0.8)
+
+    def test_silent_peer_leaves_view(self):
+        group = CooperativeGroup("me", suspect_timeout=0.3)
+        group.observe("peer", 0.0)
+        assert "peer" not in group.current_view(1.0).members
+
+
+class LocalBusPair:
+    """Two agreement instances wired through direct message delivery."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.nodes = {}
+
+    def add(self, name, **kwargs):
+        agreement = ManeuverAgreement(
+            name, self.sim, send=lambda dst, msg, src=name: self._deliver(src, dst, msg), **kwargs
+        )
+        self.nodes[name] = agreement
+        return agreement
+
+    def _deliver(self, source, destination, message):
+        if destination in self.nodes:
+            # Small delivery delay keeps the causality realistic.
+            self.sim.schedule(0.01, lambda: self.nodes[destination].on_message(message, sender=source))
+
+
+class TestManeuverAgreement:
+    def test_all_grant_commits(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        proposer = bus.add("p")
+        bus.add("a")
+        bus.add("b")
+        proposal = proposer.propose("lane_change", "r1", {"a", "b"}, timeout=1.0)
+        sim.run_until(0.5)
+        assert proposal.outcome is AgreementOutcome.COMMITTED
+
+    def test_no_participants_trivially_commits(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        proposer = bus.add("p")
+        proposal = proposer.propose("lane_change", "r1", set())
+        assert proposal.outcome is AgreementOutcome.COMMITTED
+
+    def test_timeout_aborts_when_participant_unreachable(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        proposer = bus.add("p")
+        proposal = proposer.propose("lane_change", "r1", {"ghost"}, timeout=0.5)
+        sim.run_until(1.0)
+        assert proposal.outcome is AgreementOutcome.ABORTED
+
+    def test_conflicting_proposals_serialised(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        first = bus.add("p1")
+        second = bus.add("p2")
+        witness = bus.add("w")
+        proposal_one = first.propose("lane_change", "r1", {"w", "p2"}, timeout=1.0)
+        sim.run_until(0.2)
+        proposal_two = second.propose("lane_change", "r1", {"w", "p1"}, timeout=1.0)
+        sim.run_until(2.0)
+        outcomes = {proposal_one.outcome, proposal_two.outcome}
+        assert AgreementOutcome.COMMITTED in outcomes
+        assert AgreementOutcome.ABORTED in outcomes
+
+    def test_release_frees_region_for_next_proposal(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        first = bus.add("p1")
+        second = bus.add("p2")
+        witness = bus.add("w")
+        proposal_one = first.propose("m", "r1", {"w"}, timeout=1.0)
+        sim.run_until(0.5)
+        first.complete(proposal_one)
+        sim.run_until(1.0)
+        proposal_two = second.propose("m", "r1", {"w"}, timeout=1.0)
+        sim.run_until(2.0)
+        assert proposal_two.outcome is AgreementOutcome.COMMITTED
+
+    def test_decision_callback_invoked(self):
+        sim = Simulator()
+        bus = LocalBusPair(sim)
+        proposer = bus.add("p")
+        bus.add("a")
+        outcomes = []
+        proposer.propose("m", "r", {"a"}, timeout=1.0, on_decision=lambda prop: outcomes.append(prop.outcome))
+        sim.run_until(0.5)
+        assert outcomes == [AgreementOutcome.COMMITTED]
+
+
+class TestRegionLock:
+    def test_grant_then_conflicting_denied(self):
+        lock = RegionLock("me", lease_duration=5.0)
+        assert lock.try_grant("r", 1, "a", now=0.0)
+        assert not lock.try_grant("r", 2, "b", now=1.0)
+
+    def test_lease_expiry_allows_new_grant(self):
+        lock = RegionLock("me", lease_duration=1.0)
+        lock.try_grant("r", 1, "a", now=0.0)
+        assert lock.try_grant("r", 2, "b", now=2.0)
+
+    def test_release(self):
+        lock = RegionLock("me")
+        lock.try_grant("r", 1, "a", now=0.0)
+        lock.release("r", 1)
+        assert lock.try_grant("r", 2, "b", now=0.1)
+
+    def test_exclusive_lock_spans_regions(self):
+        lock = RegionLock("me", exclusive=True)
+        lock.try_grant("r1", 1, "a", now=0.0)
+        assert not lock.try_grant("r2", 2, "b", now=0.1)
+
+    def test_non_exclusive_allows_different_regions(self):
+        lock = RegionLock("me", exclusive=False)
+        lock.try_grant("r1", 1, "a", now=0.0)
+        assert lock.try_grant("r2", 2, "b", now=0.1)
+
+
+def traffic_counter_node(region):
+    """A trivial replicated state machine counting crossings."""
+    return VirtualStationaryNode(
+        region,
+        initial_state=lambda: 0,
+        transition=lambda state, command: (state + 1, state + 1),
+    )
+
+
+class TestVirtualNodes:
+    def test_plane_tiling_covers_area(self):
+        regions = plane_tiling((0.0, 100.0), (0.0, 100.0), tile_size=50.0)
+        assert len(regions) == 4
+        assert any(r.contains((10.0, 10.0)) for r in regions)
+        assert any(r.contains((99.0, 99.0)) for r in regions)
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            VirtualNodeRegion("bad", 0.0, 0.0, 0.0, 10.0)
+
+    def test_leader_is_lowest_id_inside_region(self):
+        region = VirtualNodeRegion("r", -10, -10, 10, 10)
+        node = traffic_counter_node(region)
+        host_a = VirtualNodeHost("a", broadcast=lambda m: None, nodes=[node])
+        host_a.update_position((0.0, 0.0))
+        host_a.observe_peer("b", (1.0, 1.0))
+        assert host_a.is_leader("r")
+        host_a.observe_peer("0_lower", (2.0, 2.0))
+        assert not host_a.is_leader("r")
+
+    def test_outside_region_cannot_lead(self):
+        region = VirtualNodeRegion("r", -10, -10, 10, 10)
+        host = VirtualNodeHost("a", broadcast=lambda m: None, nodes=[traffic_counter_node(region)])
+        host.update_position((100.0, 0.0))
+        assert not host.is_leader("r")
+        assert host.submit("r", "cmd") is None
+
+    def test_state_replication_and_handoff(self):
+        region = VirtualNodeRegion("r", -10, -10, 10, 10)
+        messages = []
+        host_a = VirtualNodeHost("a", broadcast=messages.append, nodes=[traffic_counter_node(region)])
+        host_b = VirtualNodeHost("b", broadcast=lambda m: None, nodes=[traffic_counter_node(region)])
+        host_a.update_position((0.0, 0.0))
+        host_a.observe_peer("b", (1.0, 1.0))
+        host_b.update_position((1.0, 1.0))
+        host_b.observe_peer("a", (0.0, 0.0))
+        # Leader applies two commands; follower absorbs the replicated state.
+        host_a.submit("r", "tick")
+        host_a.submit("r", "tick")
+        for message in messages:
+            host_b.on_message(message)
+        assert host_b.state_of("r") == 2
+        # Leader leaves the region; the follower takes over from sequence 2.
+        host_b.forget_peer("a")
+        assert host_b.is_leader("r")
+        assert host_b.submit("r", "tick") == 3
+
+    def test_stale_state_updates_ignored(self):
+        region = VirtualNodeRegion("r", -10, -10, 10, 10)
+        host = VirtualNodeHost("x", broadcast=lambda m: None, nodes=[traffic_counter_node(region)])
+        host.on_message({"type": "vn_state", "node": "r", "sequence": 5, "state": 5, "leader": "a"})
+        host.on_message({"type": "vn_state", "node": "r", "sequence": 3, "state": 3, "leader": "b"})
+        assert host.state_of("r") == 5
+
+
+class TestTopology:
+    def _ring_with_chords(self, n=6):
+        graph = nx.cycle_graph(n)
+        return nx.relabel_nodes(graph, {i: f"n{i}" for i in range(n)})
+
+    def test_reports_build_graph(self):
+        discovery = TopologyDiscovery("n0", expiry=1.0)
+        discovery.local_report({"n1", "n2"}, now=0.0)
+        graph = discovery.graph()
+        assert set(graph.nodes) == {"n0", "n1", "n2"}
+
+    def test_expiry_purges_stale_reports(self):
+        discovery = TopologyDiscovery("n0", expiry=1.0)
+        discovery.local_report({"n1"}, now=0.0)
+        assert "n1" in discovery.graph(now=0.5)
+        assert "n1" not in discovery.graph(now=5.0)
+
+    def test_fresher_report_wins(self):
+        from repro.cooperation.topology import NeighborhoodReport
+
+        discovery = TopologyDiscovery("n0", expiry=10.0)
+        discovery.absorb(NeighborhoodReport("n1", frozenset({"n2"}), reported_at=1.0))
+        discovery.absorb(NeighborhoodReport("n1", frozenset({"n3"}), reported_at=2.0))
+        graph = discovery.graph()
+        assert graph.has_edge("n1", "n3")
+        assert not graph.has_edge("n1", "n2")
+
+    def test_vertex_disjoint_paths_on_ring(self):
+        graph = self._ring_with_chords()
+        paths = vertex_disjoint_paths(graph, "n0", "n3")
+        assert len(paths) == 2
+
+    def test_byzantine_delivery_requires_2f_plus_1_paths(self):
+        graph = self._ring_with_chords()
+        # A ring gives only 2 disjoint paths: f=1 needs 3, so not guaranteed.
+        assert not byzantine_delivery_possible(graph, "n0", "n3", max_byzantine=1)
+        graph.add_edge("n0", "n3")  # direct edge -> trivially deliverable
+        assert byzantine_delivery_possible(graph, "n0", "n3", max_byzantine=1)
+
+    def test_delivery_with_majority_voting_defeats_byzantine_relay(self):
+        graph = nx.Graph()
+        for relay in ("r1", "r2", "r3"):
+            graph.add_edge("src", relay)
+            graph.add_edge(relay, "dst")
+        value = deliver_with_disjoint_paths(
+            graph, "src", "dst", message="safe", max_byzantine=1, byzantine_nodes={"r2"}
+        )
+        assert value == "safe"
+
+    def test_delivery_fails_without_majority(self):
+        graph = nx.Graph()
+        for relay in ("r1", "r2"):
+            graph.add_edge("src", relay)
+            graph.add_edge(relay, "dst")
+        value = deliver_with_disjoint_paths(
+            graph, "src", "dst", message="safe", max_byzantine=1, byzantine_nodes={"r1", "r2"},
+        )
+        assert value != "safe"

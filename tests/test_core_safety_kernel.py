@@ -1,0 +1,376 @@
+"""Tests for ASIL/hazard analysis, LoS, rules, runtime data, health and the safety manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asil import ASIL
+from repro.core.hazard import (
+    Controllability,
+    Exposure,
+    Hazard,
+    HazardAnalysis,
+    SafetyGoal,
+    Severity,
+    determine_asil,
+)
+from repro.core.health import ComponentKind, ComponentRegistry, ComponentState
+from repro.core.kernel import SafetyKernel
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import (
+    DesignTimeSafetyInfo,
+    component_healthy,
+    freshness_within,
+    indicator_at_most,
+    indicator_true,
+    validity_at_least,
+)
+from repro.core.runtime_data import RuntimeSafetyCollector, RuntimeSafetyData
+from repro.core.safety_manager import SafetyManager
+from repro.sim.kernel import Simulator
+
+
+class TestAsilAndHazards:
+    def test_asil_ordering(self):
+        assert ASIL.QM < ASIL.A < ASIL.B < ASIL.C < ASIL.D
+
+    def test_from_name(self):
+        assert ASIL.from_name("d") is ASIL.D
+        with pytest.raises(ValueError):
+            ASIL.from_name("Z")
+
+    def test_decomposition_pairs(self):
+        assert ASIL.D.decompose() == (ASIL.C, ASIL.A)
+        assert ASIL.B.decompose() == (ASIL.A, ASIL.A)
+
+    def test_worst_case_classification_is_asil_d(self):
+        assert determine_asil(Severity.S3, Exposure.E4, Controllability.C3) is ASIL.D
+
+    def test_any_zero_classification_is_qm(self):
+        assert determine_asil(Severity.S0, Exposure.E4, Controllability.C3) is ASIL.QM
+        assert determine_asil(Severity.S3, Exposure.E0, Controllability.C3) is ASIL.QM
+
+    def test_table_known_entries(self):
+        assert determine_asil(Severity.S3, Exposure.E4, Controllability.C2) is ASIL.C
+        assert determine_asil(Severity.S1, Exposure.E4, Controllability.C3) is ASIL.B
+        assert determine_asil(Severity.S2, Exposure.E2, Controllability.C2) is ASIL.QM
+
+    def test_hazard_asil_and_goal_traceability(self):
+        analysis = HazardAnalysis("acc")
+        hazard = analysis.add_hazard(
+            Hazard("H1", "rear-end", Severity.S3, Exposure.E4, Controllability.C3)
+        )
+        goal = analysis.add_goal(SafetyGoal.from_hazard("SG1", "keep distance", hazard))
+        assert goal.asil is ASIL.D
+        assert analysis.highest_asil() is ASIL.D
+        assert analysis.goals_for_hazard("H1") == [goal]
+
+
+class TestLoSCatalog:
+    def _catalog(self):
+        return LoSCatalog(
+            "acc",
+            [
+                LevelOfService("conservative", 0, {"gap": 2.5}),
+                LevelOfService("autonomous", 1, {"gap": 1.4}),
+                LevelOfService("cooperative", 2, {"gap": 0.6}, cooperative=True),
+            ],
+        )
+
+    def test_fallback_and_highest(self):
+        catalog = self._catalog()
+        assert catalog.fallback.name == "conservative"
+        assert catalog.highest.name == "cooperative"
+
+    def test_duplicate_rank_rejected(self):
+        catalog = self._catalog()
+        with pytest.raises(ValueError):
+            catalog.add(LevelOfService("again", 1))
+
+    def test_cooperative_fallback_rejected(self):
+        with pytest.raises(ValueError):
+            LoSCatalog("f", [LevelOfService("bad", 0, cooperative=True)])
+
+    def test_missing_fallback_detected(self):
+        catalog = LoSCatalog("f", [LevelOfService("only-high", 1)])
+        with pytest.raises(ValueError):
+            catalog.validate()
+
+    def test_ordering_and_lookup(self):
+        catalog = self._catalog()
+        assert [l.rank for l in catalog.ordered()] == [2, 1, 0]
+        assert catalog.by_name("autonomous").rank == 1
+        assert 2 in catalog and 5 not in catalog
+
+    @given(ranks=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_ordered_is_sorted_for_any_rank_set(self, ranks):
+        catalog = LoSCatalog("f", [LevelOfService(f"l{r}", r) for r in ranks])
+        ordered = [l.rank for l in catalog.ordered(descending=False)]
+        assert ordered == sorted(ranks)
+
+
+def snapshot(validities=None, ages=None, health=None, indicators=None, time=0.0):
+    return RuntimeSafetyData(
+        time=time,
+        validities=validities or {},
+        ages=ages or {},
+        component_health=health or {},
+        indicators=indicators or {},
+    )
+
+
+class TestRules:
+    def test_validity_rule(self):
+        rule = validity_at_least("range", 0.5)
+        assert rule.holds(snapshot(validities={"range": 0.8}))
+        assert not rule.holds(snapshot(validities={"range": 0.3}))
+        assert not rule.holds(snapshot())  # missing data is untrusted
+
+    def test_freshness_rule(self):
+        rule = freshness_within("range", 0.3)
+        assert rule.holds(snapshot(ages={"range": 0.1}))
+        assert not rule.holds(snapshot(ages={"range": 1.0}))
+        assert not rule.holds(snapshot())  # missing data is infinitely old
+
+    def test_component_health_rule(self):
+        rule = component_healthy("radar")
+        assert rule.holds(snapshot(health={"radar": True}))
+        assert not rule.holds(snapshot(health={"radar": False}))
+        assert not rule.holds(snapshot())
+
+    def test_indicator_rules(self):
+        assert indicator_true("stable").holds(snapshot(indicators={"stable": True}))
+        assert not indicator_true("stable").holds(snapshot())
+        assert indicator_at_most("outage", 0.5).holds(snapshot(indicators={"outage": 0.2}))
+        assert not indicator_at_most("outage", 0.5).holds(snapshot(indicators={"outage": 2.0}))
+
+    def test_rule_exception_counts_as_violation(self):
+        from repro.core.rules import SafetyRule
+
+        exploding = SafetyRule("boom", predicate=lambda data: 1 / 0)
+        assert not exploding.holds(snapshot())
+
+    def test_cumulative_rules_per_rank(self):
+        info = DesignTimeSafetyInfo()
+        info.add_rule("acc", 1, validity_at_least("range", 0.5))
+        info.add_rule("acc", 2, freshness_within("v2v", 0.3))
+        assert len(info.rules_for("acc", 1)) == 1
+        assert len(info.rules_for("acc", 2)) == 2
+
+    def test_rank_zero_cannot_carry_rules(self):
+        info = DesignTimeSafetyInfo()
+        with pytest.raises(ValueError):
+            info.add_rule("acc", 0, validity_at_least("range", 0.5))
+
+    def test_evaluate_returns_violations(self):
+        info = DesignTimeSafetyInfo()
+        info.add_rule("acc", 1, validity_at_least("range", 0.5))
+        holds, violated = info.evaluate("acc", 1, snapshot(validities={"range": 0.2}))
+        assert not holds
+        assert violated[0].name.startswith("validity(range)")
+
+
+class TestRuntimeCollectorAndHealth:
+    def test_collector_polls_providers(self):
+        collector = RuntimeSafetyCollector()
+        collector.provide_validity("range", lambda: 0.9)
+        collector.provide_age("range", lambda: 0.05)
+        collector.provide_health("radar", lambda: True)
+        collector.provide_indicator("members", lambda: 3)
+        data = collector.collect(now=1.0)
+        assert data.validity("range") == 0.9
+        assert data.age("range") == 0.05
+        assert data.healthy("radar")
+        assert data.indicator("members") == 3
+
+    def test_provider_failures_degrade_not_crash(self):
+        collector = RuntimeSafetyCollector()
+        collector.provide_validity("range", lambda: 1 / 0)
+        collector.provide_health("radar", lambda: 1 / 0)
+        data = collector.collect(now=0.0)
+        assert data.validity("range") == 0.0
+        assert not data.healthy("radar")
+
+    def test_none_validity_treated_as_untrusted(self):
+        collector = RuntimeSafetyCollector()
+        collector.provide_validity("range", lambda: None)
+        assert collector.collect(0.0).validity("range") == 0.0
+
+    def test_component_registry_heartbeats(self):
+        registry = ComponentRegistry()
+        registry.register("radar", ComponentKind.SENSOR, predictable=True, heartbeat_deadline=0.5)
+        registry.heartbeat("radar", 1.0)
+        assert registry.is_healthy("radar", 1.2)
+        assert not registry.is_healthy("radar", 2.0)
+
+    def test_crash_and_restore(self):
+        registry = ComponentRegistry()
+        registry.register("ecu", ComponentKind.COMPUTING, predictable=False)
+        registry.mark_crashed("ecu")
+        assert not registry.is_healthy("ecu", 0.0)
+        registry.restore("ecu")
+        assert registry.is_healthy("ecu", 0.0)
+
+    def test_timing_fault_cleared_by_heartbeat(self):
+        registry = ComponentRegistry()
+        registry.register("comm", ComponentKind.COMMUNICATION, predictable=False)
+        registry.mark_timing_fault("comm")
+        assert registry.get("comm").state is ComponentState.TIMING_FAULT
+        registry.heartbeat("comm", 1.0)
+        assert registry.is_healthy("comm", 1.0)
+
+    def test_actuators_must_be_predictable(self):
+        registry = ComponentRegistry()
+        with pytest.raises(ValueError):
+            registry.register("brake", ComponentKind.ACTUATOR, predictable=False)
+
+    def test_duplicate_registration_rejected(self):
+        registry = ComponentRegistry()
+        registry.register("x", ComponentKind.SENSOR, True)
+        with pytest.raises(ValueError):
+            registry.register("x", ComponentKind.SENSOR, True)
+
+    def test_hybridization_filtering(self):
+        registry = ComponentRegistry()
+        registry.register("radar", ComponentKind.SENSOR, predictable=True)
+        registry.register("wifi", ComponentKind.COMMUNICATION, predictable=False)
+        assert [r.name for r in registry.components(predictable=False)] == ["wifi"]
+
+
+def build_manager(sim, validity_provider, cycle_period=0.1):
+    info = DesignTimeSafetyInfo()
+    info.add_rule("acc", 1, validity_at_least("range", 0.5))
+    info.add_rule("acc", 2, validity_at_least("v2v", 0.5))
+    collector = RuntimeSafetyCollector()
+    collector.provide_validity("range", lambda: validity_provider()["range"])
+    collector.provide_validity("v2v", lambda: validity_provider()["v2v"])
+    manager = SafetyManager(sim, info, collector, cycle_period=cycle_period)
+    catalog = LoSCatalog(
+        "acc",
+        [
+            LevelOfService("conservative", 0, {"gap": 2.5}),
+            LevelOfService("autonomous", 1, {"gap": 1.4}),
+            LevelOfService("cooperative", 2, {"gap": 0.6}, cooperative=True),
+        ],
+    )
+    enacted = []
+    manager.register_functionality(catalog, enacted.append)
+    return manager, enacted
+
+
+class TestSafetyManager:
+    def test_selects_highest_los_whose_rules_hold(self):
+        sim = Simulator()
+        state = {"range": 1.0, "v2v": 1.0}
+        manager, enacted = build_manager(sim, lambda: state)
+        manager.start()
+        sim.run_until(0.5)
+        assert manager.current_los("acc").name == "cooperative"
+
+    def test_downgrade_when_v2v_degrades_and_recovery(self):
+        sim = Simulator()
+        state = {"range": 1.0, "v2v": 1.0}
+        manager, _ = build_manager(sim, lambda: state)
+        manager.start()
+        sim.run_until(0.5)
+        state["v2v"] = 0.0
+        sim.run_until(1.0)
+        assert manager.current_los("acc").name == "autonomous"
+        assert manager.downgrades() >= 1
+        state["v2v"] = 1.0
+        sim.run_until(1.5)
+        assert manager.current_los("acc").name == "cooperative"
+
+    def test_falls_back_to_rank_zero_when_everything_fails(self):
+        sim = Simulator()
+        state = {"range": 0.0, "v2v": 0.0}
+        manager, _ = build_manager(sim, lambda: state)
+        manager.start()
+        sim.run_until(0.5)
+        assert manager.current_los("acc").rank == 0
+
+    def test_initial_enactment_uses_fallback(self):
+        sim = Simulator()
+        _, enacted = build_manager(sim, lambda: {"range": 1.0, "v2v": 1.0})
+        assert enacted[0].rank == 0
+
+    def test_cycle_interval_bounded(self):
+        sim = Simulator()
+        manager, _ = build_manager(sim, lambda: {"range": 1.0, "v2v": 1.0}, cycle_period=0.1)
+        manager.start()
+        sim.run_until(5.0)
+        assert manager.cycles >= 49
+        assert manager.max_observed_cycle_interval <= 0.1 + 1e-9
+
+    def test_switch_latency_recorded_and_bounded(self):
+        sim = Simulator()
+        state = {"range": 1.0, "v2v": 1.0}
+        manager, _ = build_manager(sim, lambda: state)
+        manager.start()
+        sim.run_until(0.5)
+        state["v2v"] = 0.0
+        sim.run_until(1.0)
+        assert manager.switch_latencies
+        assert manager.max_switch_latency() <= manager.switch_bound
+
+    def test_los_residency_accounting(self):
+        sim = Simulator()
+        state = {"range": 1.0, "v2v": 1.0}
+        manager, _ = build_manager(sim, lambda: state)
+        manager.start()
+        sim.run_until(1.0)
+        residency = manager.los_residency()["acc"]
+        assert residency.get("cooperative", 0) > 0
+
+
+class TestSafetyKernelFacade:
+    def test_kernel_wires_sensor_and_selects_los(self):
+        sim = Simulator()
+        kernel = SafetyKernel("veh1", sim, cycle_period=0.1)
+
+        class FakeSensor:
+            last_reading = None
+
+        sensor = FakeSensor()
+        kernel.monitor_sensor("range", sensor)
+        catalog = LoSCatalog(
+            "acc",
+            [LevelOfService("conservative", 0), LevelOfService("autonomous", 1)],
+        )
+        active = []
+        kernel.define_functionality(
+            catalog, active.append, rules_by_rank={1: [validity_at_least("range", 0.5)]}
+        )
+        kernel.start()
+        sim.run_until(0.5)
+        assert kernel.current_los("acc").rank == 0  # no reading yet -> untrusted
+
+        from repro.sensors.readings import SensorReading
+
+        sensor.last_reading = SensorReading(quantity="range", value=10.0, timestamp=sim.now, validity=0.9)
+        sim.run_until(1.0)
+        assert kernel.current_los("acc").rank == 1
+
+    def test_component_registration_feeds_health(self):
+        sim = Simulator()
+        kernel = SafetyKernel("veh1", sim)
+        kernel.register_component("radar", ComponentKind.SENSOR, predictable=True,
+                                  heartbeat_deadline=0.5)
+        kernel.components.heartbeat("radar", 0.0)
+        data = kernel.collector.collect(0.1)
+        assert data.healthy("radar")
+        report = kernel.hybridization_report()
+        assert "radar" in report["predictable"]
+
+    def test_summary_fields(self):
+        sim = Simulator()
+        kernel = SafetyKernel("veh1", sim)
+        catalog = LoSCatalog("f", [LevelOfService("only", 0)])
+        kernel.define_functionality(catalog, lambda level: None)
+        kernel.start()
+        sim.run_until(1.0)
+        summary = kernel.summary()
+        assert summary["vehicle"] == "veh1"
+        assert summary["current_los"]["f"] == "only"
+        assert summary["cycles"] > 0

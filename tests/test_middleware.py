@@ -1,0 +1,256 @@
+"""Tests for events, QoS, event channels, broker and gateway."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.broker import EventBroker, LocalBusTransport
+from repro.middleware.channels import ChannelState, EventChannel
+from repro.middleware.events import ContextFilter, Event, Subject
+from repro.middleware.gateway import BridgeRule, Gateway
+from repro.middleware.qos import DeliveryGuarantee, NetworkAssessor, QoSMonitor, QoSSpec
+from repro.network.mac_csma import CsmaMacNode
+from repro.network.medium import MediumConfig, WirelessMedium
+from repro.sim.kernel import Simulator
+
+
+class TestEventsAndFilters:
+    def test_subject_requires_uid(self):
+        with pytest.raises(ValueError):
+            Subject("")
+
+    def test_event_age_and_validity_default(self):
+        event = Event(subject=Subject("s"), published_at=1.0)
+        assert event.age(2.5) == 1.5
+        assert event.validity == 1.0
+
+    def test_context_filter_equals(self):
+        event = Event(subject=Subject("s"), context={"lane": 2})
+        assert ContextFilter.equals("lane", 2).matches(event)
+        assert not ContextFilter.equals("lane", 3).matches(event)
+
+    def test_context_filter_range(self):
+        event = Event(subject=Subject("s"), context={"speed": 20.0})
+        assert ContextFilter.in_range("speed", 0, 30).matches(event)
+        assert not ContextFilter.in_range("speed", 25, 30).matches(event)
+
+    def test_context_filter_region(self):
+        inside = Event(subject=Subject("s"), context={"position": (10.0, 0.0)})
+        outside = Event(subject=Subject("s"), context={"position": (200.0, 0.0)})
+        region = ContextFilter.within_region("position", center=(0.0, 0.0), radius=50.0)
+        assert region.matches(inside)
+        assert not region.matches(outside)
+
+    def test_missing_attribute_fails_filter(self):
+        event = Event(subject=Subject("s"))
+        assert not ContextFilter.equals("lane", 1).matches(event)
+
+    def test_accept_all(self):
+        assert ContextFilter.accept_all().matches(Event(subject=Subject("s")))
+
+    def test_constrain_combines_predicates(self):
+        base = ContextFilter.equals("lane", 1)
+        combined = base.constrain("speed", lambda v: v < 10)
+        event = Event(subject=Subject("s"), context={"lane": 1, "speed": 5})
+        assert combined.matches(event)
+        assert not combined.matches(Event(subject=Subject("s"), context={"lane": 1, "speed": 50}))
+
+
+class TestQoS:
+    def _assessor(self, bitrate=1_000_000.0, max_util=0.5):
+        sim = Simulator()
+        medium = WirelessMedium(sim, MediumConfig(bitrate_bps=bitrate))
+        return NetworkAssessor(medium, max_utilization=max_util)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            QoSSpec(max_latency=0.0)
+        with pytest.raises(ValueError):
+            QoSSpec(rate_hz=0.0)
+
+    def test_admission_within_capacity(self):
+        assessor = self._assessor()
+        result = assessor.assess("ch", QoSSpec(max_latency=0.1, rate_hz=10, payload_bits=1000))
+        assert result.admitted
+
+    def test_rejection_when_utilization_exhausted(self):
+        assessor = self._assessor(bitrate=100_000.0, max_util=0.1)
+        spec = QoSSpec(max_latency=1.0, rate_hz=50, payload_bits=1000)
+        assessor.reserve("existing", spec)
+        result = assessor.assess("new", spec)
+        assert not result.admitted
+        assert "bandwidth" in result.reason
+
+    def test_rejection_when_latency_unachievable(self):
+        assessor = self._assessor(bitrate=10_000.0)
+        result = assessor.assess("ch", QoSSpec(max_latency=1e-6, rate_hz=1, payload_bits=1000))
+        assert not result.admitted
+
+    def test_release_frees_bandwidth(self):
+        assessor = self._assessor()
+        spec = QoSSpec(rate_hz=100, payload_bits=1000)
+        assessor.reserve("ch", spec)
+        assert assessor.utilization > 0
+        assessor.release("ch")
+        assert assessor.utilization == 0
+
+    def test_monitor_tracks_misses(self):
+        monitor = QoSMonitor(max_latency=0.1)
+        monitor.observe(0.05)
+        monitor.observe(0.2)
+        assert monitor.deadline_misses == 1
+        assert monitor.miss_ratio == 0.5
+        assert monitor.violates()
+
+    def test_monitor_without_bound_never_violates(self):
+        monitor = QoSMonitor(max_latency=None)
+        monitor.observe(10.0)
+        assert not monitor.violates()
+
+
+def build_broker_pair(sim, admission=False, loss=0.0):
+    medium = WirelessMedium(sim, MediumConfig(base_loss_probability=loss),
+                            rng=np.random.default_rng(0))
+    assessor = NetworkAssessor(medium)
+    brokers = []
+    for i, name in enumerate(["a", "b"]):
+        mac = CsmaMacNode(name, sim, medium, rng=np.random.default_rng(i))
+        brokers.append(EventBroker(name, sim, mac, assessor=assessor, admission_control=admission))
+    return brokers
+
+
+class TestEventBroker:
+    def test_publish_subscribe_across_nodes(self):
+        sim = Simulator()
+        a, b = build_broker_pair(sim)
+        received = []
+        b.subscribe("topic/x", lambda e: received.append(e.content))
+        a.announce("topic/x")
+        a.publish("topic/x", content={"v": 1})
+        sim.run_until(0.1)
+        assert received == [{"v": 1}]
+
+    def test_context_filter_applied_at_subscriber(self):
+        sim = Simulator()
+        a, b = build_broker_pair(sim)
+        received = []
+        b.subscribe("topic/x", lambda e: received.append(e.content),
+                    context_filter=ContextFilter.equals("lane", 1))
+        a.announce("topic/x")
+        a.publish("topic/x", content="wrong", context={"lane": 2})
+        a.publish("topic/x", content="right", context={"lane": 1})
+        sim.run_until(0.1)
+        assert received == ["right"]
+
+    def test_local_subscriber_gets_own_publications(self):
+        sim = Simulator()
+        a, _ = build_broker_pair(sim)
+        received = []
+        a.subscribe("topic/x", lambda e: received.append(e.content))
+        a.announce("topic/x")
+        a.publish("topic/x", content=42)
+        assert received == [42]
+
+    def test_admission_control_rejects_unachievable_channel(self):
+        sim = Simulator()
+        a, _ = build_broker_pair(sim, admission=True)
+        channel = a.announce("topic/x", QoSSpec(max_latency=1e-9, rate_hz=10))
+        assert channel.state is ChannelState.REJECTED
+        assert a.publish("topic/x", content="data") is None
+        assert a.events_dropped_unusable == 1
+
+    def test_admitted_channel_reserves_bandwidth(self):
+        sim = Simulator()
+        a, _ = build_broker_pair(sim, admission=True)
+        channel = a.announce("topic/x", QoSSpec(max_latency=0.5, rate_hz=10, payload_bits=500))
+        assert channel.state is ChannelState.ADMITTED
+        assert a.assessor.utilization > 0
+
+    def test_latency_monitoring_on_delivery(self):
+        sim = Simulator()
+        a, b = build_broker_pair(sim)
+        b.announce("topic/x", QoSSpec(max_latency=0.5))
+        b.subscribe("topic/x", lambda e: None)
+        a.announce("topic/x", QoSSpec(max_latency=0.5))
+        a.publish("topic/x", content=1)
+        sim.run_until(0.1)
+        monitor = b.channels["topic/x"].monitor
+        assert monitor.deliveries == 1
+        assert monitor.max_observed_latency < 0.5
+
+    def test_close_releases_reservation(self):
+        sim = Simulator()
+        a, _ = build_broker_pair(sim, admission=True)
+        a.announce("topic/x", QoSSpec(max_latency=0.5, rate_hz=10))
+        a.close("topic/x")
+        assert a.assessor.utilization == 0
+        assert a.channels["topic/x"].state is ChannelState.CLOSED
+
+
+class TestGateway:
+    def test_events_bridge_between_bus_and_wireless(self):
+        sim = Simulator()
+        # In-vehicle bus with two endpoints (sensor ECU and gateway ECU).
+        bus_sensor = LocalBusTransport(sim, "ecu_sensor")
+        bus_gateway = LocalBusTransport(sim, "ecu_gateway")
+        bus_sensor.connect(bus_gateway)
+        sensor_broker = EventBroker("ecu_sensor", sim, bus_sensor)
+        gateway_bus_broker = EventBroker("ecu_gateway", sim, bus_gateway)
+        # Wireless side.
+        medium = WirelessMedium(sim, MediumConfig(), rng=np.random.default_rng(0))
+        mac_gw = CsmaMacNode("gw", sim, medium, rng=np.random.default_rng(1))
+        mac_remote = CsmaMacNode("remote", sim, medium, rng=np.random.default_rng(2))
+        gateway_wireless_broker = EventBroker("gw", sim, mac_gw)
+        remote_broker = EventBroker("remote", sim, mac_remote)
+
+        gateway = Gateway("gw", gateway_bus_broker, gateway_wireless_broker)
+        gateway.bridge(BridgeRule(subject="vehicle/state"), direction="a_to_b")
+
+        received = []
+        remote_broker.subscribe("vehicle/state", lambda e: received.append(e.content))
+        sensor_broker.announce("vehicle/state")
+        sensor_broker.publish("vehicle/state", content={"speed": 20.0})
+        sim.run_until(0.2)
+        assert received == [{"speed": 20.0}]
+        assert gateway.forwarded_a_to_b == 1
+
+    def test_bidirectional_bridge_does_not_echo(self):
+        sim = Simulator()
+        # Application publisher on bus A, gateway endpoints on bus A and bus B.
+        bus_app = LocalBusTransport(sim, "app")
+        bus_gw_a = LocalBusTransport(sim, "gw_a")
+        bus_gw_b = LocalBusTransport(sim, "gw_b")
+        bus_app.connect(bus_gw_a)
+        app_broker = EventBroker("app", sim, bus_app)
+        broker_a = EventBroker("gw_a", sim, bus_gw_a)
+        broker_b = EventBroker("gw_b", sim, bus_gw_b)
+        gateway = Gateway("gw", broker_a, broker_b)
+        gateway.bridge(BridgeRule(subject="t"), direction="both")
+        app_broker.announce("t")
+        app_broker.publish("t", content=1)
+        sim.run_until(1.0)
+        # One forward a->b; the echo back must be suppressed.
+        assert gateway.forwarded_a_to_b == 1
+        assert gateway.forwarded_b_to_a == 0
+
+    def test_gateway_does_not_forward_its_own_endpoints_publications(self):
+        sim = Simulator()
+        bus_a = LocalBusTransport(sim, "a")
+        bus_b = LocalBusTransport(sim, "b")
+        bus_a.connect(bus_b)
+        broker_a = EventBroker("a", sim, bus_a)
+        broker_b = EventBroker("b", sim, bus_b)
+        gateway = Gateway("gw", broker_a, broker_b)
+        gateway.bridge(BridgeRule(subject="t"), direction="both")
+        broker_a.announce("t")
+        broker_a.publish("t", content=1)
+        sim.run_until(1.0)
+        assert gateway.forwarded_a_to_b == 0
+        assert gateway.forwarded_b_to_a == 0
+
+    def test_unknown_direction_rejected(self):
+        sim = Simulator()
+        bus_a = LocalBusTransport(sim, "a")
+        bus_b = LocalBusTransport(sim, "b")
+        gateway = Gateway("gw", EventBroker("a", sim, bus_a), EventBroker("b", sim, bus_b))
+        with pytest.raises(ValueError):
+            gateway.bridge(BridgeRule(subject="t"), direction="sideways")

@@ -1,0 +1,190 @@
+"""Tests for self-stabilising TDMA, pulse synchronisation and end-to-end delivery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.end_to_end import (
+    LossyChannel,
+    Packet,
+    SelfStabilizingReceiver,
+    SelfStabilizingSender,
+    run_transfer,
+)
+from repro.network.pulse_sync import PulseSyncConfig, PulseSyncNetwork
+from repro.network.tdma import TdmaConfig, TdmaNetwork, grid_topology
+
+
+def build_tdma(adjacency, slots=16, seed=0, feedback_loss=0.0):
+    network = TdmaNetwork(
+        TdmaConfig(slots_per_frame=slots, feedback_loss_probability=feedback_loss),
+        rng=np.random.default_rng(seed),
+    )
+    for node, peers in adjacency.items():
+        network.add_node(node, neighbors=peers)
+    return network
+
+
+class TestTdma:
+    def test_single_node_trivially_converged(self):
+        network = build_tdma({"a": set()})
+        assert network.is_converged()
+
+    def test_two_neighbors_with_same_slot_conflict(self):
+        network = TdmaNetwork(TdmaConfig(slots_per_frame=4))
+        network.add_node("a", slot=0)
+        network.add_node("b", neighbors={"a"}, slot=0)
+        assert not network.is_converged()
+        assert network.conflicting_pairs() == [("a", "b")]
+
+    def test_hidden_terminal_counts_as_conflict(self):
+        network = TdmaNetwork(TdmaConfig(slots_per_frame=4))
+        network.add_node("a", slot=1)
+        network.add_node("relay", neighbors={"a"}, slot=0)
+        network.add_node("b", neighbors={"relay"}, slot=1)
+        assert ("a", "b") in network.conflicting_pairs()
+
+    def test_line_topology_converges(self):
+        adjacency = {f"n{i}": {f"n{i-1}"} if i else set() for i in range(8)}
+        network = build_tdma(adjacency, slots=8, seed=3)
+        frames = network.run_until_converged(max_frames=500)
+        assert frames is not None
+        assert network.is_converged()
+
+    def test_grid_topology_converges(self):
+        network = build_tdma(grid_topology(3, 3), slots=12, seed=5)
+        frames = network.run_until_converged(max_frames=1000)
+        assert frames is not None
+
+    def test_churn_then_reconvergence(self):
+        network = build_tdma(grid_topology(3, 3), slots=12, seed=7)
+        assert network.run_until_converged(max_frames=1000) is not None
+        # A joining node may pick a conflicting slot; the network must
+        # re-stabilise without restarting anybody.
+        network.add_node("joiner", neighbors={"n1_1"}, slot=network.nodes["n1_1"].slot)
+        assert not network.is_converged()
+        assert network.run_until_converged(max_frames=1000) is not None
+
+    def test_node_removal_keeps_convergence(self):
+        network = build_tdma(grid_topology(2, 3), slots=10, seed=2)
+        network.run_until_converged(max_frames=500)
+        network.remove_node("n0_0")
+        assert network.is_converged()
+
+    def test_feedback_loss_slows_but_does_not_prevent_convergence(self):
+        network = build_tdma(grid_topology(2, 4), slots=10, seed=9, feedback_loss=0.3)
+        assert network.run_until_converged(max_frames=2000) is not None
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_convergence_from_any_initial_assignment(self, seed):
+        """Self-stabilisation: whatever the initial slots, a collision-free
+        allocation is reached (enough slots are available)."""
+        network = build_tdma(grid_topology(2, 3), slots=12, seed=seed)
+        assert network.run_until_converged(max_frames=2000) is not None
+        # Converged means no interfering pair shares a slot.
+        assert network.conflicting_pairs() == []
+
+
+class TestPulseSync:
+    def _network(self, nodes=5, gain=0.5, seed=0, drift=50.0):
+        config = PulseSyncConfig(correction_gain=gain, pulse_loss_probability=0.0)
+        network = PulseSyncNetwork(config, rng=np.random.default_rng(seed))
+        names = [f"n{i}" for i in range(nodes)]
+        for i, name in enumerate(names):
+            neighbors = {names[i - 1]} if i else set()
+            network.add_node(name, drift_ppm=drift * (i - nodes / 2), neighbors=neighbors)
+        return network
+
+    def test_alignment_reached_with_correction(self):
+        network = self._network()
+        rounds = network.run_until_aligned(threshold=0.005, max_rounds=300)
+        assert rounds is not None
+
+    def test_no_correction_keeps_misalignment(self):
+        network = self._network(gain=0.0)
+        initial = network.max_pairwise_misalignment(0.0)
+        network.run_round(0.0)
+        assert network.max_pairwise_misalignment(0.1) == pytest.approx(initial, abs=1e-3)
+
+    def test_misalignment_decreases_monotonically_on_average(self):
+        network = self._network(seed=4)
+        before = network.max_pairwise_misalignment(0.0)
+        time = 0.0
+        for _ in range(30):
+            network.run_round(time)
+            time += network.config.frame_period
+        after = network.max_pairwise_misalignment(time)
+        assert after < before
+
+    def test_wrap_handles_phase_circularity(self):
+        assert abs(PulseSyncNetwork._wrap(0.09, 0.1)) == pytest.approx(0.01)
+        assert PulseSyncNetwork._wrap(0.05, 0.1) == pytest.approx(0.05)
+
+
+class TestEndToEnd:
+    def test_reliable_fifo_over_faulty_channel(self):
+        messages = [f"m{i}" for i in range(12)]
+        delivered, steps = run_transfer(messages, capacity=3, omission_probability=0.15,
+                                        duplication_probability=0.15, seed=1)
+        assert delivered == messages
+        assert steps < 200_000
+
+    def test_lossless_channel_fast_path(self):
+        messages = list(range(5))
+        delivered, _ = run_transfer(messages, capacity=2, omission_probability=0.0,
+                                    duplication_probability=0.0, seed=0)
+        assert delivered == messages
+
+    def test_stabilisation_from_corrupted_channel_state(self):
+        messages = [f"m{i}" for i in range(10)]
+        garbage = [Packet(label=2, payload="garbage", is_ack=False) for _ in range(4)]
+        delivered, _ = run_transfer(messages, capacity=4, seed=3, initial_garbage=garbage)
+        # Self-stabilisation allows a bounded prefix to be lost or corrupted;
+        # after that, delivery is FIFO without loss or duplication.
+        tail = [m for m in delivered if m in messages]
+        assert tail == messages[len(messages) - len(tail):] or tail == messages
+        assert len(tail) >= len(messages) - 2
+
+    def test_channel_capacity_enforced(self):
+        channel = LossyChannel(capacity=3, omission_probability=0.0, duplication_probability=0.0)
+        for i in range(5):
+            channel.send(Packet(label=0, payload=i))
+        assert len(channel) == 3
+        assert channel.omitted == 2
+
+    def test_duplicates_never_reduplicated(self):
+        rng = np.random.default_rng(0)
+        channel = LossyChannel(capacity=5, omission_probability=0.0, duplication_probability=1.0, rng=rng)
+        channel.send(Packet(label=0, payload="x"))
+        first = channel.fetch()
+        assert first is not None
+        second = channel.fetch()          # the duplicate
+        assert second is not None and second.duplicate
+        assert channel.fetch() is None    # duplicates are not duplicated again
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel(capacity=0)
+        with pytest.raises(ValueError):
+            SelfStabilizingSender(LossyChannel(), LossyChannel(), capacity_bound=0)
+        with pytest.raises(ValueError):
+            SelfStabilizingReceiver(LossyChannel(), LossyChannel(), capacity_bound=0)
+
+    @given(
+        count=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+        omission=st.floats(min_value=0.0, max_value=0.3),
+        duplication=st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_fifo_no_loss_no_duplication(self, count, seed, omission, duplication):
+        """From a clean initial state the protocol delivers exactly the sent
+        sequence, in order, for any loss/duplication rates in the model."""
+        messages = [f"msg-{i}" for i in range(count)]
+        delivered, _ = run_transfer(
+            messages, capacity=3, omission_probability=omission,
+            duplication_probability=duplication, seed=seed,
+        )
+        assert delivered == messages

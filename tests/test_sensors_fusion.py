@@ -1,0 +1,139 @@
+"""Tests (including property-based) for sensor fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors.fusion import (
+    TemporalFuser,
+    marzullo_fuse,
+    naive_mean,
+    validity_weighted_mean,
+)
+from repro.sensors.readings import SensorReading
+
+
+def reading(value, validity=1.0, error_bound=1.0, timestamp=0.0):
+    return SensorReading(
+        quantity="q", value=value, validity=validity, error_bound=error_bound, timestamp=timestamp
+    )
+
+
+class TestNaiveAndWeightedMean:
+    def test_empty_input_returns_none(self):
+        assert naive_mean([]) is None
+        assert validity_weighted_mean([]) is None
+
+    def test_naive_mean_ignores_validity(self):
+        result = naive_mean([reading(0.0, validity=0.01), reading(10.0, validity=1.0)])
+        assert result.value == pytest.approx(5.0)
+
+    def test_weighted_mean_discounts_low_validity(self):
+        result = validity_weighted_mean([reading(0.0, validity=0.01), reading(10.0, validity=1.0)])
+        assert result.value > 9.0
+
+    def test_weighted_mean_excludes_below_threshold(self):
+        result = validity_weighted_mean(
+            [reading(0.0, validity=0.1), reading(10.0, validity=1.0)], min_validity=0.5
+        )
+        assert result.value == pytest.approx(10.0)
+        assert result.contributors == 1
+
+    def test_weighted_mean_all_excluded_returns_none(self):
+        assert validity_weighted_mean([reading(1.0, validity=0.0)]) is None
+
+    def test_aggregate_validity_reflects_trust(self):
+        high = validity_weighted_mean([reading(1.0, validity=1.0), reading(1.0, validity=1.0)])
+        low = validity_weighted_mean([reading(1.0, validity=0.3), reading(1.0, validity=0.3)])
+        assert high.validity > low.validity
+
+
+class TestMarzullo:
+    def test_single_reading(self):
+        result = marzullo_fuse([reading(5.0, error_bound=1.0)])
+        assert result.value == pytest.approx(5.0)
+
+    def test_majority_overrules_outlier(self):
+        readings = [
+            reading(10.0, error_bound=1.0),
+            reading(10.4, error_bound=1.0),
+            reading(50.0, error_bound=1.0),  # faulty outlier
+        ]
+        result = marzullo_fuse(readings)
+        assert abs(result.value - 10.2) < 1.5
+
+    def test_invalid_readings_excluded(self):
+        readings = [reading(10.0), reading(10.0), reading(99.0, validity=0.0)]
+        result = marzullo_fuse(readings)
+        assert abs(result.value - 10.0) < 1.0
+
+    def test_empty_returns_none(self):
+        assert marzullo_fuse([]) is None
+
+    def test_validity_reflects_agreement(self):
+        agreeing = marzullo_fuse([reading(10.0), reading(10.1), reading(10.2)])
+        disagreeing = marzullo_fuse([reading(10.0), reading(10.1), reading(30.0)])
+        assert agreeing.validity >= disagreeing.validity
+
+    @given(
+        values=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=9),
+        bound=st.floats(min_value=0.1, max_value=5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_result_within_overall_envelope(self, values, bound):
+        """The fused value always lies within the union of the input intervals."""
+        readings = [reading(v, error_bound=bound) for v in values]
+        result = marzullo_fuse(readings)
+        assert result is not None
+        low = min(v - bound for v in values) - 1e-9
+        high = max(v + bound for v in values) + 1e-9
+        assert low <= result.value <= high
+
+    @given(
+        true_value=st.floats(min_value=-50, max_value=50),
+        n=st.integers(min_value=3, max_value=9),
+        outlier_offset=st.floats(min_value=20, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_outlier_cannot_move_estimate_outside_correct_interval(
+        self, true_value, n, outlier_offset
+    ):
+        """With n-1 correct sensors (error bound 1) and one arbitrary outlier,
+        the fused estimate stays within the correct sensors' envelope."""
+        correct = [reading(true_value, error_bound=1.0) for _ in range(n - 1)]
+        outlier = reading(true_value + outlier_offset, error_bound=1.0)
+        result = marzullo_fuse(correct + [outlier])
+        assert result is not None
+        assert true_value - 1.0 - 1e-9 <= result.value <= true_value + 1.0 + 1e-9
+
+
+class TestTemporalFuser:
+    def test_estimate_none_when_empty(self):
+        assert TemporalFuser().estimate(now=0.0) is None
+
+    def test_old_samples_excluded(self):
+        fuser = TemporalFuser(window=5, max_age=1.0)
+        fuser.add(reading(1.0, timestamp=0.0))
+        fuser.add(reading(3.0, timestamp=5.0))
+        result = fuser.estimate(now=5.2)
+        assert result.value == pytest.approx(3.0)
+
+    def test_window_limits_history(self):
+        fuser = TemporalFuser(window=2, max_age=100.0)
+        for i, value in enumerate([1.0, 2.0, 3.0]):
+            fuser.add(reading(value, timestamp=float(i)))
+        assert len(fuser) == 2
+        assert fuser.estimate(now=3.0).value == pytest.approx(2.5)
+
+    def test_clear(self):
+        fuser = TemporalFuser()
+        fuser.add(reading(1.0))
+        fuser.clear()
+        assert len(fuser) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalFuser(window=0)
+        with pytest.raises(ValueError):
+            TemporalFuser(max_age=0.0)

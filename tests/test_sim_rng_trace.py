@@ -1,0 +1,85 @@
+"""Tests for the named random streams and the trace recorder."""
+
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproducible(self):
+        a = RandomStreams(42).stream("medium").random(5)
+        b = RandomStreams(42).stream("medium").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("medium").random(5)
+        b = streams.stream("sensor").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_spawn_children_are_deterministic_and_distinct(self):
+        parent = RandomStreams(7)
+        child_a = parent.spawn("veh1")
+        child_b = parent.spawn("veh2")
+        again = RandomStreams(7).spawn("veh1")
+        assert child_a.master_seed == again.master_seed
+        assert child_a.master_seed != child_b.master_seed
+
+
+class TestTraceRecorder:
+    def test_record_and_query_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "collision", "world", gap=-0.5)
+        trace.record(2.0, "los_switch", "kernel", rank=1)
+        assert len(trace) == 2
+        assert trace.by_kind("collision")[0]["gap"] == -0.5
+        assert trace.by_kind("los_switch")[0].get("rank") == 1
+
+    def test_disabled_recorder_drops_records(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "x", "y")
+        assert len(trace) == 0
+
+    def test_kind_histogram(self):
+        trace = TraceRecorder()
+        for _ in range(3):
+            trace.record(0.0, "a", "s")
+        trace.record(0.0, "b", "s")
+        assert trace.kinds() == {"a": 3, "b": 1}
+
+    def test_values_extracts_field(self):
+        trace = TraceRecorder()
+        for value in (1, 2, 3):
+            trace.record(0.0, "sample", "s", v=value)
+        trace.record(0.0, "sample", "s")  # record without the field is skipped
+        assert trace.values("sample", "v") == [1, 2, 3]
+
+    def test_last_returns_most_recent(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tick", "s", n=1)
+        trace.record(2.0, "tick", "s", n=2)
+        assert trace.last("tick")["n"] == 2
+        assert trace.last("missing") is None
+
+    def test_by_source_and_subscribe(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(0.0, "k", "alpha")
+        trace.record(0.0, "k", "beta")
+        assert len(trace.by_source("alpha")) == 1
+        assert len(seen) == 2
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "k", "s")
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,259 @@
+"""Tests for kinematics, controllers, vehicles, highway world and airspace."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.vehicles.aircraft import Aircraft, AirspaceWorld, SeparationMinima
+from repro.vehicles.controllers import (
+    AccController,
+    CaccController,
+    CruiseController,
+    EmergencyBrake,
+    VerticalProfile,
+)
+from repro.vehicles.kinematics import LongitudinalState, clamp
+from repro.vehicles.vehicle import Vehicle
+from repro.vehicles.world import HighwayWorld
+
+
+class TestKinematics:
+    def test_clamp(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+        with pytest.raises(ValueError):
+            clamp(0.0, 5.0, 1.0)
+
+    def test_integration_advances_position(self):
+        state = LongitudinalState(speed=10.0)
+        state.step(1.0)
+        assert state.position == pytest.approx(10.0)
+
+    def test_acceleration_clipped_to_limits(self):
+        state = LongitudinalState(max_acceleration=2.0, min_acceleration=-5.0)
+        assert state.apply(10.0) == 2.0
+        assert state.apply(-20.0) == -5.0
+
+    def test_speed_never_negative(self):
+        state = LongitudinalState(speed=1.0)
+        state.apply(-8.0)
+        state.step(1.0)
+        assert state.speed == 0.0
+
+    def test_stopping_distance(self):
+        state = LongitudinalState(speed=20.0, min_acceleration=-10.0)
+        assert state.stopping_distance() == pytest.approx(20.0)
+        assert state.stopping_distance(reaction_time=1.0) == pytest.approx(40.0)
+
+    @given(speed=st.floats(min_value=0, max_value=45), accel=st.floats(min_value=-8, max_value=3),
+           dt=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_speed_always_within_bounds(self, speed, accel, dt):
+        state = LongitudinalState(speed=speed)
+        state.apply(accel)
+        state.step(dt)
+        assert 0.0 <= state.speed <= state.max_speed
+
+
+class TestControllers:
+    def test_cruise_regulates_to_target(self):
+        controller = CruiseController(target_speed=30.0, gain=0.5)
+        assert controller.acceleration(20.0) > 0
+        assert controller.acceleration(35.0) < 0
+
+    def test_acc_brakes_when_gap_too_small(self):
+        acc = AccController(time_gap=1.4)
+        command = acc.acceleration(speed=25.0, gap=10.0, leader_speed=25.0)
+        assert command < 0
+
+    def test_acc_closes_large_gap(self):
+        acc = AccController(time_gap=1.4, cruise=CruiseController(target_speed=25.0))
+        command = acc.acceleration(speed=25.0, gap=200.0, leader_speed=25.0)
+        assert command > 0
+
+    def test_acc_without_leader_cruises(self):
+        acc = AccController(cruise=CruiseController(target_speed=30.0))
+        assert acc.acceleration(20.0, None, None) == pytest.approx(5.0)
+
+    def test_acc_reacts_to_closing_speed(self):
+        acc = AccController(time_gap=1.0)
+        steady = acc.acceleration(speed=20.0, gap=25.0, leader_speed=20.0)
+        closing = acc.acceleration(speed=20.0, gap=25.0, leader_speed=10.0)
+        assert closing < steady
+
+    def test_cacc_feedforward_uses_leader_acceleration(self):
+        cacc = CaccController()
+        braking_leader = cacc.acceleration(20.0, gap=20.0, leader_speed=20.0, leader_acceleration=-3.0)
+        steady_leader = cacc.acceleration(20.0, gap=20.0, leader_speed=20.0, leader_acceleration=0.0)
+        assert braking_leader < steady_leader
+
+    def test_emergency_brake(self):
+        assert EmergencyBrake(deceleration=8.0).acceleration() == -8.0
+
+    def test_vertical_profile_direction_and_completion(self):
+        profile = VerticalProfile(target_altitude=1000.0, climb_rate=10.0, tolerance=5.0)
+        assert profile.vertical_speed(900.0) == 10.0
+        assert profile.vertical_speed(1100.0) == -10.0
+        assert profile.vertical_speed(999.0) == 0.0
+        assert profile.reached(1002.0)
+
+    def test_invalid_time_gap_rejected(self):
+        with pytest.raises(ValueError):
+            AccController(time_gap=0.0)
+
+
+class TestVehicleAndWorld:
+    def test_gap_and_time_gap(self):
+        leader = Vehicle("lead", lane=0)
+        leader.state.position = 100.0
+        follower = Vehicle("follow", lane=0)
+        follower.state.position = 50.0
+        follower.state.speed = 25.0
+        assert follower.gap_to(leader) == pytest.approx(100.0 - leader.length - 50.0)
+        assert follower.time_gap_to(leader) == pytest.approx(follower.gap_to(leader) / 25.0)
+
+    def test_lane_change_completes_after_duration(self):
+        vehicle = Vehicle("v", lane=0)
+        vehicle.begin_lane_change(1, now=0.0, duration=2.0)
+        assert vehicle.changing_lane
+        vehicle.step(0.1, now=1.0)
+        assert vehicle.lane == 0
+        vehicle.step(0.1, now=2.5)
+        assert vehicle.lane == 1
+        assert not vehicle.changing_lane
+        assert vehicle.lane_changes_completed == 1
+
+    def test_abort_lane_change(self):
+        vehicle = Vehicle("v", lane=0)
+        vehicle.begin_lane_change(1, now=0.0)
+        vehicle.abort_lane_change()
+        vehicle.step(0.1, now=10.0)
+        assert vehicle.lane == 0
+
+    def test_world_leader_query(self):
+        sim = Simulator()
+        world = HighwayWorld(sim, lanes=2)
+        ahead = Vehicle("a", lane=0)
+        ahead.state.position = 100.0
+        behind = Vehicle("b", lane=0)
+        behind.state.position = 50.0
+        other_lane = Vehicle("c", lane=1)
+        other_lane.state.position = 80.0
+        for vehicle in (ahead, behind, other_lane):
+            world.add_vehicle(vehicle)
+        assert world.leader_of("b").vehicle_id == "a"
+        assert world.leader_of("a") is None
+
+    def test_world_collision_detection(self):
+        sim = Simulator()
+        world = HighwayWorld(sim, lanes=1, step_period=0.1)
+        leader = Vehicle("lead", lane=0)
+        leader.state.position = 20.0
+        leader.state.speed = 0.0
+        chaser = Vehicle("chase", lane=0)
+        chaser.state.position = 0.0
+        chaser.state.speed = 20.0
+        world.add_vehicle(leader)
+        world.add_vehicle(chaser, controller=lambda now: 0.0)
+        world.start()
+        sim.run_until(3.0)
+        assert any(c.follower == "chase" and c.leader == "lead" for c in world.collisions)
+        assert world.min_gap_observed <= 0.0
+
+    def test_world_controller_drives_vehicle(self):
+        sim = Simulator()
+        world = HighwayWorld(sim, lanes=1, step_period=0.1)
+        vehicle = Vehicle("v", lane=0)
+        world.add_vehicle(vehicle, controller=lambda now: 1.0)
+        world.start()
+        sim.run_until(5.0)
+        assert vehicle.speed > 0
+        assert vehicle.position > 0
+
+    def test_lane_is_clear(self):
+        sim = Simulator()
+        world = HighwayWorld(sim, lanes=2)
+        me = Vehicle("me", lane=0)
+        me.state.position = 100.0
+        blocker = Vehicle("blocker", lane=1)
+        blocker.state.position = 105.0
+        world.add_vehicle(me)
+        world.add_vehicle(blocker)
+        assert not world.lane_is_clear("me", 1, front_margin=20.0, rear_margin=20.0)
+        blocker.state.position = 200.0
+        assert world.lane_is_clear("me", 1, front_margin=20.0, rear_margin=20.0)
+
+    def test_throughput_estimate_positive_for_moving_traffic(self):
+        sim = Simulator()
+        world = HighwayWorld(sim, lanes=1)
+        for i in range(4):
+            vehicle = Vehicle(f"v{i}", lane=0)
+            vehicle.state.position = 200.0 - i * 50.0
+            vehicle.state.speed = 25.0
+            world.add_vehicle(vehicle)
+        assert world.throughput_estimate() > 0
+
+    def test_duplicate_vehicle_rejected(self):
+        world = HighwayWorld(Simulator())
+        world.add_vehicle(Vehicle("v", lane=0))
+        with pytest.raises(ValueError):
+            world.add_vehicle(Vehicle("v", lane=0))
+
+
+class TestAircraftAndAirspace:
+    def test_separation_minima_violation(self):
+        minima = SeparationMinima(lateral=5000.0, vertical=300.0)
+        assert minima.violated_by((0, 0, 1000), (1000, 0, 1100))
+        assert not minima.violated_by((0, 0, 1000), (10000, 0, 1000))
+        assert not minima.violated_by((0, 0, 1000), (1000, 0, 2000))
+
+    def test_aircraft_moves_along_heading(self):
+        aircraft = Aircraft("a", position=(0, 0, 1000), speed=100.0, heading=0.0)
+        aircraft.step(10.0)
+        assert aircraft.position[0] == pytest.approx(1000.0)
+
+    def test_climb_profile(self):
+        aircraft = Aircraft("a", position=(0, 0, 1000), speed=0.0)
+        aircraft.climb_to(1100.0, rate=10.0)
+        for _ in range(12):
+            aircraft.step(1.0)
+        assert aircraft.altitude == pytest.approx(1100.0, abs=15.0)
+
+    def test_reported_position_degraded_for_non_collaborative(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        aircraft = Aircraft("a", collaborative=False, position_uncertainty=500.0)
+        reported = aircraft.reported_position(rng)
+        assert reported != aircraft.position
+
+    def test_collaborative_reports_exact_position(self):
+        aircraft = Aircraft("a", collaborative=True)
+        assert aircraft.reported_position() == aircraft.position
+
+    def test_airspace_detects_conflict(self):
+        sim = Simulator()
+        world = AirspaceWorld(sim, step_period=1.0)
+        first = Aircraft("a", position=(0, 0, 1000), speed=100.0, heading=0.0,
+                         separation=SeparationMinima(lateral=2000.0, vertical=300.0))
+        second = Aircraft("b", position=(10000, 0, 1000), speed=100.0, heading=math.pi,
+                          separation=SeparationMinima(lateral=2000.0, vertical=300.0))
+        world.add_aircraft(first)
+        world.add_aircraft(second)
+        world.start()
+        sim.run_until(60.0)
+        assert len(world.conflicts) == 1
+        assert world.min_horizontal_separation < 2000.0
+
+    def test_airspace_no_conflict_with_vertical_separation(self):
+        sim = Simulator()
+        world = AirspaceWorld(sim, step_period=1.0)
+        world.add_aircraft(Aircraft("a", position=(0, 0, 1000), speed=100.0, heading=0.0))
+        world.add_aircraft(Aircraft("b", position=(10000, 0, 2000), speed=100.0, heading=math.pi))
+        world.start()
+        sim.run_until(60.0)
+        assert world.conflicts == []
