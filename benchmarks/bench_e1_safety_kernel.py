@@ -3,44 +3,51 @@
 Reproduces the paper's central claim: the safety kernel keeps the vehicle
 safe (like the never-cooperative baseline) while delivering performance close
 to the always-cooperative configuration whenever the network is healthy.
+
+The three architecture variants run as one campaign over the registered
+``platoon`` scenario (``--jobs N`` parallelises it, ``--seeds N`` widens it).
 """
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
+from repro.experiments import ParameterGrid
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
 DURATION = 60.0
 FOLLOWERS = 3
-BURSTS = ((18.0, 8.0), (40.0, 5.0))
+VARIANTS = ("karyon", "always_cooperative", "never_cooperative")
 
 
-def _run_variant(variant: ArchitectureVariant):
-    config = PlatoonConfig(
-        followers=FOLLOWERS,
-        duration=DURATION,
-        variant=variant,
-        interference_bursts=BURSTS,
-        seed=1,
-    )
-    return PlatoonScenario(config).run()
+def test_benchmark_e1_safety_kernel_vs_baselines(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((1,), campaign_seed_count)
 
-
-def test_benchmark_e1_safety_kernel_vs_baselines(benchmark):
     def experiment():
-        return [_run_variant(variant) for variant in ArchitectureVariant]
+        return campaign_runner.run(
+            "platoon",
+            params={
+                "followers": FOLLOWERS,
+                "duration": DURATION,
+                "blackout_start": 18.0,
+                "blackout_duration": 8.0,
+                "blackout2_start": 40.0,
+                "blackout2_duration": 5.0,
+            },
+            sweep=ParameterGrid(variant=VARIANTS),
+            seeds=seeds,
+        )
 
-    results = run_once(benchmark, experiment)
-    rows = [result.as_row() for result in results]
+    result = run_once(benchmark, experiment)
+    rows = result.grouped_rows(by=("variant",))
     print()
     print(format_table(rows, title="E1: platoon under communication blackouts (per architecture)"))
 
-    by_variant = {result.variant: result for result in results}
+    assert result.failures == 0
+    by_variant = {row["variant"]: row for row in rows}
     karyon = by_variant["karyon"]
     always = by_variant["always_cooperative"]
     never = by_variant["never_cooperative"]
     # Shape checks mirroring the paper's argument.
-    assert karyon.collisions == 0 and karyon.hazardous_states == 0
-    assert never.collisions == 0
-    assert always.collisions > 0 or always.hazardous_states > 0
-    assert karyon.throughput > never.throughput
+    assert karyon["collisions"] == 0 and karyon["hazardous_states"] == 0
+    assert never["collisions"] == 0
+    assert always["collisions"] > 0 or always["hazardous_states"] > 0
+    assert karyon["throughput"] > never["throughput"]

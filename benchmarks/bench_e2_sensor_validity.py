@@ -3,80 +3,35 @@
 Injects each of the paper's five sensor fault classes into one replica of a
 redundant ranging-sensor set and compares the estimation error of
 (a) a single faulty sensor, (b) naive averaging and (c) validity-weighted
-fusion driven by the MOSAIC-style failure detectors.
+fusion driven by the MOSAIC-style failure detectors.  The fault classes run
+as one sweep campaign over the registered ``sensor_validity`` scenario.
 """
 
-import numpy as np
-
 from repro.evaluation.reporting import format_table
-from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
-from repro.sensors.detectors import RangeDetector, RateLimitDetector, StuckAtDetector
-from repro.sensors.faults import FaultClass, make_fault
-from repro.sensors.fusion import naive_mean, validity_weighted_mean
+from repro.experiments import ParameterGrid
+from repro.sensors.faults import FaultClass
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
-TRUE_VALUE = 50.0
-SAMPLES = 400
-PERIOD = 0.05
+FAULT_CLASSES = tuple(fc.value for fc in FaultClass)
 
 
-def _replica(name: str, seed: int) -> AbstractSensor:
-    physical = PhysicalSensor(
-        name=name,
-        quantity="range",
-        truth_fn=lambda t: TRUE_VALUE + 5.0 * np.sin(0.5 * t),
-        noise_sigma=0.3,
-        rng=np.random.default_rng(seed),
-    )
-    return AbstractSensor(
-        physical,
-        detectors=[
-            RangeDetector(low=0.0, high=200.0),
-            RateLimitDetector(max_rate=30.0),
-            StuckAtDetector(window=10, min_run=4),
-        ],
-    )
+def test_benchmark_e2_sensor_validity(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((0,), campaign_seed_count)
 
+    def experiment():
+        return campaign_runner.run(
+            "sensor_validity",
+            sweep=ParameterGrid(fault_class=FAULT_CLASSES),
+            seeds=seeds,
+        )
 
-def _evaluate_fault(fault_class: FaultClass) -> dict:
-    replicas = [_replica(f"s{i}", seed=i) for i in range(3)]
-    replicas[0].physical.inject(make_fault(fault_class, magnitude=3.0), start=5.0)
-    errors = {"faulty_sensor": [], "naive_mean": [], "validity_weighted": []}
-    detected = 0
-    fault_samples = 0
-    for step in range(SAMPLES):
-        now = step * PERIOD
-        truth = TRUE_VALUE + 5.0 * np.sin(0.5 * now)
-        readings = [r for r in (replica.read(now) for replica in replicas) if r is not None]
-        if not readings:
-            continue
-        faulty = next((r for r in readings if r.attributes.source_id == "s0"), None)
-        if now >= 5.0:
-            fault_samples += 1
-            if faulty is not None and faulty.validity < 0.99:
-                detected += 1
-        if faulty is not None:
-            errors["faulty_sensor"].append(abs(faulty.value - truth))
-        naive = naive_mean(readings)
-        weighted = validity_weighted_mean(readings, min_validity=0.05)
-        if naive is not None:
-            errors["naive_mean"].append(abs(naive.value - truth))
-        if weighted is not None:
-            errors["validity_weighted"].append(abs(weighted.value - truth))
-    return {
-        "fault_class": fault_class.value,
-        "detection_coverage": detected / fault_samples if fault_samples else 0.0,
-        "faulty_sensor_mae": float(np.mean(errors["faulty_sensor"])),
-        "naive_mean_mae": float(np.mean(errors["naive_mean"])),
-        "validity_weighted_mae": float(np.mean(errors["validity_weighted"])),
-    }
-
-
-def test_benchmark_e2_sensor_validity(benchmark):
-    rows = run_once(benchmark, lambda: [_evaluate_fault(fc) for fc in FaultClass])
+    result = run_once(benchmark, experiment)
+    rows = result.grouped_rows(by=("fault_class",))
     print()
     print(format_table(rows, title="E2: per-fault-class detection coverage and fusion error (MAE, m)"))
+
+    assert result.failures == 0
     offset_rows = [r for r in rows if "offset" in r["fault_class"] or r["fault_class"] == "stuck_at"]
     # Validity-weighted fusion must beat naive averaging for value faults.
     assert all(r["validity_weighted_mae"] <= r["naive_mean_mae"] + 1e-9 for r in offset_rows)

@@ -3,81 +3,32 @@
 Periodic safety messages with a delivery deadline are exchanged between two
 vehicles while interference bursts hit the primary channel.  The experiment
 compares deadline-miss ratio and the maximum network-inaccessibility duration
-with and without the Mediator / Channel-Control layers.
+with and without the Mediator / Channel-Control layers, as one sweep campaign
+over the registered ``r2t_mac`` scenario.
 """
 
-import numpy as np
-
 from repro.evaluation.reporting import format_table
-from repro.network.frames import Frame, FrameKind
-from repro.network.mac_csma import CsmaMacNode
-from repro.network.medium import InterferenceBurst, MediumConfig, WirelessMedium
-from repro.network.r2t_mac import R2TConfig, R2TMacNode
-from repro.sim.kernel import Simulator
+from repro.experiments import ParameterGrid
 
-from benchmarks.conftest import run_once
-
-DURATION = 30.0
-MESSAGE_PERIOD = 0.1
-DEADLINE = 0.1
-BURSTS = ((5.0, 3.0), (15.0, 4.0))
+from benchmarks.conftest import run_once, seeds_or
 
 
-def _run(use_r2t: bool) -> dict:
-    sim = Simulator()
-    medium = WirelessMedium(
-        sim, MediumConfig(base_loss_probability=0.02, channels=3), rng=np.random.default_rng(0)
-    )
-    for start, duration in BURSTS:
-        medium.add_interference(InterferenceBurst(start=start, duration=duration, channel=0))
+def test_benchmark_e3_r2t_mac_vs_csma(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((0,), campaign_seed_count)
 
-    if use_r2t:
-        sender = R2TMacNode("a", sim, medium, config=R2TConfig(), rng=np.random.default_rng(1))
-        receiver = R2TMacNode("b", sim, medium, config=R2TConfig(), rng=np.random.default_rng(2))
-    else:
-        sender = CsmaMacNode("a", sim, medium, rng=np.random.default_rng(1))
-        receiver = CsmaMacNode("b", sim, medium, rng=np.random.default_rng(2))
-
-    delivered = {}
-    receiver.on_receive(lambda frame, t: delivered.setdefault(frame.frame_id, t))
-
-    sent = []
-
-    def send_safety_message():
-        frame = Frame(
-            source="a",
-            payload={"t": sim.now},
-            kind=FrameKind.SAFETY,
-            deadline=sim.now + DEADLINE,
+    def experiment():
+        return campaign_runner.run(
+            "r2t_mac",
+            sweep=ParameterGrid(use_r2t=(False, True)),
+            seeds=seeds,
         )
-        sent.append(frame)
-        sender.send(frame)
 
-    sim.periodic(MESSAGE_PERIOD, send_safety_message)
-    sim.run_until(DURATION)
-
-    misses = 0
-    for frame in sent:
-        delivery = delivered.get(frame.frame_id)
-        if delivery is None or delivery > frame.deadline:
-            misses += 1
-    if use_r2t:
-        max_inaccessibility = receiver.inaccessibility.max_duration()
-    else:
-        max_inaccessibility = max((duration for _start, duration in BURSTS))
-    return {
-        "mac": "R2T-MAC" if use_r2t else "CSMA",
-        "messages": len(sent),
-        "deadline_miss_ratio": misses / len(sent),
-        "max_inaccessibility_s": round(max_inaccessibility, 3),
-        "channel_switches": sender.channel_control.switches if use_r2t else 0,
-    }
-
-
-def test_benchmark_e3_r2t_mac_vs_csma(benchmark):
-    rows = run_once(benchmark, lambda: [_run(False), _run(True)])
+    result = run_once(benchmark, experiment)
+    rows = result.grouped_rows(by=("use_r2t",))
     print()
     print(format_table(rows, title="E3: safety-message deadline misses under interference"))
+
+    assert result.failures == 0
     csma, r2t = rows
     assert r2t["deadline_miss_ratio"] < csma["deadline_miss_ratio"]
     assert r2t["max_inaccessibility_s"] < csma["max_inaccessibility_s"]

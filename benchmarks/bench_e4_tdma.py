@@ -3,77 +3,70 @@
 Series 1: TDMA frames to convergence vs network size (grid topologies), with
 and without churn.  Series 2: pulse-synchronisation rounds to align frame
 starts below a threshold, with and without the correction algorithm.
+
+Both series run as campaigns over the registered ``tdma_convergence`` and
+``pulse_alignment`` scenarios; the sweep is an explicit point list because
+the grid geometry and slot count co-vary.
 """
 
-import numpy as np
-
 from repro.evaluation.reporting import format_table
-from repro.network.pulse_sync import PulseSyncConfig, PulseSyncNetwork
-from repro.network.tdma import TdmaConfig, TdmaNetwork, grid_topology
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
 GRID_SIZES = ((2, 2), (3, 3), (4, 4), (5, 5))
-SEEDS = (1, 2, 3)
+DEFAULT_SEEDS = (1, 2, 3)
 
 
-def _tdma_convergence(rows_cols, slots, churn, seed):
-    network = TdmaNetwork(TdmaConfig(slots_per_frame=slots), rng=np.random.default_rng(seed))
-    for node, peers in grid_topology(*rows_cols).items():
-        network.add_node(node, neighbors=peers)
-    frames = network.run_until_converged(max_frames=3000)
-    if churn:
-        # A node joins with a deliberately conflicting slot; measure re-convergence.
-        anchor = next(iter(network.nodes))
-        network.add_node("joiner", neighbors={anchor}, slot=network.nodes[anchor].slot)
-        extra = network.run_until_converged(max_frames=3000)
-        frames = extra if frames is None else (frames or 0) + (extra or 3000)
-    return frames
+def test_benchmark_e4_tdma_convergence(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or(DEFAULT_SEEDS, campaign_seed_count)
+    tdma_points = [
+        {"rows": rows, "cols": cols, "slots": max(12, rows * cols), "churn": churn}
+        for rows, cols in GRID_SIZES
+        for churn in (False, True)
+    ]
+    pulse_points = [
+        {"nodes": nodes, "correction_gain": gain}
+        for nodes in (4, 8, 12)
+        for gain in (0.5, 0.0)
+    ]
 
-
-def _pulse_alignment(nodes, gain, seed):
-    config = PulseSyncConfig(correction_gain=gain, pulse_loss_probability=0.05)
-    network = PulseSyncNetwork(config, rng=np.random.default_rng(seed))
-    names = [f"n{i}" for i in range(nodes)]
-    for i, name in enumerate(names):
-        neighbors = {names[i - 1]} if i else set()
-        network.add_node(name, drift_ppm=40.0 * (i - nodes / 2), neighbors=neighbors)
-    rounds = network.run_until_aligned(threshold=0.002, max_rounds=400)
-    return rounds
-
-
-def test_benchmark_e4_tdma_convergence(benchmark):
     def experiment():
-        tdma_rows = []
-        for rows_cols in GRID_SIZES:
-            nodes = rows_cols[0] * rows_cols[1]
-            slots = max(12, 2 * nodes // 2)
-            base = [_tdma_convergence(rows_cols, slots, churn=False, seed=s) for s in SEEDS]
-            churned = [_tdma_convergence(rows_cols, slots, churn=True, seed=s) for s in SEEDS]
-            tdma_rows.append(
-                {
-                    "nodes": nodes,
-                    "slots": slots,
-                    "frames_to_converge_mean": float(np.mean([b for b in base if b is not None])),
-                    "frames_with_churn_mean": float(np.mean([c for c in churned if c is not None])),
-                    "converged_all": all(b is not None for b in base + churned),
-                }
-            )
-        pulse_rows = []
-        for nodes in (4, 8, 12):
-            with_sync = [_pulse_alignment(nodes, gain=0.5, seed=s) for s in SEEDS]
-            without_sync = [_pulse_alignment(nodes, gain=0.0, seed=s) for s in SEEDS]
-            pulse_rows.append(
-                {
-                    "nodes": nodes,
-                    "rounds_to_align_mean": float(np.mean([w for w in with_sync if w is not None])),
-                    "aligned_all": all(w is not None for w in with_sync),
-                    "aligned_without_sync": all(w is not None for w in without_sync),
-                }
-            )
-        return tdma_rows, pulse_rows
+        tdma = campaign_runner.run("tdma_convergence", sweep=tdma_points, seeds=seeds)
+        pulse = campaign_runner.run("pulse_alignment", sweep=pulse_points, seeds=seeds)
+        return tdma, pulse
 
-    tdma_rows, pulse_rows = run_once(benchmark, experiment)
+    tdma, pulse = run_once(benchmark, experiment)
+    assert tdma.failures == 0 and pulse.failures == 0
+
+    grouped = tdma.grouped_rows(by=("rows", "cols", "churn"))
+    tdma_rows = []
+    for rows, cols in GRID_SIZES:
+        base = next(r for r in grouped if r["rows"] == rows and r["cols"] == cols and not r["churn"])
+        churned = next(r for r in grouped if r["rows"] == rows and r["cols"] == cols and r["churn"])
+        tdma_rows.append(
+            {
+                "nodes": rows * cols,
+                "slots": max(12, rows * cols),
+                "frames_to_converge_mean": base.get("frames_to_converge"),
+                "frames_with_churn_mean": churned.get("frames_to_converge"),
+                "converged_all": base["converged"] == 1 and churned["converged"] == 1,
+            }
+        )
+
+    pulse_grouped = pulse.grouped_rows(by=("nodes", "correction_gain"))
+    pulse_rows = []
+    for nodes in (4, 8, 12):
+        with_sync = next(r for r in pulse_grouped if r["nodes"] == nodes and r["correction_gain"] == 0.5)
+        without_sync = next(r for r in pulse_grouped if r["nodes"] == nodes and r["correction_gain"] == 0.0)
+        pulse_rows.append(
+            {
+                "nodes": nodes,
+                "rounds_to_align_mean": with_sync.get("rounds_to_align"),
+                "aligned_all": with_sync["aligned"] == 1,
+                "aligned_without_sync": without_sync["aligned"] == 1,
+            }
+        )
+
     print()
     print(format_table(tdma_rows, title="E4a: self-stabilising TDMA convergence (frames)"))
     print()

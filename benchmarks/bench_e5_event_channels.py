@@ -3,93 +3,37 @@
 Many publishers offer load to a shared wireless medium.  With admission
 control, channels whose latency requirement cannot be met are rejected at
 announcement time and the admitted ones keep their bound; with best-effort
-everything is accepted and deadline misses grow with the offered load.
+everything is accepted and deadline misses grow with the offered load.  The
+load points run as one sweep campaign over the registered ``event_channels``
+scenario.
 """
 
-import numpy as np
-
 from repro.evaluation.reporting import format_table
-from repro.middleware.broker import EventBroker
-from repro.middleware.qos import NetworkAssessor, QoSSpec
-from repro.network.mac_csma import CsmaMacNode
-from repro.network.medium import MediumConfig, WirelessMedium
-from repro.sim.kernel import Simulator
+from repro.experiments import ParameterGrid
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
-DURATION = 10.0
-MAX_LATENCY = 0.02
-PAYLOAD_BITS = 4000
+PUBLISHER_COUNTS = (2, 6, 12)
 
 
-def _run(publishers: int, admission: bool) -> dict:
-    sim = Simulator()
-    medium = WirelessMedium(
-        sim,
-        MediumConfig(base_loss_probability=0.01, bitrate_bps=1_000_000.0),
-        rng=np.random.default_rng(0),
-    )
-    assessor = NetworkAssessor(medium, max_utilization=0.5)
-    # One subscriber node collects every channel.
-    subscriber_mac = CsmaMacNode("subscriber", sim, medium, rng=np.random.default_rng(99))
-    subscriber = EventBroker("subscriber", sim, subscriber_mac, assessor=assessor,
-                             admission_control=admission)
-    latencies = []
-    received = [0]
+def test_benchmark_e5_event_channel_qos(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((0,), campaign_seed_count)
 
-    def on_event(event):
-        received[0] += 1
-        latencies.append(sim.now - event.published_at)
-
-    admitted = 0
-    rejected = 0
-    publishers_list = []
-    for index in range(publishers):
-        mac = CsmaMacNode(f"pub{index}", sim, medium, rng=np.random.default_rng(index))
-        broker = EventBroker(f"pub{index}", sim, mac, assessor=assessor, admission_control=admission)
-        subject = f"karyon/topic{index}"
-        spec = QoSSpec(max_latency=MAX_LATENCY, rate_hz=20.0, payload_bits=PAYLOAD_BITS)
-        channel = broker.announce(subject, spec)
-        subscriber.subscribe(subject, on_event)
-        if channel.has_guarantee:
-            admitted += 1
-        elif not channel.is_usable:
-            rejected += 1
-        publishers_list.append((broker, subject, channel))
-
-    def publish_all():
-        for broker, subject, channel in publishers_list:
-            broker.publish(subject, content={"t": sim.now})
-
-    sim.periodic(1.0 / 20.0, publish_all)
-    sim.run_until(DURATION)
-
-    misses = sum(1 for latency in latencies if latency > MAX_LATENCY)
-    return {
-        "publishers": publishers,
-        "admission_control": admission,
-        "admitted": admitted if admission else publishers,
-        "rejected": rejected,
-        "deliveries": received[0],
-        "mean_latency_ms": round(1000 * float(np.mean(latencies)) if latencies else 0.0, 3),
-        "p99_latency_ms": round(1000 * float(np.percentile(latencies, 99)) if latencies else 0.0, 3),
-        "deadline_miss_ratio": round(misses / len(latencies), 4) if latencies else 0.0,
-    }
-
-
-def test_benchmark_e5_event_channel_qos(benchmark):
     def experiment():
-        rows = []
-        for publishers in (2, 6, 12):
-            rows.append(_run(publishers, admission=False))
-            rows.append(_run(publishers, admission=True))
-        return rows
+        return campaign_runner.run(
+            "event_channels",
+            sweep=ParameterGrid(publishers=PUBLISHER_COUNTS, admission=(False, True)),
+            seeds=seeds,
+        )
 
-    rows = run_once(benchmark, experiment)
+    result = run_once(benchmark, experiment)
+    rows = result.grouped_rows(by=("publishers", "admission"))
     print()
     print(format_table(rows, title="E5: event-channel latency with and without QoS admission control"))
-    heavy_best_effort = [r for r in rows if not r["admission_control"]][-1]
-    heavy_admitted = [r for r in rows if r["admission_control"]][-1]
+
+    assert result.failures == 0
+    heavy_best_effort = [r for r in rows if not r["admission"]][-1]
+    heavy_admitted = [r for r in rows if r["admission"]][-1]
     # Under heavy load, admission control keeps the miss ratio lower than
     # best-effort by refusing channels the network cannot carry.
     assert heavy_admitted["deadline_miss_ratio"] <= heavy_best_effort["deadline_miss_ratio"]

@@ -1,60 +1,65 @@
 """E6 — ACC time-margin (headway) per Level of Service (section VI-A.1).
 
 Sweeps the LoS by forcing the network/sensor conditions that enable each
-level and reports the time-gap distribution and throughput per LoS, plus the
-LoS residency of a run where conditions change mid-way.  Expected shape:
-higher LoS -> smaller time margin -> higher throughput, with zero collisions
-whenever the kernel is in charge.
+level and reports the time-gap distribution and throughput per LoS.  Each
+condition is one campaign over the registered ``platoon`` scenario.
+Expected shape: higher LoS -> smaller time margin -> higher throughput, with
+zero collisions whenever the kernel is in charge.
 """
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
 DURATION = 45.0
 
-
-def _run(condition: str) -> dict:
-    if condition == "cooperative (healthy V2V)":
-        config = PlatoonConfig(followers=3, duration=DURATION, variant=ArchitectureVariant.KARYON,
-                               seed=2)
-    elif condition == "autonomous (V2V blackout)":
-        config = PlatoonConfig(followers=3, duration=DURATION, variant=ArchitectureVariant.KARYON,
-                               seed=2, interference_bursts=((5.0, DURATION),))
-    else:  # conservative (ranging degraded too)
-        from repro.sensors.faults import StochasticOffsetFault
-
-        config = PlatoonConfig(
-            followers=3,
-            duration=DURATION,
-            variant=ArchitectureVariant.KARYON,
-            seed=2,
-            interference_bursts=((5.0, DURATION),),
-            sensor_faults=tuple(
-                (i, StochasticOffsetFault(sigma=40.0), 5.0, DURATION) for i in range(1, 4)
-            ),
-        )
-    result = PlatoonScenario(config).run()
-    dominant_los = max(result.los_residency, key=result.los_residency.get)
-    return {
-        "condition": condition,
-        "dominant_los": dominant_los,
-        "mean_time_gap_s": round(result.mean_time_gap, 3),
-        "min_time_gap_s": round(result.min_time_gap, 3),
-        "throughput_veh_h": round(result.throughput, 0),
-        "collisions": result.collisions,
-        "los_residency": {k: round(v, 2) for k, v in result.los_residency.items()},
-    }
-
-
-def test_benchmark_e6_time_margin_per_los(benchmark):
-    conditions = [
-        "cooperative (healthy V2V)",
-        "autonomous (V2V blackout)",
+CONDITIONS = (
+    ("cooperative (healthy V2V)", {"blackout_duration": 0.0}),
+    ("autonomous (V2V blackout)", {"blackout_start": 5.0, "blackout_duration": DURATION}),
+    (
         "conservative (ranging degraded too)",
-    ]
-    rows = run_once(benchmark, lambda: [_run(c) for c in conditions])
+        {
+            "blackout_start": 5.0,
+            "blackout_duration": DURATION,
+            "fault_class": "stochastic_offset",
+            "fault_start": 5.0,
+            # make_fault scales sigma as 3.0 * magnitude; 40/3 keeps sigma=40.
+            "fault_magnitude": 40.0 / 3.0,
+        },
+    ),
+)
+
+
+def test_benchmark_e6_time_margin_per_los(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((2,), campaign_seed_count)
+
+    def experiment():
+        results = {}
+        for condition, overrides in CONDITIONS:
+            results[condition] = campaign_runner.run(
+                "platoon",
+                params={"followers": 3, "duration": DURATION, "variant": "karyon", **overrides},
+                seeds=seeds,
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for condition, campaign in results.items():
+        assert campaign.failures == 0
+        residency = campaign.records[0].metrics["los_residency"]
+        dominant_los = max(residency, key=residency.get)
+        rows.append(
+            {
+                "condition": condition,
+                "dominant_los": dominant_los,
+                "mean_time_gap_s": round(campaign.metric("mean_time_gap"), 3),
+                "min_time_gap_s": round(campaign.metric("min_time_gap", "min"), 3),
+                "throughput_veh_h": round(campaign.metric("throughput"), 0),
+                "collisions": campaign.metric("collisions", "max"),
+                "los_residency": {k: round(v, 2) for k, v in residency.items()},
+            }
+        )
     print()
     print(format_table(rows, title="E6: time margin and throughput per Level of Service"))
     cooperative, autonomous, conservative = rows

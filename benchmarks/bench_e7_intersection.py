@@ -1,34 +1,38 @@
 """E7 — Intersection crossing: infrastructure light, VTL fallback, uncoordinated (section VI-A.2)."""
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.intersection import (
-    IntersectionConfig,
-    IntersectionMode,
-    IntersectionScenario,
-)
+from repro.experiments import ParameterGrid
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
 DURATION = 150.0
 VEHICLES = 5
 FAILURE_TIME = 20.0
+MODES = ("infrastructure", "vtl_fallback", "uncoordinated")
 
 
-def _run(mode: IntersectionMode) -> dict:
-    failure = None if mode is IntersectionMode.INFRASTRUCTURE else FAILURE_TIME
-    config = IntersectionConfig(
-        mode=mode,
-        vehicles_per_approach=VEHICLES,
-        duration=DURATION,
-        light_failure_time=failure,
-    )
-    return IntersectionScenario(config).run().as_row()
+def test_benchmark_e7_intersection_modes(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((7,), campaign_seed_count)
 
+    def experiment():
+        # The scenario ignores light_failure_time in infrastructure mode.
+        return campaign_runner.run(
+            "intersection",
+            params={
+                "vehicles_per_approach": VEHICLES,
+                "duration": DURATION,
+                "light_failure_time": FAILURE_TIME,
+            },
+            sweep=ParameterGrid(mode=MODES),
+            seeds=seeds,
+        )
 
-def test_benchmark_e7_intersection_modes(benchmark):
-    rows = run_once(benchmark, lambda: [_run(mode) for mode in IntersectionMode])
+    result = run_once(benchmark, experiment)
+    rows = result.grouped_rows(by=("mode",))
     print()
     print(format_table(rows, title="E7: intersection throughput and conflicts per coordination mode"))
+
+    assert result.failures == 0
     by_mode = {row["mode"]: row for row in rows}
     infra = by_mode["infrastructure"]
     vtl = by_mode["vtl_fallback"]
@@ -41,5 +45,5 @@ def test_benchmark_e7_intersection_modes(benchmark):
     assert (
         uncoordinated["conflicts"] > 0
         or uncoordinated["crossed"] < vtl["crossed"]
-        or uncoordinated["mean_delay_s"] > vtl["mean_delay_s"]
+        or uncoordinated["mean_delay"] > vtl["mean_delay"]
     )

@@ -1,45 +1,46 @@
 """E8 — Avionic use cases: RPV among collaborative and non-collaborative traffic (section VI-B, Figs 6-7)."""
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.avionics import AvionicsConfig, AvionicsScenario, AvionicsUseCase
+from repro.experiments import ParameterGrid
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, seeds_or
 
 DURATION = 500.0
+USE_CASES = ("in_trail", "crossing", "level_change")
 
 
-def _run(use_case, with_kernel, collaborative):
-    config = AvionicsConfig(
-        use_case=use_case,
-        with_safety_kernel=with_kernel,
-        intruder_collaborative=collaborative,
-        duration=DURATION,
-    )
-    return AvionicsScenario(config).run().as_row()
+def test_benchmark_e8_avionics_use_cases(benchmark, campaign_runner, campaign_seed_count):
+    seeds = seeds_or((3,), campaign_seed_count)
 
-
-def test_benchmark_e8_avionics_use_cases(benchmark):
     def experiment():
-        rows = []
-        for use_case in AvionicsUseCase:
-            for collaborative in (True, False):
-                for with_kernel in (True, False):
-                    rows.append(_run(use_case, with_kernel, collaborative))
-        return rows
+        return campaign_runner.run(
+            "avionics",
+            params={"duration": DURATION},
+            sweep=ParameterGrid(
+                use_case=USE_CASES,
+                intruder_collaborative=(True, False),
+                with_safety_kernel=(True, False),
+            ),
+            seeds=seeds,
+        )
 
-    rows = run_once(benchmark, experiment)
+    result = run_once(benchmark, experiment)
+    group_keys = ("use_case", "intruder_collaborative", "with_safety_kernel")
+    rows = result.grouped_rows(by=group_keys)
     print()
     print(format_table(rows, title="E8: separation assurance per avionic use case"))
-    kernel_rows = [row for row in rows if row["kernel"]]
+
+    assert result.failures == 0
+    kernel_rows = [row for row in rows if row["with_safety_kernel"]]
     # With the safety kernel the RPV never violates the separation minima and
     # always completes its mission.
     assert all(row["conflicts"] == 0 for row in kernel_rows)
-    assert all(row["completed"] for row in kernel_rows)
+    assert all(row["mission_completed"] == 1 for row in kernel_rows)
     # Non-collaborative traffic forces the conservative LoS (larger margins).
-    non_collaborative = [row for row in kernel_rows if not row["collaborative_traffic"]]
-    assert all(row["los_collaborative_share"] < 0.1 for row in non_collaborative)
+    non_collaborative = [row for row in kernel_rows if not row["intruder_collaborative"]]
+    assert all(row["los_share_collaborative"] < 0.1 for row in non_collaborative)
     # With collaborative traffic the tight LoS yields equal or faster missions.
-    for use_case in AvionicsUseCase:
-        fast = [r for r in kernel_rows if r["use_case"] == use_case.value and r["collaborative_traffic"]][0]
-        slow = [r for r in kernel_rows if r["use_case"] == use_case.value and not r["collaborative_traffic"]][0]
-        assert fast["mission_time_s"] <= slow["mission_time_s"] + 1e-6
+    for use_case in USE_CASES:
+        fast = [r for r in kernel_rows if r["use_case"] == use_case and r["intruder_collaborative"]][0]
+        slow = [r for r in kernel_rows if r["use_case"] == use_case and not r["intruder_collaborative"]][0]
+        assert fast["mission_time"] <= slow["mission_time"] + 1e-6

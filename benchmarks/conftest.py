@@ -1,14 +1,46 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one experiment from DESIGN.md / EXPERIMENTS.md
-(E1-E9) and prints the corresponding table or series.  ``pytest benchmarks/
+Every benchmark regenerates one experiment from the paper (E1-E9) by running
+a campaign over scenarios registered in :mod:`repro.experiments.scenarios`
+and prints the corresponding table or series.  ``pytest benchmarks/
 --benchmark-only -s`` shows the tables; without ``-s`` the printed output is
 captured but the measured numbers still land in the pytest-benchmark summary.
+
+Campaign options (registered in the repo-root ``conftest.py``):
+
+* ``--jobs N`` — run every benchmark campaign on N worker processes through
+  :class:`repro.experiments.runner.ParallelCampaignRunner`;
+* ``--seeds N`` — sweep seeds 1..N instead of each benchmark's default seed
+  list (tables then show per-group means over the seeds).
 """
 
 import pytest
+
+from repro.experiments import ParallelCampaignRunner
 
 
 def run_once(benchmark, func):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def seeds_or(default, count):
+    """The campaign seed list: 1..count if ``--seeds`` was given, else ``default``."""
+    return list(default) if count is None else list(range(1, count + 1))
+
+
+@pytest.fixture
+def campaign_jobs(request):
+    return int(request.config.getoption("--jobs", default=1) or 1)
+
+
+@pytest.fixture
+def campaign_seed_count(request):
+    value = request.config.getoption("--seeds", default=None)
+    return int(value) if value else None
+
+
+@pytest.fixture
+def campaign_runner(campaign_jobs):
+    """A campaign runner honouring the ``--jobs`` option."""
+    return ParallelCampaignRunner(jobs=campaign_jobs)

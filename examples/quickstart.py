@@ -1,86 +1,43 @@
 #!/usr/bin/env python3
-"""Quickstart: build a minimal KARYON safety kernel and watch it manage the LoS.
+"""Quickstart: run a KARYON safety-kernel scenario through ``repro.experiments``.
 
-A single vehicle has one abstract ranging sensor (with fault injection) and a
-V2V freshness indicator.  The safety kernel selects the highest Level of
-Service whose safety rules hold; when the sensor degrades or the V2V link
-goes silent the kernel downgrades, and it recovers once conditions improve.
+The ``demo/safety_kernel`` scenario (registered in
+``repro.experiments.scenarios``) builds a single vehicle with one abstract
+ranging sensor (fault-injected between t=8s and t=16s) and one V2V freshness
+indicator (silent between t=20s and t=30s); the safety kernel selects the
+highest Level of Service whose safety rules hold, downgrading and recovering
+as conditions change.
 
-Run with:  python examples/quickstart.py
+Instead of hand-rolling the run loop, this example drives the scenario the
+way every experiment in this repo runs: as a campaign over seeds through the
+:class:`~repro.experiments.runner.ParallelCampaignRunner`.
+
+Run with:  PYTHONPATH=src python examples/quickstart.py
+
+The same campaign is available from the command line:
+
+    PYTHONPATH=src python -m repro.experiments run demo/safety_kernel --seeds 3
+    PYTHONPATH=src python -m repro.experiments list
 """
 
-import numpy as np
-
-from repro.core.kernel import SafetyKernel
-from repro.core.los import LevelOfService, LoSCatalog
-from repro.core.rules import freshness_within, indicator_true, validity_at_least
-from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
-from repro.sensors.detectors import RangeDetector, StuckAtDetector
-from repro.sensors.faults import StuckAtFault
-from repro.sim.kernel import Simulator
+from repro.evaluation.reporting import format_table
+from repro.experiments import ParallelCampaignRunner
 
 
 def main() -> None:
-    sim = Simulator()
+    runner = ParallelCampaignRunner(jobs=1)
+    result = runner.run("demo/safety_kernel", seeds=[1, 2, 3])
 
-    # --- Nominal components -------------------------------------------------
-    # An abstract ranging sensor: physical transducer + detectors + validity.
-    physical = PhysicalSensor(
-        name="radar",
-        quantity="range",
-        truth_fn=lambda t: 50.0 + 5.0 * np.sin(0.2 * t),
-        noise_sigma=0.3,
-        rng=np.random.default_rng(1),
-    )
-    radar = AbstractSensor(
-        physical,
-        detectors=[RangeDetector(0.0, 200.0), StuckAtDetector(window=10, min_run=4)],
-    )
-    sim.periodic(0.05, lambda: radar.read(sim.now), name="radar-sampling")
-    # The radar freezes (stuck-at fault) between t=8s and t=16s.
-    physical.inject(StuckAtFault(), start=8.0, end=16.0)
-
-    # A V2V link indicator: healthy until t=20s, then silent until t=30s.
-    def v2v_alive() -> bool:
-        return not (20.0 <= sim.now < 30.0)
-
-    # --- Safety kernel -------------------------------------------------------
-    kernel = SafetyKernel("vehicle-1", sim, cycle_period=0.1)
-    kernel.monitor_sensor("range", radar)
-    kernel.monitor_indicator("v2v_alive", v2v_alive)
-
-    catalog = LoSCatalog(
-        "acc",
-        [
-            LevelOfService("conservative", 0, {"time_gap": 2.5}),
-            LevelOfService("autonomous", 1, {"time_gap": 1.4}),
-            LevelOfService("cooperative", 2, {"time_gap": 0.6}, cooperative=True),
-        ],
-    )
-    rules = {
-        1: [validity_at_least("range", 0.5), freshness_within("range", 0.3)],
-        2: [indicator_true("v2v_alive")],
-    }
-
-    history = []
-    kernel.define_functionality(
-        catalog,
-        enactor=lambda level: history.append((round(sim.now, 1), level.name)),
-        rules_by_rank=rules,
-    )
-    kernel.start()
-
-    # --- Run and report -------------------------------------------------------
-    sim.run_until(40.0)
-    print("LoS switches (time, selected level):")
-    for time, name in history:
-        print(f"  t={time:6.1f}s  ->  {name}")
+    rows = [{"seed": record.seed, **record.metrics} for record in result.records]
+    print(format_table(rows, title="demo/safety_kernel: one row per seeded run"))
     print()
-    summary = kernel.summary()
-    print(f"kernel cycles executed : {summary['cycles']}")
-    print(f"downgrades             : {summary['downgrades']}")
-    print(f"max cycle interval     : {summary['max_cycle_interval']:.3f} s (bound: 0.1 s)")
-    print(f"final LoS              : {summary['current_los']['acc']}")
+    print(format_table(result.aggregate_rows(), title="campaign aggregates"))
+    print()
+    print("Reading the table: the kernel downgrades when the radar freezes")
+    print("(stuck-at fault) and when the V2V link goes silent, then recovers;")
+    print("the cycle interval stays below its 0.1 s bound throughout.")
+    print()
+    print("Explore further:  PYTHONPATH=src python -m repro.experiments list")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,20 @@
-"""Fault-injection campaigns.
+"""Fault-injection campaigns (compatibility shim).
 
-A campaign runs a scenario factory over a set of seeds and fault
-configurations and aggregates the per-run metrics.  The scenario factory is a
-callable ``factory(seed) -> result`` where ``result`` is any object exposing
-the metric attributes named in ``metric_fields`` (the use-case ``*Results``
-dataclasses all qualify).
+This module predates :mod:`repro.experiments` and is kept as a thin
+compatibility layer over :class:`repro.experiments.runner.ParallelCampaignRunner`.
+A campaign runs a scenario factory over a set of seeds and aggregates the
+per-run metrics.  The scenario factory is a callable ``factory(seed) ->
+result`` where ``result`` is any object exposing the metric attributes named
+in ``metric_fields`` (the use-case ``*Results`` dataclasses all qualify).
+
+Unlike the original implementation, a raising factory no longer kills the
+whole campaign: the exception is captured into the run's ``error`` field and
+counted in :attr:`CampaignSummary.failures`.
+
+New code should register scenarios with :mod:`repro.experiments.registry` and
+use :class:`~repro.experiments.runner.ParallelCampaignRunner` directly — it
+adds parameter sweeps, multiprocessing and JSONL resume on top of what this
+shim exposes.
 """
 
 from __future__ import annotations
@@ -12,15 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.evaluation.metrics import summarize
+if False:  # typing-only; imported lazily in run() to avoid a circular import
+    from repro.experiments.spec import ScenarioSpec  # noqa: F401
 
 
 @dataclass
 class CampaignRun:
-    """One run of the campaign: its seed and the raw result object."""
+    """One run of the campaign: its seed, the raw result, and any error."""
 
     seed: int
     result: Any
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -30,6 +46,7 @@ class CampaignSummary:
     name: str
     runs: List[CampaignRun]
     aggregates: Dict[str, Dict[str, float]]
+    failures: int = 0
 
     def metric(self, name: str, statistic: str = "mean") -> float:
         return self.aggregates[name][statistic]
@@ -56,22 +73,38 @@ class FaultCampaign:
         self.metric_fields = list(metric_fields)
         self.seeds = list(seeds) if seeds is not None else [1, 2, 3]
 
+    def _spec(self) -> "ScenarioSpec":
+        from repro.experiments.spec import ScenarioSpec
+
+        factory = self.factory
+
+        def run_factory(seed: int) -> Any:
+            return factory(seed)
+
+        return ScenarioSpec(
+            name=self.name,
+            factory=run_factory,
+            metric_fields=tuple(self.metric_fields),
+            default_seeds=tuple(self.seeds),
+        )
+
     def run(self) -> CampaignSummary:
-        """Execute every run and summarise each metric field."""
-        runs: List[CampaignRun] = []
-        for seed in self.seeds:
-            result = self.factory(seed)
-            runs.append(CampaignRun(seed=seed, result=result))
-        aggregates: Dict[str, Dict[str, float]] = {}
-        for field_name in self.metric_fields:
-            values = []
-            for run in runs:
-                value = getattr(run.result, field_name, None)
-                if value is None:
-                    continue
-                try:
-                    values.append(float(value))
-                except (TypeError, ValueError):
-                    continue
-            aggregates[field_name] = summarize(values)
-        return CampaignSummary(name=self.name, runs=runs, aggregates=aggregates)
+        """Execute every run in-process and summarise each metric field.
+
+        A run that raises becomes a :class:`CampaignRun` with ``result=None``
+        and the captured error; the remaining runs still execute and the
+        aggregates cover the successful ones.
+        """
+        from repro.experiments.runner import ParallelCampaignRunner
+
+        result = ParallelCampaignRunner(jobs=1).run(self._spec(), seeds=self.seeds)
+        runs = [
+            CampaignRun(seed=record.seed, result=record.raw_result, error=record.error)
+            for record in result.records
+        ]
+        return CampaignSummary(
+            name=self.name,
+            runs=runs,
+            aggregates=result.aggregates,
+            failures=result.failures,
+        )

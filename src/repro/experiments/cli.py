@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro.experiments list|run|report``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run platoon/karyon --seeds 10 --jobs 4
+    python -m repro.experiments run platoon --sweep variant=karyon,never_cooperative \\
+        -p duration=30 --seeds 5 --store results.jsonl
+    python -m repro.experiments report results.jsonl --group-by variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.registry import REGISTRY, UnknownScenarioError, load_builtin_scenarios
+from repro.experiments.runner import (
+    ParallelCampaignRunner,
+    aggregate_records,
+    grouped_rows,
+)
+from repro.experiments.spec import ParameterGrid, ScenarioSpec
+from repro.experiments.store import ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Scenario registry, parameter sweeps and parallel campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tag", help="only scenarios carrying this tag")
+    list_parser.add_argument(
+        "--params", action="store_true", help="show every parameter with its default"
+    )
+
+    run_parser = sub.add_parser("run", help="run a campaign over one scenario")
+    run_parser.add_argument("scenario", help="registered scenario name (see `list`)")
+    run_parser.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="run seeds seed-base..seed-base+N-1 (default: the scenario's seeds)",
+    )
+    run_parser.add_argument(
+        "--seed-base", type=int, default=1, help="first seed when --seeds is used (default 1)"
+    )
+    run_parser.add_argument(
+        "--seed-list", default=None, metavar="S1,S2,...",
+        help="explicit comma-separated seed list (overrides --seeds)",
+    )
+    run_parser.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    run_parser.add_argument(
+        "-p", "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="override one scenario parameter (repeatable)",
+    )
+    run_parser.add_argument(
+        "--sweep", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="sweep one parameter over several values; repeat for a cartesian grid",
+    )
+    run_parser.add_argument("--store", default=None, help="JSONL results file (enables resume)")
+    run_parser.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every cell even when the store already has it",
+    )
+    run_parser.add_argument(
+        "--group-by", default=None, metavar="P1,P2",
+        help="extra per-group table over these parameters (default: the swept ones)",
+    )
+    run_parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero when any run failed"
+    )
+
+    report_parser = sub.add_parser("report", help="aggregate a JSONL results store")
+    report_parser.add_argument("store", help="path to a JSONL store written by `run`")
+    report_parser.add_argument("--scenario", default=None, help="only this scenario")
+    report_parser.add_argument(
+        "--group-by", default=None, metavar="P1,P2", help="group rows by these parameters"
+    )
+    return parser
+
+
+def _parse_assignment(text: str) -> List[str]:
+    if "=" not in text:
+        raise ValueError(f"expected NAME=VALUE, got {text!r}")
+    name, _, value = text.partition("=")
+    return [name.strip(), value]
+
+
+def _parse_params(spec: ScenarioSpec, assignments: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for assignment in assignments:
+        name, value = _parse_assignment(assignment)
+        params[name] = spec.parameter(name).coerce(value)
+    return params
+
+
+def _parse_sweep(spec: ScenarioSpec, assignments: Sequence[str]) -> Optional[ParameterGrid]:
+    if not assignments:
+        return None
+    axes: Dict[str, List[Any]] = {}
+    for assignment in assignments:
+        name, values = _parse_assignment(assignment)
+        parameter = spec.parameter(name)
+        axes[name] = [parameter.coerce(value) for value in values.split(",")]
+    return ParameterGrid(axes)
+
+
+def _parse_seeds(args: argparse.Namespace) -> Optional[List[int]]:
+    if args.seed_list:
+        return [int(part) for part in args.seed_list.split(",") if part.strip()]
+    if args.seeds is not None:
+        if args.seeds <= 0:
+            raise ValueError("--seeds must be positive")
+        return list(range(args.seed_base, args.seed_base + args.seeds))
+    return None
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    rows = []
+    for spec in REGISTRY.specs():
+        if args.tag and args.tag not in spec.tags:
+            continue
+        row: Dict[str, Any] = {
+            "scenario": spec.name,
+            "description": spec.description[:58],
+            "seeds": ",".join(str(seed) for seed in spec.default_seeds),
+        }
+        if args.params:
+            row["parameters"] = " ".join(
+                f"{parameter.name}={parameter.default}" for parameter in spec.parameters
+            )
+        else:
+            row["parameters"] = str(len(spec.parameters))
+        rows.append(row)
+    print(format_table(rows, title=f"registered scenarios ({len(rows)})"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    try:
+        spec = REGISTRY.get(args.scenario)
+    except UnknownScenarioError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        print(f"known scenarios: {', '.join(REGISTRY.names())}", file=sys.stderr)
+        return 2
+    try:
+        params = _parse_params(spec, args.param)
+        sweep = _parse_sweep(spec, args.sweep)
+        seeds = _parse_seeds(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store) if args.store else None
+    runner = ParallelCampaignRunner(jobs=args.jobs, store=store, resume=not args.no_resume)
+    result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
+
+    print(
+        f"{spec.name}: {result.run_count} runs "
+        f"({result.executed} executed, {result.reused} reused, "
+        f"{result.failures} failed) jobs={result.jobs}"
+    )
+    print()
+    print(format_table(result.aggregate_rows(), title=f"{spec.name}: aggregate metrics"))
+    group_by = [part for part in (args.group_by or "").split(",") if part]
+    if not group_by and sweep is not None:
+        group_by = list(sweep.axes)
+    if group_by:
+        print()
+        print(
+            format_table(
+                result.grouped_rows(by=group_by),
+                title=f"{spec.name}: per-{','.join(group_by)} means",
+            )
+        )
+    if result.failures:
+        print()
+        print(format_table(result.failure_rows(), title="failed runs"))
+    if args.store:
+        print()
+        print(f"results stored in {args.store} (re-run to resume)")
+    return 1 if (args.strict and result.failures) else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.records()
+    if args.scenario:
+        records = [record for record in records if record.scenario == args.scenario]
+    if not records:
+        suffix = f" for scenario {args.scenario!r}" if args.scenario else ""
+        print(f"no records in {args.store}{suffix}")
+        return 1
+    by_scenario: Dict[str, List] = {}
+    for record in records:
+        by_scenario.setdefault(record.scenario, []).append(record)
+    group_by = [part for part in (args.group_by or "").split(",") if part]
+    for name in sorted(by_scenario):
+        scenario_records = by_scenario[name]
+        ok = [record for record in scenario_records if record.ok]
+        failed = len(scenario_records) - len(ok)
+        print(f"{name}: {len(scenario_records)} runs ({failed} failed)")
+        aggregates = aggregate_records(scenario_records)
+        rows = [
+            {"metric": metric, **stats} for metric, stats in aggregates.items() if stats["count"]
+        ]
+        print(format_table(rows, title=f"{name}: aggregate metrics"))
+        if group_by:
+            print()
+            print(
+                format_table(
+                    grouped_rows(scenario_records, by=group_by),
+                    title=f"{name}: per-{','.join(group_by)} means",
+                )
+            )
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return 2

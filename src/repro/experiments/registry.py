@@ -1,0 +1,139 @@
+"""Decorator-based scenario registry.
+
+Scenarios register themselves under a stable name; campaigns, the CLI and the
+benchmark harness all resolve scenarios through the registry instead of
+importing factories directly.  The built-in scenarios (the paper's E1-E9
+experiments and the four use cases) live in :mod:`repro.experiments.scenarios`
+and are loaded lazily via :func:`load_builtin_scenarios`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.experiments.spec import Parameter, ScenarioSpec, parameters_from_signature
+
+
+class UnknownScenarioError(KeyError):
+    """Raised when a scenario name is not registered."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        self.name = name
+        self.known = list(known)
+        suggestions = difflib.get_close_matches(name, self.known, n=3, cutoff=0.4)
+        hint = f" (did you mean: {', '.join(suggestions)}?)" if suggestions else ""
+        super().__init__(f"unknown scenario {name!r}{hint}")
+
+
+class ScenarioRegistry:
+    """Name -> :class:`ScenarioSpec` mapping with a decorator front-end."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    # ------------------------------------------------------------ registration
+    def register(self, spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def scenario(
+        self,
+        name: str,
+        *,
+        description: str = "",
+        metric_fields: Sequence[str] = (),
+        default_seeds: Sequence[int] = (1, 2, 3),
+        tags: Sequence[str] = (),
+        parameters: Optional[Sequence[Parameter]] = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator: register ``factory(seed, **params)`` under ``name``.
+
+        Parameters are inferred from the factory's keyword defaults unless an
+        explicit ``parameters`` sequence is given.
+        """
+
+        def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
+            doc = (factory.__doc__ or "").strip().splitlines()
+            spec = ScenarioSpec(
+                name=name,
+                factory=factory,
+                description=description or (doc[0] if doc else ""),
+                parameters=tuple(parameters)
+                if parameters is not None
+                else parameters_from_signature(factory),
+                metric_fields=tuple(metric_fields),
+                default_seeds=tuple(default_seeds),
+                tags=tuple(tags),
+            )
+            self.register(spec)
+            return factory
+
+        return decorate
+
+    def variant(
+        self,
+        base: str,
+        name: str,
+        description: Optional[str] = None,
+        tags: Optional[Sequence[str]] = None,
+        default_seeds: Optional[Sequence[int]] = None,
+        **defaults: Any,
+    ) -> ScenarioSpec:
+        """Register a variant of ``base`` with different parameter defaults."""
+        spec = self.get(base).with_overrides(
+            name,
+            description=description,
+            tags=tags,
+            default_seeds=default_seeds,
+            **defaults,
+        )
+        return self.register(spec)
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownScenarioError(name, self.names()) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> List[ScenarioSpec]:
+        return [self._specs[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-global registry every built-in scenario registers into.
+REGISTRY = ScenarioRegistry()
+
+#: Module-level decorator bound to :data:`REGISTRY`.
+scenario = REGISTRY.scenario
+
+_builtins_loaded = False
+
+
+def load_builtin_scenarios() -> ScenarioRegistry:
+    """Import the built-in scenario module (idempotent) and return REGISTRY."""
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.experiments.scenarios  # noqa: F401  (registers on import)
+
+    return REGISTRY
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Resolve ``name`` against the global registry, loading builtins first."""
+    return load_builtin_scenarios().get(name)

@@ -1,0 +1,372 @@
+"""Parallel, resumable campaign execution.
+
+:class:`ParallelCampaignRunner` executes the run list of a scenario spec with
+``multiprocessing`` workers sharded over the pending ``(params, seed)`` cells.
+Three properties the benchmark harness and the acceptance criteria rely on:
+
+* **Determinism** — records are re-assembled in the run-list order whatever
+  order workers finish in, so aggregates (and the persisted store) of a
+  ``jobs=4`` campaign are identical to a ``jobs=1`` campaign.
+* **Fault isolation** — a crashing run becomes a ``status="failed"`` record
+  with the captured exception, not a dead campaign.
+* **Resume** — with a :class:`~repro.experiments.store.ResultStore` attached,
+  runs whose key already has a successful record are reused, not re-run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import warnings
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.evaluation.metrics import summarize
+from repro.experiments.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
+from repro.experiments.spec import ParameterGrid, RunSpec, ScenarioSpec, canonical_key, jsonable
+
+
+@dataclass
+class RunRecord:
+    """The persisted outcome of one campaign run."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    status: str = "ok"  # "ok" | "failed"
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: Wall-clock seconds; transient, never serialised (keeps stores
+    #: byte-identical between serial and parallel executions).
+    duration: float = field(default=0.0, compare=False)
+    #: The raw factory result; only populated for in-process (serial)
+    #: execution, never pickled back from workers nor serialised.
+    raw_result: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def key(self) -> str:
+        return canonical_key(self.scenario, self.params, self.seed)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "key": self.key,
+            "scenario": self.scenario,
+            "params": jsonable(self.params),
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": jsonable(self.metrics),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            scenario=payload["scenario"],
+            params=dict(payload["params"]),
+            seed=int(payload["seed"]),
+            status=payload.get("status", "ok"),
+            metrics=dict(payload.get("metrics", {})),
+            error=payload.get("error"),
+        )
+
+
+def execute_run(spec: ScenarioSpec, run_spec: RunSpec, keep_result: bool = False) -> RunRecord:
+    """Execute one run, capturing any exception into a failed record."""
+    start = time.perf_counter()
+    try:
+        result = spec.build(run_spec.seed, run_spec.params)
+        metrics = spec.extract_metrics(result)
+        record = RunRecord(
+            scenario=spec.name,
+            params=dict(run_spec.params),
+            seed=run_spec.seed,
+            status="ok",
+            metrics=metrics,
+            raw_result=result if keep_result else None,
+        )
+    except Exception as exc:  # noqa: BLE001 — a run failure must not kill the campaign
+        record = RunRecord(
+            scenario=spec.name,
+            params=dict(run_spec.params),
+            seed=run_spec.seed,
+            status="failed",
+            error="".join(traceback.format_exception_only(type(exc), exc)).strip(),
+        )
+    record.duration = time.perf_counter() - start
+    return record
+
+
+def _execute_task(task: Tuple[Any, Dict[str, Any], int, int]) -> Tuple[int, RunRecord]:
+    """Worker entry point: resolve the spec (by name or object) and run it."""
+    payload, params, seed, index = task
+    if isinstance(payload, str):
+        try:
+            spec = load_builtin_scenarios().get(payload)
+        except KeyError as exc:
+            record = RunRecord(
+                scenario=payload,
+                params=dict(params),
+                seed=seed,
+                status="failed",
+                error=f"worker could not resolve scenario: {exc}",
+            )
+            return index, record
+    else:
+        spec = payload
+    run_spec = RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
+    return index, execute_run(spec, run_spec)
+
+
+# --------------------------------------------------------------------------
+# Aggregation helpers (shared by CampaignResult and the CLI report command)
+# --------------------------------------------------------------------------
+
+
+def _numeric(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def metric_field_names(records: Sequence[RunRecord], metric_fields: Sequence[str] = ()) -> List[str]:
+    if metric_fields:
+        return list(metric_fields)
+    names: List[str] = []
+    for record in records:
+        for name in record.metrics:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def aggregate_records(
+    records: Sequence[RunRecord], metric_fields: Sequence[str] = ()
+) -> Dict[str, Dict[str, float]]:
+    """Per-metric summary statistics over the successful records."""
+    ok_records = [record for record in records if record.ok]
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for name in metric_field_names(ok_records, metric_fields):
+        values = []
+        for record in ok_records:
+            value = _numeric(record.metrics.get(name))
+            if value is not None:
+                values.append(value)
+        aggregates[name] = summarize(values)
+    return aggregates
+
+
+def grouped_rows(
+    records: Sequence[RunRecord],
+    by: Sequence[str],
+    metric_fields: Sequence[str] = (),
+) -> List[Dict[str, Any]]:
+    """One row per distinct combination of the ``by`` parameters.
+
+    Numeric metrics are averaged over the group's successful runs; a
+    non-numeric metric is kept only when every run in the group agrees on it.
+    """
+    groups: Dict[Tuple[Any, ...], List[RunRecord]] = {}
+    for record in records:
+        key = tuple(record.params.get(name) for name in by)
+        groups.setdefault(key, []).append(record)
+    fields = metric_field_names([r for r in records if r.ok], metric_fields)
+    rows: List[Dict[str, Any]] = []
+    for key, group in groups.items():
+        row: Dict[str, Any] = dict(zip(by, key))
+        ok_group = [record for record in group if record.ok]
+        row["runs"] = len(group)
+        # Always present so the column survives format_table's first-row layout.
+        row["failures"] = len(group) - len(ok_group)
+        for name in fields:
+            if name in row:
+                continue
+            numeric = [
+                value
+                for value in (_numeric(r.metrics.get(name)) for r in ok_group)
+                if value is not None
+            ]
+            if numeric:
+                row[name] = numeric[0] if len(numeric) == 1 else sum(numeric) / len(numeric)
+                continue
+            raw = [r.metrics.get(name) for r in ok_group if name in r.metrics]
+            if raw and all(value == raw[0] for value in raw):
+                row[name] = raw[0]
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class CampaignResult:
+    """The deterministic outcome of one campaign."""
+
+    scenario: str
+    spec: ScenarioSpec
+    records: List[RunRecord]
+    aggregates: Dict[str, Dict[str, float]]
+    reused: int = 0
+    jobs: int = 1
+
+    @property
+    def run_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def executed(self) -> int:
+        return self.run_count - self.reused
+
+    @property
+    def ok_records(self) -> List[RunRecord]:
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failed_records(self) -> List[RunRecord]:
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def failures(self) -> int:
+        return len(self.failed_records)
+
+    def metric(self, name: str, statistic: str = "mean") -> float:
+        return self.aggregates[name][statistic]
+
+    def aggregate_rows(self) -> List[Dict[str, Any]]:
+        return [
+            {"metric": name, **stats}
+            for name, stats in self.aggregates.items()
+            if stats.get("count")
+        ]
+
+    def grouped_rows(
+        self, by: Sequence[str], metric_fields: Sequence[str] = ()
+    ) -> List[Dict[str, Any]]:
+        return grouped_rows(self.records, by, metric_fields or self.spec.metric_fields)
+
+    def failure_rows(self) -> List[Dict[str, Any]]:
+        return [
+            {"seed": record.seed, "error": record.error or "?", "params": record.params}
+            for record in self.failed_records
+        ]
+
+
+class ParallelCampaignRunner:
+    """Runs campaigns over registered scenarios with seed-sharded workers."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        registry: Optional[ScenarioRegistry] = None,
+        store: Optional[Any] = None,
+        resume: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.registry = registry if registry is not None else REGISTRY
+        self.store = store
+        self.resume = resume
+        self.mp_context = mp_context
+
+    # ----------------------------------------------------------------- public
+    def run(
+        self,
+        scenario: Union[str, ScenarioSpec],
+        *,
+        params: Optional[Mapping[str, Any]] = None,
+        sweep: Optional[Iterable[Mapping[str, Any]]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> CampaignResult:
+        spec = self._resolve(scenario)
+        run_specs = spec.runs(params=params, sweep=sweep, seeds=seeds)
+        records: List[Optional[RunRecord]] = [None] * len(run_specs)
+
+        pending: List[RunSpec] = []
+        reused = 0
+        if self.store is not None and self.resume:
+            for run_spec in run_specs:
+                cached = self.store.get(run_spec.key)
+                if cached is not None and cached.ok:
+                    records[run_spec.index] = cached
+                    reused += 1
+                else:
+                    pending.append(run_spec)
+        else:
+            pending = list(run_specs)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for run_spec in pending:
+                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
+            else:
+                self._run_parallel(spec, pending, records)
+
+        final_records = [record for record in records if record is not None]
+        if self.store is not None:
+            executed_indices = {run_spec.index for run_spec in pending}
+            self.store.add_many(
+                record
+                for index, record in enumerate(records)
+                if record is not None and index in executed_indices
+            )
+        aggregates = aggregate_records(final_records, spec.metric_fields)
+        return CampaignResult(
+            scenario=spec.name,
+            spec=spec,
+            records=final_records,
+            aggregates=aggregates,
+            reused=reused,
+            jobs=self.jobs,
+        )
+
+    # ---------------------------------------------------------------- internal
+    def _resolve(self, scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
+        if isinstance(scenario, ScenarioSpec):
+            return scenario
+        if self.registry is REGISTRY:
+            load_builtin_scenarios()
+        return self.registry.get(scenario)
+
+    def _payload_for(self, spec: ScenarioSpec) -> Any:
+        """Ship the scenario by name when workers can re-resolve it, else by value."""
+        if (
+            self.registry is REGISTRY
+            and spec.name in self.registry
+            and self.registry.get(spec.name) is spec
+        ):
+            return spec.name
+        return spec
+
+    def _run_parallel(
+        self,
+        spec: ScenarioSpec,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+    ) -> None:
+        payload = self._payload_for(spec)
+        tasks = [(payload, run_spec.params, run_spec.seed, run_spec.index) for run_spec in pending]
+        context = multiprocessing.get_context(self.mp_context)
+        processes = min(self.jobs, len(tasks))
+        try:
+            with context.Pool(processes=processes) as pool:
+                for index, record in pool.imap_unordered(_execute_task, tasks):
+                    records[index] = record
+        except (multiprocessing.ProcessError, pickle.PicklingError, OSError, AttributeError, TypeError) as exc:
+            # Pool creation or task pickling failed (e.g. an ad-hoc spec whose
+            # factory is a closure): fall back to in-process execution.
+            warnings.warn(
+                f"parallel execution of {spec.name!r} failed "
+                f"({type(exc).__name__}: {exc}); falling back to serial in-process runs",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for run_spec in pending:
+                if records[run_spec.index] is None:
+                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)

@@ -1,0 +1,82 @@
+"""JSONL persistence for campaign results.
+
+One line per run, keyed by the canonical ``(scenario, params, seed)`` key.
+A store is append-only on disk; re-running a campaign against an existing
+store skips every run whose key already has a successful record (resume).
+Wall-clock durations are deliberately *not* serialised so that the stores
+written by parallel and serial executions of the same campaign are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.experiments.runner import RunRecord
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`RunRecord` objects."""
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self._records: Dict[str, RunRecord] = {}
+        self._loaded = False
+
+    # -------------------------------------------------------------------- load
+    def load(self) -> Dict[str, RunRecord]:
+        """Read the JSONL file once; malformed lines (partial writes) are skipped."""
+        if self._loaded:
+            return self._records
+        self._loaded = True
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        record = RunRecord.from_json_dict(payload)
+                    except (ValueError, KeyError, TypeError):
+                        continue
+                    self._records[record.key] = record
+        return self._records
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        return self.load().get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def keys(self) -> List[str]:
+        return list(self.load())
+
+    def records(self) -> List[RunRecord]:
+        return list(self.load().values())
+
+    def completed_keys(self) -> List[str]:
+        """Keys whose stored record finished successfully."""
+        return [key for key, record in self.load().items() if record.ok]
+
+    # ------------------------------------------------------------------- write
+    def add(self, record: RunRecord) -> None:
+        self.add_many([record])
+
+    def add_many(self, records: Iterable[RunRecord]) -> None:
+        records = list(records)
+        if not records:
+            return
+        self.load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                self._records[record.key] = record
+                handle.write(json.dumps(record.to_json_dict(), sort_keys=True) + "\n")
+            handle.flush()

@@ -1,0 +1,72 @@
+"""Unit tests for the plain-text reporting helpers (satellite of the
+experiments subsystem: the CLI and the benchmark tables both rely on them)."""
+
+import math
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        table = format_table([{"name": "a", "value": 1}, {"name": "long-name", "value": 22}])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1  # every line is padded to the same width
+        header = lines[0]
+        assert header.index("name") < header.index("value")
+
+    def test_column_order_taken_from_first_row(self):
+        table = format_table([{"b": 1, "a": 2}, {"a": 3, "b": 4}])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_keys_render_empty(self):
+        table = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        last = table.splitlines()[-1]
+        assert "3" in last
+        assert last.split("|")[1].strip() == ""
+
+    def test_extra_keys_in_later_rows_are_ignored(self):
+        table = format_table([{"a": 1}, {"a": 2, "zzz": 9}])
+        assert "zzz" not in table
+
+    def test_nan_and_inf_cells(self):
+        table = format_table([{"x": float("nan"), "y": float("inf"), "z": float("-inf")}])
+        row = table.splitlines()[-1]
+        assert "nan" in row
+        assert "inf" in row
+        assert "-inf" in row
+
+    def test_float_formatting_strips_trailing_zeros(self):
+        table = format_table([{"x": 1.5, "y": 2.0, "z": 0.12345}])
+        row = table.splitlines()[-1]
+        cells = [cell.strip() for cell in row.split("|")]
+        assert cells == ["1.5", "2", "0.123"]
+
+    def test_dict_cells_are_flattened(self):
+        table = format_table([{"residency": {"a": 0.25, "b": 0.75}}])
+        assert "a:0.25" in table and "b:0.75" in table
+
+    def test_empty_rows_with_and_without_title(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="T") == "T\n(no rows)"
+
+    def test_title_is_first_line(self):
+        assert format_table([{"a": 1}], title="My Table").splitlines()[0] == "My Table"
+
+
+class TestFormatSeries:
+    def test_series_renders_pairs_with_labels(self):
+        series = format_series("fig", [1, 2, 3], [0.1, 0.2, 0.3], x_label="n", y_label="v")
+        lines = series.splitlines()
+        assert lines[0] == "fig"
+        assert "n" in lines[1] and "v" in lines[1]
+        assert len(lines) == 2 + 1 + 3  # title, header, rule, three rows
+
+    def test_series_truncates_to_shortest_input(self):
+        series = format_series("s", [1, 2, 3], [5.0])
+        assert len(series.splitlines()) == 2 + 1 + 1
+
+    def test_series_with_nan_values(self):
+        series = format_series("s", [1], [math.nan])
+        assert "nan" in series

@@ -1,0 +1,199 @@
+"""Unit tests for repro.experiments: specs, parameter grids, and the registry."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    Parameter,
+    ParameterGrid,
+    ScenarioRegistry,
+    ScenarioSpec,
+    UnknownScenarioError,
+    canonical_key,
+    load_builtin_scenarios,
+)
+from repro.experiments.runner import execute_run
+from repro.experiments.spec import parameters_from_signature
+
+
+class TestParameter:
+    def test_type_inferred_from_default(self):
+        assert Parameter("n", 3).resolved_type() is int
+        assert Parameter("x", 1.5).resolved_type() is float
+        assert Parameter("flag", True).resolved_type() is bool
+        assert Parameter("name", None).resolved_type() is str
+
+    def test_coercion_from_cli_strings(self):
+        assert Parameter("n", 3).coerce("7") == 7
+        assert Parameter("x", 1.5).coerce("2") == 2.0
+        assert Parameter("flag", True).coerce("false") is False
+        assert Parameter("flag", False).coerce("Yes") is True
+        assert Parameter("mode", "a").coerce("b") == "b"
+
+    def test_bad_coercion_raises(self):
+        with pytest.raises(ValueError):
+            Parameter("n", 3).coerce("not-a-number")
+        with pytest.raises(ValueError):
+            Parameter("flag", True).coerce("maybe")
+
+    def test_parameters_from_signature(self):
+        def factory(seed, alpha=0.5, steps=10, label="x"):
+            return {}
+
+        params = parameters_from_signature(factory)
+        assert [p.name for p in params] == ["alpha", "steps", "label"]
+        assert params[0].resolved_type() is float
+        assert params[1].resolved_type() is int
+
+    def test_signature_without_default_rejected(self):
+        def factory(seed, alpha):
+            return {}
+
+        with pytest.raises(ValueError):
+            parameters_from_signature(factory)
+
+
+class TestParameterGrid:
+    def test_cartesian_order_is_deterministic(self):
+        grid = ParameterGrid(a=(1, 2), b=("x", "y"))
+        assert len(grid) == 4
+        assert list(grid) == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_scalar_axis_is_single_point(self):
+        grid = ParameterGrid(a=5, b=(1, 2))
+        assert len(grid) == 2
+        assert all(point["a"] == 5 for point in grid)
+
+    def test_empty_grid_yields_one_empty_point(self):
+        assert list(ParameterGrid()) == [{}]
+        assert len(ParameterGrid()) == 1
+
+
+class TestScenarioSpec:
+    def _spec(self):
+        def factory(seed, gain=1.0, steps=4):
+            return {"value": seed * gain, "steps": steps}
+
+        return ScenarioSpec(
+            name="toy",
+            factory=factory,
+            parameters=parameters_from_signature(factory),
+            metric_fields=("value", "steps"),
+            default_seeds=(1, 2),
+        )
+
+    def test_runs_order_is_sweep_outer_seed_inner(self):
+        spec = self._spec()
+        runs = spec.runs(sweep=ParameterGrid(gain=(1.0, 2.0)), seeds=[5, 6])
+        assert [(r.params["gain"], r.seed) for r in runs] == [
+            (1.0, 5), (1.0, 6), (2.0, 5), (2.0, 6),
+        ]
+        assert [r.index for r in runs] == [0, 1, 2, 3]
+
+    def test_unknown_parameter_rejected(self):
+        spec = self._spec()
+        with pytest.raises(KeyError):
+            spec.coerce_params({"nope": 1})
+
+    def test_canonical_key_is_order_independent(self):
+        key_a = canonical_key("s", {"a": 1, "b": 2.5}, 3)
+        key_b = canonical_key("s", {"b": 2.5, "a": 1}, 3)
+        assert key_a == key_b
+        assert "seed=3" in key_a
+
+    def test_extract_metrics_from_object(self):
+        class Result:
+            value = 4.0
+            steps = 2
+
+        spec = self._spec()
+        assert spec.extract_metrics(Result()) == {"value": 4.0, "steps": 2}
+
+    def test_with_overrides_builds_variant(self):
+        spec = self._spec()
+        variant = spec.with_overrides("toy/fast", gain=3.0)
+        assert variant.name == "toy/fast"
+        assert variant.defaults()["gain"] == 3.0
+        assert spec.defaults()["gain"] == 1.0  # the base spec is untouched
+        with pytest.raises(KeyError):
+            spec.with_overrides("toy/bad", nope=1)
+
+
+class TestRegistry:
+    def test_register_get_and_duplicate(self):
+        registry = ScenarioRegistry()
+
+        @registry.scenario("t/one", metric_fields=("v",))
+        def one(seed, k=1):
+            return {"v": seed * k}
+
+        assert "t/one" in registry
+        assert registry.get("t/one").factory is one
+        with pytest.raises(ValueError):
+            registry.register(registry.get("t/one"))
+
+    def test_unknown_scenario_suggests_names(self):
+        registry = ScenarioRegistry()
+
+        @registry.scenario("platoon-like")
+        def factory(seed, k=1):
+            return {"v": k}
+
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            registry.get("platoon-lik")
+        assert "platoon-like" in str(excinfo.value)
+
+    def test_variant_registration(self):
+        registry = ScenarioRegistry()
+
+        @registry.scenario("base")
+        def factory(seed, mode="a"):
+            return {"mode": mode}
+
+        registry.variant("base", "base/b", mode="b")
+        assert registry.get("base/b").defaults()["mode"] == "b"
+
+
+class TestBuiltinScenarios:
+    def test_four_use_cases_and_variants_registered(self):
+        names = load_builtin_scenarios().names()
+        for required in (
+            "platoon",
+            "platoon/karyon",
+            "platoon/always_cooperative",
+            "platoon/never_cooperative",
+            "intersection",
+            "intersection/infrastructure",
+            "intersection/vtl_fallback",
+            "intersection/uncoordinated",
+            "lane_change",
+            "lane_change/coordinated",
+            "lane_change/uncoordinated",
+            "avionics",
+            "avionics/in_trail",
+            "avionics/crossing",
+            "avionics/level_change",
+        ):
+            assert required in names, required
+
+    @pytest.mark.parametrize(
+        "name,overrides",
+        [
+            ("platoon/karyon", {"followers": 1, "duration": 8.0, "blackout_duration": 0.0}),
+            ("intersection/vtl_fallback", {"vehicles_per_approach": 1, "duration": 30.0, "light_failure_time": 5.0}),
+            ("lane_change/coordinated", {"duration": 12.0}),
+            ("avionics/in_trail", {"duration": 60.0}),
+        ],
+    )
+    def test_each_use_case_runs_from_the_registry(self, name, overrides):
+        spec = load_builtin_scenarios().get(name)
+        run_spec = spec.runs(params=overrides, seeds=[1])[0]
+        record = execute_run(spec, run_spec)
+        assert record.ok, record.error
+        for field in spec.metric_fields:
+            assert field in record.metrics

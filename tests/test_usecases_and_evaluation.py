@@ -174,6 +174,32 @@ class TestEvaluationToolkit:
         assert summary.metric("collisions", "max") == 0.0
         assert summary.metric("mean_speed", "mean") > 0.0
 
+    def test_campaign_survives_a_raising_factory(self):
+        # Regression: a factory that raises used to abort the whole campaign.
+        def factory(seed):
+            if seed == 2:
+                raise RuntimeError("injected factory crash")
+            return run_platoon(ArchitectureVariant.KARYON, duration=15.0,
+                               followers=2, bursts=(), seed=seed)
+
+        campaign = FaultCampaign(
+            "platoon-with-crash",
+            factory=factory,
+            metric_fields=["collisions", "mean_speed"],
+            seeds=[1, 2, 3],
+        )
+        summary = campaign.run()
+        assert summary.run_count == 3
+        assert summary.failures == 1
+        failed = [run for run in summary.runs if not run.ok]
+        assert len(failed) == 1
+        assert failed[0].seed == 2
+        assert "injected factory crash" in failed[0].error
+        assert failed[0].result is None
+        # Aggregates still cover the two successful runs.
+        assert summary.aggregates["mean_speed"]["count"] == 2
+        assert summary.metric("collisions", "max") == 0.0
+
     def test_safety_case_verdicts(self):
         case = SafetyCase("acc")
         goal_d = SafetyGoal("SG1", "no collisions", ASIL.D)
