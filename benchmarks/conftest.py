@@ -41,6 +41,14 @@ def campaign_seed_count(request):
 
 
 @pytest.fixture
-def campaign_runner(campaign_jobs):
-    """A campaign runner honouring the ``--jobs`` option."""
-    return ParallelCampaignRunner(jobs=campaign_jobs)
+def campaign_batch_size(request):
+    value = request.config.getoption("--batch-size", default=None)
+    # Pass 0 and negatives through: the runner rejects them loudly instead of
+    # silently benchmarking unbatched dispatch.
+    return None if value is None else int(value)
+
+
+@pytest.fixture
+def campaign_runner(campaign_jobs, campaign_batch_size):
+    """A campaign runner honouring the ``--jobs`` and ``--batch-size`` options."""
+    return ParallelCampaignRunner(jobs=campaign_jobs, batch_size=campaign_batch_size)

@@ -1,0 +1,74 @@
+"""Per-scenario perf budgets: fail CI when a pinned workload regresses.
+
+Each budgeted workload (see :data:`repro.experiments.perf.PERF_WORKLOADS`) is
+a pinned ``(scenario, seed, params)`` cell timed as best-of-N wall time.  The
+recorded timings live in ``BENCH_kernel.json`` at the repo root; the check
+scales them by a machine-speed calibration probe so the gate transfers
+between laptops and CI runners.
+
+Run the checks::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_budgets.py -q
+
+Refresh ``BENCH_kernel.json`` after intentional performance changes::
+
+    PERF_UPDATE=1 PYTHONPATH=src python -m pytest benchmarks/perf_budgets.py -q
+
+Environment knobs:
+
+* ``PERF_UPDATE=1`` — record ``current_s`` (and the calibration) instead of
+  asserting, preserving each workload's ``baseline_s`` trajectory;
+* ``PERF_TOLERANCE=0.5`` — override the recorded regression tolerance
+  (default 0.30, i.e. fail beyond +30%).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.perf import (
+    PERF_WORKLOADS,
+    budget_for,
+    calibrate,
+    load_bench,
+    measure_workload,
+    record_current,
+    save_bench,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+UPDATE = os.environ.get("PERF_UPDATE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    """Machine-speed probe, measured once per session."""
+    return calibrate()
+
+
+@pytest.mark.parametrize("key", sorted(PERF_WORKLOADS))
+def test_perf_budget(key, calibration):
+    workload = PERF_WORKLOADS[key]
+    measured = measure_workload(workload)
+    data = load_bench(BENCH_PATH)
+
+    if UPDATE:
+        record_current(data, key, measured, calibration)
+        save_bench(BENCH_PATH, data)
+        return
+
+    tolerance_override = os.environ.get("PERF_TOLERANCE")
+    if tolerance_override:
+        data["meta"]["tolerance"] = float(tolerance_override)
+    budget = budget_for(data, key, calibration_s=calibration)
+    if budget is None:
+        pytest.skip(
+            f"no recorded budget for {key!r}; refresh with "
+            "PERF_UPDATE=1 pytest benchmarks/perf_budgets.py"
+        )
+    assert measured <= budget, (
+        f"{key} regressed: {measured * 1000:.1f} ms > scaled budget "
+        f"{budget * 1000:.1f} ms ({workload.description}); if intentional, "
+        "refresh BENCH_kernel.json with PERF_UPDATE=1"
+    )

@@ -20,3 +20,10 @@ def pytest_addoption(parser):
         default=None,
         help="run seeds 1..N instead of each benchmark's default seed list",
     )
+    group.addoption(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="dispatch whole chunks of N runs per worker process (campaign "
+        "benchmarks; identical results, fewer process dispatches)",
+    )

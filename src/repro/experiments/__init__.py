@@ -12,6 +12,8 @@ parallel, resumable campaigns:
   deterministic result ordering;
 * :mod:`repro.experiments.store` — JSONL persistence keyed by
   ``(scenario, params, seed)`` with resume-skip of completed runs;
+* :mod:`repro.experiments.perf` — pinned perf workloads and the
+  wall-time budget store behind ``benchmarks/perf_budgets.py``;
 * :mod:`repro.experiments.cli` — ``python -m repro.experiments
   list|run|report``.
 """
@@ -40,8 +42,12 @@ from repro.experiments.runner import (
     grouped_rows,
 )
 from repro.experiments.store import ResultStore
+from repro.experiments.perf import PERF_WORKLOADS, PerfWorkload, measure_workload
 
 __all__ = [
+    "PERF_WORKLOADS",
+    "PerfWorkload",
+    "measure_workload",
     "Parameter",
     "ParameterGrid",
     "RunSpec",

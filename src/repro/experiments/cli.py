@@ -12,6 +12,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -54,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
     run_parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="dispatch whole chunks of N runs per worker process instead of "
+        "one run per dispatch (results are identical either way)",
+    )
+    run_parser.add_argument(
         "-p", "--param", action="append", default=[], metavar="NAME=VALUE",
         help="override one scenario parameter (repeatable)",
     )
@@ -79,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scenario", default=None, help="only this scenario")
     report_parser.add_argument(
         "--group-by", default=None, metavar="P1,P2", help="group rows by these parameters"
+    )
+    report_parser.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table",
+        help="output format: human tables (default), CSV rows, or a JSON document",
     )
     return parser
 
@@ -150,6 +161,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"known scenarios: {', '.join(REGISTRY.names())}", file=sys.stderr)
         return 2
     try:
+        if args.batch_size is not None and args.batch_size < 1:
+            raise ValueError(f"--batch-size must be >= 1, got {args.batch_size}")
         params = _parse_params(spec, args.param)
         sweep = _parse_sweep(spec, args.sweep)
         seeds = _parse_seeds(args)
@@ -158,7 +171,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     store = ResultStore(args.store) if args.store else None
-    runner = ParallelCampaignRunner(jobs=args.jobs, store=store, resume=not args.no_resume)
+    runner = ParallelCampaignRunner(
+        jobs=args.jobs,
+        store=store,
+        resume=not args.no_resume,
+        batch_size=args.batch_size,
+    )
     result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
 
     print(
@@ -188,6 +206,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if (args.strict and result.failures) else 0
 
 
+def _report_rows(
+    by_scenario: Dict[str, List], group_by: Sequence[str]
+) -> List[Dict[str, Any]]:
+    """Flat rows for machine-readable report formats (one table, all scenarios)."""
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(by_scenario):
+        records = by_scenario[name]
+        if group_by:
+            for row in grouped_rows(records, by=group_by):
+                rows.append({"scenario": name, **row})
+            continue
+        runs = len(records)
+        failed = runs - sum(1 for record in records if record.ok)
+        emitted = False
+        for metric, stats in aggregate_records(records).items():
+            if stats.get("count"):
+                rows.append(
+                    {"scenario": name, "metric": metric, **stats,
+                     "runs": runs, "failed": failed}
+                )
+                emitted = True
+        if not emitted:
+            # All runs failed (or carried no numeric metrics): still surface
+            # the scenario so the CSV distinguishes this from an empty store.
+            rows.append({"scenario": name, "metric": "", "runs": runs, "failed": failed})
+    return rows
+
+
+def _print_report_csv(rows: List[Dict[str, Any]]) -> None:
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    writer = csv.DictWriter(sys.stdout, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def _print_report_json(by_scenario: Dict[str, List], group_by: Sequence[str]) -> None:
+    document: Dict[str, Any] = {}
+    for name in sorted(by_scenario):
+        records = by_scenario[name]
+        ok = [record for record in records if record.ok]
+        entry: Dict[str, Any] = {
+            "runs": len(records),
+            "failed": len(records) - len(ok),
+            "aggregates": {
+                metric: stats
+                for metric, stats in aggregate_records(records).items()
+                if stats.get("count")
+            },
+        }
+        if group_by:
+            entry["groups"] = grouped_rows(records, by=group_by)
+        document[name] = entry
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     records = store.records()
@@ -201,6 +278,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for record in records:
         by_scenario.setdefault(record.scenario, []).append(record)
     group_by = [part for part in (args.group_by or "").split(",") if part]
+    if args.format == "csv":
+        _print_report_csv(_report_rows(by_scenario, group_by))
+        return 0
+    if args.format == "json":
+        _print_report_json(by_scenario, group_by)
+        return 0
     for name in sorted(by_scenario):
         scenario_records = by_scenario[name]
         ok = [record for record in scenario_records if record.ok]

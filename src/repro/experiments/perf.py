@@ -1,0 +1,203 @@
+"""Per-scenario performance budgets (ROADMAP "Per-scenario perf budgets").
+
+A *perf workload* is a pinned ``(scenario, seed, params)`` cell measured by
+wall time (best of N repeats of ``spec.build``).  Budgets live in a JSON
+document (``BENCH_kernel.json`` at the repo root) with, per workload:
+
+``baseline_s``
+    Wall time of the pre-optimisation (PR 1) simulation core, kept as the
+    recorded perf trajectory.
+``current_s``
+    Wall time recorded on the machine that last refreshed the file.
+``speedup``
+    ``baseline_s / current_s`` on that machine.
+
+The check scales the recorded ``current_s`` by the ratio of a deterministic
+*calibration* workload measured now vs. when the file was refreshed, so the
+regression gate (default: fail beyond +30%) transfers across machines of
+different speeds.  ``benchmarks/perf_budgets.py`` is the pytest harness on
+top; refresh with ``PERF_UPDATE=1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import timeit
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.experiments.registry import load_builtin_scenarios
+
+#: Fail when a workload runs more than this much over its scaled budget.
+DEFAULT_TOLERANCE = 0.30
+
+#: Absolute slack added on top of the relative tolerance: millisecond-scale
+#: workloads (e.g. the TDMA grid) cannot be gated at ±30% reliably on a busy
+#: machine, but a real regression still dwarfs this.
+ABSOLUTE_GRACE_S = 0.005
+
+
+@dataclass(frozen=True)
+class PerfWorkload:
+    """A pinned scenario cell whose wall time is budgeted."""
+
+    key: str
+    scenario: str
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    repeats: int = 5
+    description: str = ""
+
+
+#: The budgeted workloads: the E1/E3/E4 acceptance scenarios plus the other
+#: hot campaign cells (E2/E5), pinned so CI measures the same work every run.
+PERF_WORKLOADS: Dict[str, PerfWorkload] = {
+    workload.key: workload
+    for workload in (
+        PerfWorkload(
+            key="e1_platoon_blackouts",
+            scenario="platoon",
+            seed=1,
+            params={
+                "followers": 3,
+                "duration": 60.0,
+                "blackout_start": 18.0,
+                "blackout_duration": 8.0,
+                "blackout2_start": 40.0,
+                "blackout2_duration": 5.0,
+            },
+            repeats=3,
+            description="E1: 4-vehicle platoon, 60 s, two communication blackouts",
+        ),
+        PerfWorkload(
+            key="e2_sensor_validity",
+            scenario="sensor_validity",
+            seed=0,
+            params={"fault_class": "stuck_at", "samples": 400},
+            repeats=5,
+            description="E2: stuck-at fault over 400 samples, 3 ranging replicas",
+        ),
+        PerfWorkload(
+            key="e3_r2t_mac_bursts",
+            scenario="r2t_mac",
+            seed=0,
+            params={"use_r2t": True, "duration": 30.0},
+            repeats=5,
+            description="E3: R2T-MAC safety messages through two interference bursts",
+        ),
+        PerfWorkload(
+            key="e4_tdma_grid",
+            scenario="tdma_convergence",
+            seed=1,
+            params={"rows": 12, "cols": 12, "slots": 60},
+            repeats=10,
+            description="E4: self-stabilising TDMA on a 12x12 grid",
+        ),
+        PerfWorkload(
+            key="e5_event_channels",
+            scenario="event_channels",
+            seed=0,
+            params={},
+            repeats=5,
+            description="E5: 6 publishers through QoS-admitted event channels",
+        ),
+    )
+}
+
+
+def measure_workload(workload: Union[str, PerfWorkload], repeats: Optional[int] = None) -> float:
+    """Best-of-``repeats`` wall time (seconds) of one workload, after a warm-up run."""
+    if isinstance(workload, str):
+        workload = PERF_WORKLOADS[workload]
+    spec = load_builtin_scenarios().get(workload.scenario)
+    repeats = workload.repeats if repeats is None else repeats
+
+    def run() -> None:
+        spec.build(workload.seed, dict(workload.params))
+
+    run()  # warm-up: imports, numpy first-call costs
+    return min(timeit.repeat(run, number=1, repeat=max(1, repeats)))
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Deterministic machine-speed probe (seconds).
+
+    Mixes the operations the simulator core leans on — heap churn, dict and
+    float work, a small numpy draw — so budget scaling tracks the workload
+    mix rather than raw clock speed.
+    """
+
+    def work() -> float:
+        heap: list = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        accumulator = 0.0
+        table: Dict[int, float] = {}
+        for i in range(30_000):
+            push(heap, ((i * 2654435761) % 1000003, i))
+            table[i & 1023] = accumulator
+            accumulator += 1e-6 * i
+        while heap:
+            accumulator += pop(heap)[0]
+        rng = np.random.default_rng(0)
+        accumulator += float(rng.standard_normal(10_000).sum())
+        return accumulator
+
+    work()
+    return min(timeit.repeat(work, number=1, repeat=max(1, repeats)))
+
+
+# ----------------------------------------------------------------- JSON store
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a budgets document; an absent file yields an empty skeleton."""
+    path = Path(path)
+    if not path.exists():
+        return {"meta": {}, "workloads": {}}
+    with path.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    data.setdefault("meta", {})
+    data.setdefault("workloads", {})
+    return data
+
+
+def save_bench(path: Union[str, Path], data: Dict[str, Any]) -> None:
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def record_current(
+    data: Dict[str, Any], key: str, measured_s: float, calibration_s: float
+) -> None:
+    """Refresh one workload's ``current_s`` (and speedup) in the document."""
+    entry = data["workloads"].setdefault(key, {})
+    entry["current_s"] = round(measured_s, 5)
+    baseline = entry.get("baseline_s")
+    if baseline:
+        entry["speedup"] = round(baseline / measured_s, 2)
+    data["meta"]["calibration_s"] = round(calibration_s, 5)
+    data["meta"].setdefault("tolerance", DEFAULT_TOLERANCE)
+
+
+def budget_for(
+    data: Dict[str, Any], key: str, calibration_s: Optional[float] = None
+) -> Optional[float]:
+    """The scaled wall-time budget for ``key``, or ``None`` when unrecorded.
+
+    ``budget = (current_s + max(current_s * tolerance, ABSOLUTE_GRACE_S))
+    * (calibration_now / calibration_recorded)``
+    """
+    entry = data["workloads"].get(key)
+    if not entry or "current_s" not in entry:
+        return None
+    tolerance = float(data["meta"].get("tolerance", DEFAULT_TOLERANCE))
+    scale = 1.0
+    recorded_calibration = data["meta"].get("calibration_s")
+    if calibration_s and recorded_calibration:
+        scale = calibration_s / float(recorded_calibration)
+    current = float(entry["current_s"])
+    return (current + max(current * tolerance, ABSOLUTE_GRACE_S)) * scale

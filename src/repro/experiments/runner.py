@@ -104,25 +104,44 @@ def execute_run(spec: ScenarioSpec, run_spec: RunSpec, keep_result: bool = False
     return record
 
 
-def _execute_task(task: Tuple[Any, Dict[str, Any], int, int]) -> Tuple[int, RunRecord]:
-    """Worker entry point: resolve the spec (by name or object) and run it."""
-    payload, params, seed, index = task
-    if isinstance(payload, str):
-        try:
-            spec = load_builtin_scenarios().get(payload)
-        except KeyError as exc:
+def _resolve_payload(payload: Any) -> Tuple[Optional[ScenarioSpec], Optional[str]]:
+    """Turn a shipped payload (spec object or registry name) into a spec."""
+    if not isinstance(payload, str):
+        return payload, None
+    try:
+        return load_builtin_scenarios().get(payload), None
+    except KeyError as exc:
+        return None, f"worker could not resolve scenario: {exc}"
+
+
+def _execute_batch(
+    task: Tuple[Any, Sequence[Tuple[Dict[str, Any], int, int]]],
+) -> List[Tuple[int, RunRecord]]:
+    """Worker entry point: run one seed-chunk (possibly of size 1).
+
+    The scenario is resolved once per chunk and each cell runs sequentially
+    in the worker, so a single process dispatch (pickle + queue round-trip +
+    registry resolution) is amortised over the chunk instead of paid per run.
+    Records are tagged with their run-list index, so the parent re-assembles
+    them in deterministic order no matter how chunks interleave.
+    """
+    payload, cells = task
+    spec, resolve_error = _resolve_payload(payload)
+    results: List[Tuple[int, RunRecord]] = []
+    for params, seed, index in cells:
+        if spec is None:
             record = RunRecord(
-                scenario=payload,
+                scenario=str(payload),
                 params=dict(params),
                 seed=seed,
                 status="failed",
-                error=f"worker could not resolve scenario: {exc}",
+                error=resolve_error,
             )
-            return index, record
-    else:
-        spec = payload
-    run_spec = RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
-    return index, execute_run(spec, run_spec)
+        else:
+            run_spec = RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
+            record = execute_run(spec, run_spec)
+        results.append((index, record))
+    return results
 
 
 # --------------------------------------------------------------------------
@@ -259,7 +278,15 @@ class CampaignResult:
 
 
 class ParallelCampaignRunner:
-    """Runs campaigns over registered scenarios with seed-sharded workers."""
+    """Runs campaigns over registered scenarios with seed-sharded workers.
+
+    With ``batch_size`` set, pending runs are dispatched to workers in whole
+    seed-chunks of that size (one process dispatch executes ``batch_size``
+    runs) instead of one run per dispatch.  Batching only changes how work is
+    shipped to workers: records are re-assembled in run-list order either
+    way, so batched campaign results and stores are byte-identical to
+    unbatched ones.
+    """
 
     def __init__(
         self,
@@ -268,12 +295,16 @@ class ParallelCampaignRunner:
         store: Optional[Any] = None,
         resume: bool = True,
         mp_context: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ):
+        if batch_size is not None and int(batch_size) < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.jobs = max(1, int(jobs))
         self.registry = registry if registry is not None else REGISTRY
         self.store = store
         self.resume = resume
         self.mp_context = mp_context
+        self.batch_size = int(batch_size) if batch_size is not None else None
 
     # ----------------------------------------------------------------- public
     def run(
@@ -351,13 +382,24 @@ class ParallelCampaignRunner:
         records: List[Optional[RunRecord]],
     ) -> None:
         payload = self._payload_for(spec)
-        tasks = [(payload, run_spec.params, run_spec.seed, run_spec.index) for run_spec in pending]
+        chunk = self.batch_size if self.batch_size is not None else 1
+        tasks = [
+            (
+                payload,
+                [
+                    (run_spec.params, run_spec.seed, run_spec.index)
+                    for run_spec in pending[start : start + chunk]
+                ],
+            )
+            for start in range(0, len(pending), chunk)
+        ]
         context = multiprocessing.get_context(self.mp_context)
         processes = min(self.jobs, len(tasks))
         try:
             with context.Pool(processes=processes) as pool:
-                for index, record in pool.imap_unordered(_execute_task, tasks):
-                    records[index] = record
+                for batch in pool.imap_unordered(_execute_batch, tasks):
+                    for index, record in batch:
+                        records[index] = record
         except (multiprocessing.ProcessError, pickle.PicklingError, OSError, AttributeError, TypeError) as exc:
             # Pool creation or task pickling failed (e.g. an ad-hoc spec whose
             # factory is a closure): fall back to in-process execution.

@@ -123,7 +123,8 @@ class CsmaMacNode:
         if not self._queue:
             self._busy = False
             return
-        if attempt > self.config.max_attempts:
+        config = self.config
+        if attempt > config.max_attempts:
             self._queue.popleft()
             self.stats.dropped_attempts += 1
             self._busy = False
@@ -133,12 +134,12 @@ class CsmaMacNode:
             self.stats.backoffs += 1
             slots = int(
                 self.rng.integers(
-                    self.config.min_backoff_slots,
-                    min(self.config.max_backoff_slots, 2 ** attempt) + 1,
+                    config.min_backoff_slots,
+                    min(config.max_backoff_slots, 2 ** attempt) + 1,
                 )
             )
-            self.simulator.schedule(
-                slots * self.config.slot_time, lambda: self._attempt(attempt + 1)
+            self.simulator.schedule_fast(
+                slots * config.slot_time, lambda: self._attempt(attempt + 1)
             )
             return
         frame = self._queue.popleft()
@@ -147,7 +148,7 @@ class CsmaMacNode:
         self.stats.transmitted += 1
         # Half-duplex: next frame only after this transmission ends.
         delay = max(0.0, end - self.simulator.now)
-        self.simulator.schedule(delay, self._transmission_done)
+        self.simulator.schedule_fast(delay, self._transmission_done)
 
     def _transmission_done(self) -> None:
         self._busy = False

@@ -8,11 +8,22 @@ periods that are the root cause of network inaccessibility.
 Nodes attach with a position supplier (so mobile vehicles change connectivity
 as they move) and a receive callback.  MAC protocols (CSMA, R2T-MAC, TDMA)
 sit on top of :meth:`WirelessMedium.transmit` and :meth:`WirelessMedium.is_busy`.
+
+Hot-path notes: carrier sensing and delivery resolution run once per frame
+per node, so this module is one of the three kernels every campaign funnels
+through (with ``Simulator.step`` and ``TraceRecorder.record``).  Finished
+transmissions are retired lazily instead of rebuilding the transmission list
+on every query; interference bursts are kept sorted by start time and probed
+with :func:`bisect.bisect_right`; receiver selection switches to a vectorised
+numpy distance evaluation when enough nodes are attached.  Random-loss draws
+always stay scalar and in attachment order so the RNG stream — and therefore
+every delivery outcome — is identical to the straightforward implementation.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -20,6 +31,14 @@ import numpy as np
 
 from repro.network.frames import Frame
 from repro.sim.kernel import Simulator
+
+#: Retire finished transmissions only every this many completions — keeps the
+#: transmission list short without an O(n) rebuild per carrier-sense query.
+_PRUNE_INTERVAL = 8
+
+#: Use the vectorised numpy receiver path only for at least this many
+#: candidate receivers; below it, the scalar loop is faster.
+_VECTOR_MIN_RECEIVERS = 16
 
 
 @dataclass
@@ -62,7 +81,7 @@ class InterferenceBurst:
         return self.channel is None or self.channel == channel
 
 
-@dataclass
+@dataclass(slots=True)
 class _Attachment:
     node_id: str
     receive: Callable[[Frame, float], None]
@@ -70,7 +89,7 @@ class _Attachment:
     listening_channel: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transmission:
     frame: Frame
     sender: str
@@ -114,6 +133,16 @@ class WirelessMedium:
         self._attachments: Dict[str, _Attachment] = {}
         self._transmissions: List[_Transmission] = []
         self._interference: List[InterferenceBurst] = []
+        #: Bursts as (start, insertion#, burst), sorted by start so probes can
+        #: bisect instead of scanning every burst ever injected.
+        self._bursts_sorted: List[Tuple[float, int, InterferenceBurst]] = []
+        self._max_burst_end = -math.inf
+        self._completions_since_prune = 0
+        #: Largest air time ever transmitted: a finished transmission older
+        #: than this can neither overlap a still-pending completion (overlap
+        #: needs ``other.end > tx.start = tx.end - air_time``) nor satisfy a
+        #: carrier-sense probe, so it is safe to retire.
+        self._max_air_time = 0.0
         self.stats = MediumStats()
 
     # ------------------------------------------------------------------ setup
@@ -150,6 +179,9 @@ class WirelessMedium:
     def add_interference(self, burst: InterferenceBurst) -> None:
         """Schedule an interference burst (fault injection on the medium)."""
         self._interference.append(burst)
+        insort(self._bursts_sorted, (burst.start, len(self._interference), burst))
+        if burst.end > self._max_burst_end:
+            self._max_burst_end = burst.end
 
     def attached_nodes(self) -> List[str]:
         return list(self._attachments)
@@ -157,6 +189,8 @@ class WirelessMedium:
     # --------------------------------------------------------------- geometry
     @staticmethod
     def _distance(a: Tuple[float, ...], b: Tuple[float, ...]) -> float:
+        if len(a) == 2 and len(b) == 2:
+            return math.sqrt((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2)
         return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
 
     def in_range(self, node_a: str, node_b: str) -> bool:
@@ -167,40 +201,76 @@ class WirelessMedium:
 
     def neighbors(self, node_id: str) -> List[str]:
         """Nodes currently within range of ``node_id``."""
+        attachments = self._attachments
+        others = [a for a in attachments.values() if a.node_id != node_id]
+        if len(others) >= _VECTOR_MIN_RECEIVERS:
+            mine = attachments[node_id].position_fn()
+            positions = [a.position_fn() for a in others]
+            dims = len(mine)
+            if all(len(p) == dims for p in positions):
+                deltas = np.asarray(positions, dtype=float) - np.asarray(mine, dtype=float)
+                distances = np.sqrt((deltas**2).sum(axis=1))
+                in_range = distances <= self.config.communication_range
+                return [a.node_id for a, hit in zip(others, in_range) if hit]
         return [
             other
-            for other in self._attachments
+            for other in attachments
             if other != node_id and self.in_range(node_id, other)
         ]
 
     # ------------------------------------------------------------ channel state
     def is_busy(self, node_id: str, channel: int, now: Optional[float] = None) -> bool:
         """Carrier sense: is any in-range transmission ongoing on ``channel``?"""
-        self._check_channel(channel)
-        now = self.simulator.now if now is None else now
-        self._prune(now)
-        listener_pos = self._attachments[node_id].position_fn()
-        for tx in self._transmissions:
+        if not 0 <= channel < self.config.channels:
+            self._check_channel(channel)
+        transmissions = self._transmissions
+        if not transmissions:
+            return False
+        if now is None:
+            now = self.simulator.now
+        communication_range = self.config.communication_range
+        listener_pos: Optional[Tuple[float, ...]] = None
+        for tx in transmissions:
             if tx.channel != channel or tx.sender == node_id:
                 continue
             if tx.start <= now < tx.end:
-                if self._distance(listener_pos, tx.sender_position) <= self.config.communication_range:
+                if listener_pos is None:
+                    listener_pos = self._attachments[node_id].position_fn()
+                sender_pos = tx.sender_position
+                if len(listener_pos) == 2 and len(sender_pos) == 2:
+                    distance = math.sqrt(
+                        (listener_pos[0] - sender_pos[0]) ** 2
+                        + (listener_pos[1] - sender_pos[1]) ** 2
+                    )
+                else:
+                    distance = self._distance(listener_pos, sender_pos)
+                if distance <= communication_range:
                     return True
         return False
 
     def is_interfered(self, channel: int, time: Optional[float] = None) -> bool:
         """Whether an interference burst affects ``channel`` at ``time``."""
         time = self.simulator.now if time is None else time
-        return any(burst.affects(time, channel) for burst in self._interference)
+        bursts = self._bursts_sorted
+        if not bursts or time >= self._max_burst_end:
+            return False
+        return any(
+            bursts[index][2].affects(time, channel)
+            for index in range(bisect_right(bursts, (time, math.inf)))
+        )
 
     def interference_loss_probability(self, channel: int, time: float) -> float:
         """Largest loss probability among bursts affecting ``channel`` at ``time``."""
-        probabilities = [
-            burst.loss_probability
-            for burst in self._interference
-            if burst.affects(time, channel)
-        ]
-        return max(probabilities) if probabilities else 0.0
+        bursts = self._bursts_sorted
+        if not bursts or time >= self._max_burst_end:
+            return 0.0
+        worst = 0.0
+        # Only bursts starting at or before `time` can affect it.
+        for index in range(bisect_right(bursts, (time, math.inf))):
+            burst = bursts[index][2]
+            if burst.affects(time, channel) and burst.loss_probability > worst:
+                worst = burst.loss_probability
+        return worst
 
     # ---------------------------------------------------------------- transmit
     def transmit(self, frame: Frame, channel: Optional[int] = None) -> float:
@@ -219,6 +289,8 @@ class WirelessMedium:
         if sender_attachment is None:
             raise ValueError(f"sender {frame.source!r} is not attached to the medium")
         air_time = frame.air_time(self.config.bitrate_bps)
+        if air_time > self._max_air_time:
+            self._max_air_time = air_time
         end = now + air_time
         tx = _Transmission(
             frame=frame,
@@ -230,58 +302,130 @@ class WirelessMedium:
         )
         self._transmissions.append(tx)
         self.stats.frames_sent += 1
-        self.simulator.schedule(air_time, lambda: self._complete(tx))
+        self.simulator.schedule_fast(air_time, lambda: self._complete(tx))
         return end
 
     def _complete(self, tx: _Transmission) -> None:
         now = self.simulator.now
-        overlapping = [
-            other
-            for other in self._transmissions
-            if other is not tx
-            and other.channel == tx.channel
-            and other.start < tx.end
-            and other.end > tx.start
-        ]
-        targets: List[_Attachment]
+        tx_start = tx.start
+        tx_end = tx.end
+        channel = tx.channel
+        transmissions = self._transmissions
+        if len(transmissions) > 1:
+            overlapping = [
+                other
+                for other in transmissions
+                if other is not tx
+                and other.channel == channel
+                and other.start < tx_end
+                and other.end > tx_start
+            ]
+        else:
+            overlapping = []
+
         if tx.frame.is_broadcast:
-            targets = [a for a in self._attachments.values() if a.node_id != tx.sender]
+            sender = tx.sender
+            eligible = [
+                a
+                for a in self._attachments.values()
+                if a.node_id != sender and a.listening_channel == channel
+            ]
         else:
             target = self._attachments.get(tx.frame.destination)
-            targets = [target] if target is not None else []
-
-        for attachment in targets:
-            if attachment.listening_channel != tx.channel:
-                continue
-            receiver_pos = attachment.position_fn()
-            if self._distance(receiver_pos, tx.sender_position) > self.config.communication_range:
-                self.stats.lost_out_of_range += 1
-                continue
-            collided = any(
-                self._distance(receiver_pos, other.sender_position)
-                <= self.config.communication_range
-                for other in overlapping
+            eligible = (
+                [target]
+                if target is not None and target.listening_channel == channel
+                else []
             )
+
+        communication_range = self.config.communication_range
+        base_loss = self.config.base_loss_probability
+        # Constant per transmission (channel + start time), so evaluated once
+        # instead of per receiver.
+        interference_loss = self.interference_loss_probability(channel, tx_start)
+        sender_pos = tx.sender_position
+        rng_random = self.rng.random
+        stats = self.stats
+        schedule_at_fast = self.simulator.schedule_at_fast
+        propagation_delay = self.config.propagation_delay
+
+        in_range_mask = collided_mask = None
+        if len(eligible) >= _VECTOR_MIN_RECEIVERS:
+            masks = self._receiver_masks(eligible, sender_pos, overlapping, communication_range)
+            if masks is not None:
+                in_range_mask, collided_mask = masks
+
+        # Loss draws stay scalar and in attachment order whatever the geometry
+        # backend, so the delivery RNG stream never depends on receiver count.
+        for index, attachment in enumerate(eligible):
+            if in_range_mask is not None:
+                in_range = bool(in_range_mask[index])
+                collided = bool(collided_mask[index])
+            else:
+                receiver_pos = attachment.position_fn()
+                in_range = (
+                    self._distance(receiver_pos, sender_pos) <= communication_range
+                )
+                collided = in_range and any(
+                    self._distance(receiver_pos, other.sender_position)
+                    <= communication_range
+                    for other in overlapping
+                )
+            if not in_range:
+                stats.lost_out_of_range += 1
+                continue
             if collided:
-                self.stats.lost_collision += 1
+                stats.lost_collision += 1
                 continue
-            interference_loss = self.interference_loss_probability(tx.channel, tx.start)
-            if interference_loss > 0 and self.rng.random() < interference_loss:
-                self.stats.lost_interference += 1
+            if interference_loss > 0 and rng_random() < interference_loss:
+                stats.lost_interference += 1
                 continue
-            if self.config.base_loss_probability > 0 and self.rng.random() < self.config.base_loss_probability:
-                self.stats.lost_random += 1
+            if base_loss > 0 and rng_random() < base_loss:
+                stats.lost_random += 1
                 continue
-            delivery_time = now + self.config.propagation_delay
-            self.stats.deliveries += 1
-            self.simulator.schedule_at(
+            delivery_time = now + propagation_delay
+            stats.deliveries += 1
+            schedule_at_fast(
                 delivery_time,
                 lambda a=attachment, f=tx.frame, t=delivery_time: a.receive(f, t),
             )
-        self._prune(now)
+
+        self._completions_since_prune += 1
+        if self._completions_since_prune >= _PRUNE_INTERVAL:
+            self._prune(now)
+
+    @staticmethod
+    def _receiver_masks(
+        eligible: List[_Attachment],
+        sender_pos: Tuple[float, ...],
+        overlapping: List[_Transmission],
+        communication_range: float,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised in-range / collision masks over the candidate receivers.
+
+        Returns ``None`` when positions are not dimension-uniform (the scalar
+        loop then handles the mixed-dimension corner case).
+        """
+        dims = len(sender_pos)
+        positions = [a.position_fn() for a in eligible]
+        if any(len(p) != dims for p in positions):
+            return None
+        if any(len(o.sender_position) != dims for o in overlapping):
+            return None
+        receiver_arr = np.asarray(positions, dtype=float)
+        deltas = receiver_arr - np.asarray(sender_pos, dtype=float)
+        in_range_mask = np.sqrt((deltas**2).sum(axis=1)) <= communication_range
+        collided_mask = np.zeros(len(eligible), dtype=bool)
+        for other in overlapping:
+            other_deltas = receiver_arr - np.asarray(other.sender_position, dtype=float)
+            collided_mask |= np.sqrt((other_deltas**2).sum(axis=1)) <= communication_range
+        collided_mask &= in_range_mask
+        return in_range_mask, collided_mask
 
     def _prune(self, now: float) -> None:
-        self._transmissions = [t for t in self._transmissions if t.end > now - 1.0]
+        cutoff = now - self._max_air_time
+        self._transmissions = [t for t in self._transmissions if t.end > cutoff]
+        self._completions_since_prune = 0
 
     def _check_channel(self, channel: int) -> None:
         if not 0 <= channel < self.config.channels:

@@ -217,7 +217,11 @@ class MediatorLayer:
 
     def _on_mac_receive(self, frame: Frame, time: float) -> None:
         self.monitor.activity(time)
-        self.members[frame.source] = MemberInfo(node_id=frame.source, last_heard=time)
+        member = self.members.get(frame.source)
+        if member is None:
+            self.members[frame.source] = MemberInfo(node_id=frame.source, last_heard=time)
+        else:
+            member.last_heard = time
         if frame.kind is FrameKind.BEACON:
             return
         for listener in self._receive_listeners:

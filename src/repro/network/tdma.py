@@ -103,6 +103,10 @@ class TdmaNetwork:
         self.adjacency: Dict[str, Set[str]] = {}
         self.frames_elapsed = 0
         self.collision_history: List[int] = []
+        #: node -> one-or-two-hop interference set, rebuilt after topology
+        #: changes so the per-frame conflict checks are set-membership tests
+        #: instead of per-pair set intersections.
+        self._interference_cache: Optional[Dict[str, Set[str]]] = None
 
     # ----------------------------------------------------------------- topology
     def add_node(self, node_id: str, neighbors: Optional[Set[str]] = None,
@@ -115,6 +119,7 @@ class TdmaNetwork:
             if neighbor in self.nodes:
                 self.adjacency[node_id].add(neighbor)
                 self.adjacency.setdefault(neighbor, set()).add(node_id)
+        self._interference_cache = None
         return node
 
     def remove_node(self, node_id: str) -> None:
@@ -123,31 +128,48 @@ class TdmaNetwork:
         self.adjacency.pop(node_id, None)
         for peers in self.adjacency.values():
             peers.discard(node_id)
+        self._interference_cache = None
 
     def add_link(self, a: str, b: str) -> None:
         self.adjacency.setdefault(a, set()).add(b)
         self.adjacency.setdefault(b, set()).add(a)
+        self._interference_cache = None
 
     def remove_link(self, a: str, b: str) -> None:
         self.adjacency.get(a, set()).discard(b)
         self.adjacency.get(b, set()).discard(a)
+        self._interference_cache = None
 
     # --------------------------------------------------------------- execution
     def conflicting_pairs(self) -> List[Tuple[str, str]]:
         """Pairs of nodes whose current slots conflict under interference."""
         conflicts = []
         ids = sorted(self.nodes)
+        nodes = self.nodes
+        interference = self._interference_sets()
         for i, a in enumerate(ids):
+            slot_a = nodes[a].slot
+            interferers = interference[a]
             for b in ids[i + 1:]:
-                if self.nodes[a].slot != self.nodes[b].slot:
-                    continue
-                if self._interferes(a, b):
+                if nodes[b].slot == slot_a and b in interferers:
                     conflicts.append((a, b))
         return conflicts
 
     def is_converged(self) -> bool:
         """True when the current allocation is collision-free."""
-        return not self.conflicting_pairs()
+        nodes = self.nodes
+        interference = self._interference_sets()
+        by_slot: Dict[int, List[str]] = {}
+        for node_id, node in nodes.items():
+            peers = by_slot.get(node.slot)
+            if peers is None:
+                by_slot[node.slot] = [node_id]
+                continue
+            interferers = interference[node_id]
+            if any(other in interferers for other in peers):
+                return False
+            peers.append(node_id)
+        return True
 
     def run_frame(self) -> int:
         """Simulate one TDMA frame; returns the number of collided slots heard.
@@ -167,23 +189,31 @@ class TdmaNetwork:
 
         colliders: Set[str] = set()
         total_collided_slots = 0
+        nodes = self.nodes
+        adjacency = self.adjacency
+        interference = self._interference_sets()
         for slot, transmitters in slot_to_transmitters.items():
-            for listener_id, listener in self.nodes.items():
-                heard = [
-                    t for t in transmitters
-                    if t != listener_id and t in self.adjacency.get(listener_id, set())
-                ]
-                if len(heard) >= 1:
-                    listener.busy_slots.add(slot)
-                if len(heard) >= 2:
+            # O(edges): walk each transmitter's neighbourhood instead of
+            # probing every listener against every transmitter.
+            heard_counts: Dict[str, int] = {}
+            for transmitter in transmitters:
+                for listener_id in adjacency.get(transmitter, ()):
+                    heard_counts[listener_id] = heard_counts.get(listener_id, 0) + 1
+            for listener_id, heard in heard_counts.items():
+                listener = nodes.get(listener_id)
+                if listener is None:
+                    continue
+                listener.busy_slots.add(slot)
+                if heard >= 2:
                     listener.observed_collisions.add(slot)
             # A transmitter learns of the collision from any neighbour that
             # observed it (collision report piggy-backed on the next frame;
             # modelled here as end-of-frame feedback).
             if len(transmitters) >= 2:
                 for a_index, a in enumerate(transmitters):
+                    interferers = interference[a]
                     for b in transmitters[a_index + 1:]:
-                        if self._interferes(a, b):
+                        if b in interferers:
                             total_collided_slots += 1
                             for transmitter in (a, b):
                                 if self._feedback_delivered():
@@ -202,6 +232,24 @@ class TdmaNetwork:
         return None if not self.is_converged() else max_frames
 
     # --------------------------------------------------------------- internals
+    def _interference_sets(self) -> Dict[str, Set[str]]:
+        """Per-node one-or-two-hop interference sets (cached until the
+        topology changes).  ``b in sets[a]`` is equivalent to
+        :meth:`_interferes` for the symmetric adjacency this class maintains.
+        """
+        cache = self._interference_cache
+        if cache is None:
+            cache = {}
+            for node_id in self.nodes:
+                neighbors = self.adjacency.get(node_id, set())
+                interferers = set(neighbors)
+                for neighbor in neighbors:
+                    interferers |= self.adjacency.get(neighbor, set())
+                interferers.discard(node_id)
+                cache[node_id] = interferers
+            self._interference_cache = cache
+        return cache
+
     def _interferes(self, a: str, b: str) -> bool:
         """One- or two-hop proximity (shared neighbour) implies interference."""
         neighbors_a = self.adjacency.get(a, set())

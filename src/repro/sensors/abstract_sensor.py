@@ -30,12 +30,25 @@ from repro.sensors.readings import ReadingAttributes, SensorReading
 from repro.sensors.validity import FaultManagementUnit, ValidityPolicy
 
 
+#: Noise values pre-drawn per RNG call while no fault can touch the stream.
+_NOISE_CHUNK = 128
+
+
 class PhysicalSensor:
     """A simulated transducer sampling a ground-truth signal with noise.
 
     ``truth_fn`` maps simulated time to the true value of the measured
     quantity; the sensor adds Gaussian noise and may be corrupted by an
     attached :class:`~repro.sensors.injector.FaultInjector`.
+
+    Measurement noise is pre-drawn in batches of standard normals
+    (``normal(0, sigma)`` is ``sigma * standard_normal()`` on the same bit
+    stream, so per-sample values are identical to scalar draws) whenever no
+    attached fault can consume the shared RNG; with an RNG-drawing fault
+    scheduled, the sensor falls back to one draw per sample so fault and
+    noise draws interleave exactly as they would unbatched.  Injecting an
+    RNG-drawing fault *after* sampling has started (no scenario in this repo
+    does) would shift the stream relative to a never-batched run.
     """
 
     def __init__(
@@ -58,6 +71,8 @@ class PhysicalSensor:
         self.injector = FaultInjector(rng=self.rng)
         self.samples_taken = 0
         self._sequence = 0
+        self._noise_buffer = np.empty(0)
+        self._noise_index = 0
 
     def sample(self, now: float) -> Optional[SensorReading]:
         """Take one sample at simulated time ``now``.
@@ -66,7 +81,18 @@ class PhysicalSensor:
         """
         self.samples_taken += 1
         true_value = self.truth_fn(now)
-        noise = self.rng.normal(0.0, self.noise_sigma) if self.noise_sigma > 0 else 0.0
+        sigma = self.noise_sigma
+        if sigma > 0:
+            index = self._noise_index
+            buffer = self._noise_buffer
+            if index >= buffer.shape[0]:
+                chunk = 1 if self.injector.may_draw_rng else _NOISE_CHUNK
+                buffer = self._noise_buffer = self.rng.standard_normal(chunk)
+                index = 0
+            noise = sigma * buffer[index]
+            self._noise_index = index + 1
+        else:
+            noise = 0.0
         self._sequence += 1
         reading = SensorReading(
             quantity=self.quantity,

@@ -41,6 +41,17 @@ class SensorFault:
     def fault_class(self) -> FaultClass:
         raise NotImplementedError
 
+    @property
+    def draws_rng(self) -> bool:
+        """Whether :meth:`apply` may consume values from the shared RNG.
+
+        Deterministic faults (stuck-at, permanent offset) return ``False``,
+        which lets the physical sensor keep pre-drawing its measurement noise
+        in batches: interleaved fault draws are the only thing that would
+        perturb the noise stream.  Subclasses that draw must return ``True``.
+        """
+        return True
+
     def apply(
         self, reading: SensorReading, rng: np.random.Generator
     ) -> Optional[SensorReading]:
@@ -68,6 +79,10 @@ class DelayFault(SensorFault):
 
     def fault_class(self) -> FaultClass:
         return FaultClass.DELAY
+
+    @property
+    def draws_rng(self) -> bool:
+        return self.drop_probability > 0
 
     def apply(
         self, reading: SensorReading, rng: np.random.Generator
@@ -108,6 +123,10 @@ class PermanentOffsetFault(SensorFault):
     def fault_class(self) -> FaultClass:
         return FaultClass.PERMANENT_OFFSET
 
+    @property
+    def draws_rng(self) -> bool:
+        return False
+
     def apply(
         self, reading: SensorReading, rng: np.random.Generator
     ) -> Optional[SensorReading]:
@@ -138,6 +157,10 @@ class StuckAtFault(SensorFault):
 
     def fault_class(self) -> FaultClass:
         return FaultClass.STUCK_AT
+
+    @property
+    def draws_rng(self) -> bool:
+        return False
 
     def apply(
         self, reading: SensorReading, rng: np.random.Generator

@@ -92,3 +92,13 @@ class FaultInjector:
     def any_active(self) -> bool:
         """Whether any activation window is still open (now or in the future)."""
         return bool(self.activations)
+
+    @property
+    def may_draw_rng(self) -> bool:
+        """Whether processing a reading may consume values from the RNG.
+
+        Used by :class:`~repro.sensors.abstract_sensor.PhysicalSensor` to
+        decide if measurement noise can be pre-drawn in batches without
+        perturbing the shared RNG stream.
+        """
+        return any(activation.fault.draws_rng for activation in self.activations)

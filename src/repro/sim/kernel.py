@@ -1,34 +1,56 @@
 """Discrete-event simulation kernel.
 
-A minimal, deterministic scheduler: events are ``(time, priority, seq,
-callback)`` tuples held in a heap.  Ties are broken by insertion order so a
-given seed always produces an identical schedule.  The kernel is the single
-source of time for every KARYON component.
+A minimal, deterministic scheduler.  Heap entries are plain ``(time,
+priority, seq, event)`` tuples: ``seq`` is unique, so tuple comparison is
+resolved in C before ever reaching the event object, and ties are broken by
+insertion order so a given seed always produces an identical schedule.  The
+event payload itself is a tiny ``__slots__`` record carrying the callback
+and its cancelled/executed state.
+
+Cancelled events are removed lazily: :meth:`Timer.cancel` only flags the
+event, and the kernel drops flagged entries when they surface at the top of
+the heap.  When cancelled entries pile up (long-lived timers that are almost
+always cancelled, e.g. retransmission timeouts), the queue is compacted in
+place so memory and pop costs stay bounded.  The kernel is the single source
+of time for every KARYON component.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
+
+#: Compact the queue once at least this many cancelled events are buried in it
+#: (and they outnumber the live ones) — small enough to bound waste, large
+#: enough that compaction cost is amortised over many cancellations.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for scheduling misuse (negative delays, running a stopped sim)."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """Heap payload: callback plus cancelled/executed state.
+
+    Ordering lives in the enclosing ``(time, priority, seq, event)`` tuple,
+    never here — ``seq`` is unique so comparisons stop before the payload.
+    """
+
+    __slots__ = ("time", "callback", "cancelled", "executed")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.executed = False
 
 
 class Timer:
     """Handle to a scheduled event that can be cancelled or queried."""
+
+    __slots__ = ("_event", "_simulator")
 
     def __init__(self, event: _Event, simulator: "Simulator"):
         self._event = event
@@ -45,11 +67,18 @@ class Timer:
 
     @property
     def fired(self) -> bool:
-        return self._simulator.now >= self._event.time and not self._event.cancelled
+        """Whether the callback actually ran.
+
+        Tracked as an explicit executed flag on the event: a timer cancelled
+        *after* it fired keeps reporting ``fired=True`` (cancelling an
+        already-fired timer is a no-op), and a timer scheduled at the current
+        instant does not count as fired until its callback has run.
+        """
+        return self._event.executed
 
     def cancel(self) -> None:
         """Cancel the timer.  Cancelling an already-fired timer is a no-op."""
-        self._event.cancelled = True
+        self._simulator._cancel(self._event)
 
 
 class PeriodicTask:
@@ -98,7 +127,19 @@ class PeriodicTask:
     def _schedule(self, delay: float) -> None:
         jitter = self.jitter_fn() if self.jitter_fn else 0.0
         delay = max(0.0, delay + jitter)
-        self._timer = self.simulator.schedule(delay, self._fire, priority=self.priority)
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        # Inlined simulator.schedule(): the clamp above already guarantees a
+        # valid delay, and periodic re-arms are hot enough that skipping the
+        # extra call and negative-delay check matters.
+        simulator = self.simulator
+        event = _Event(simulator._now + delay, self._fire)
+        heapq.heappush(
+            simulator._queue, (event.time, self.priority, simulator._seq, event)
+        )
+        simulator._seq += 1
+        simulator._pending += 1
+        self._timer = Timer(event, simulator)
 
     def _fire(self) -> None:
         if not self.running:
@@ -130,9 +171,14 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: List[_Event] = []
+        # Entries: (time, priority, seq, event) for cancellable events, or
+        # (time, priority, seq, None, callback) for fire-and-forget ones.
+        # ``seq`` is unique, so comparisons never reach the payload.
+        self._queue: List[Tuple] = []
         self._seq = 0
         self._stopped = False
+        self._pending = 0  # live (non-cancelled, non-executed) events in the queue
+        self._cancelled = 0  # cancelled events still buried in the queue
         self.events_processed = 0
 
     @property
@@ -148,7 +194,36 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         if not math.isfinite(delay):
             raise SimulationError(f"delay must be finite, got {delay}")
-        return self.schedule_at(self._now + delay, callback, priority=priority)
+        time = self._now + delay
+        event = _Event(time, callback)
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
+        self._seq += 1
+        self._pending += 1
+        return Timer(event, self)
+
+    def schedule_fast(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Timer`, no validation.
+
+        For hot paths that never cancel nor query the event (frame completion,
+        message delivery).  The entry shares the ``(time, priority, seq, ...)``
+        ordering of regular events, so interleaving with :meth:`schedule` is
+        identical; the caller is responsible for a non-negative, finite delay.
+        """
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, None, callback)
+        )
+        self._seq += 1
+        self._pending += 1
+
+    def schedule_at_fast(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_fast`)."""
+        heapq.heappush(self._queue, (time, priority, self._seq, None, callback))
+        self._seq += 1
+        self._pending += 1
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], priority: int = 0
@@ -158,9 +233,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        event = _Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        event = _Event(time, callback)
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._pending += 1
         return Timer(event, self)
 
     def periodic(
@@ -185,19 +261,33 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        queue = self._queue
+        while queue:
+            event = queue[0][3]
+            if event is None or not event.cancelled:
+                return queue[0][0]
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return None
 
     def step(self) -> bool:
         """Process the next event.  Returns ``False`` when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[3]
+            if event is None:
+                self._now = entry[0]
+                self._pending -= 1
+                self.events_processed += 1
+                entry[4]()
+                return True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = event.time
+            self._now = entry[0]
+            self._pending -= 1
+            event.executed = True
             self.events_processed += 1
             event.callback()
             return True
@@ -215,11 +305,38 @@ class Simulator:
                 f"end_time {end_time} is before current time {self._now}"
             )
         self._stopped = False
-        while not self._stopped:
-            next_time = self.peek()
-            if next_time is None or next_time > end_time:
+        # Hot loop: operate on the head entry directly instead of the
+        # peek()/step() pair so each event costs one heap pop, not a scan
+        # plus a pop.  ``queue`` stays a valid alias because compaction
+        # mutates the list in place.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and not self._stopped:
+            head = queue[0]
+            event = head[3]
+            if event is None:
+                time = head[0]
+                if time > end_time:
+                    break
+                pop(queue)
+                self._now = time
+                self._pending -= 1
+                self.events_processed += 1
+                head[4]()
+                continue
+            if event.cancelled:
+                pop(queue)
+                self._cancelled -= 1
+                continue
+            time = head[0]
+            if time > end_time:
                 break
-            self.step()
+            pop(queue)
+            self._now = time
+            self._pending -= 1
+            event.executed = True
+            self.events_processed += 1
+            event.callback()
         if not self._stopped:
             self._now = max(self._now, end_time)
 
@@ -233,5 +350,24 @@ class Simulator:
                 break
 
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, non-cancelled events (O(1): a live counter)."""
+        return self._pending
+
+    # ------------------------------------------------------------- internals
+    def _cancel(self, event: _Event) -> None:
+        """Flag ``event`` as cancelled; physical removal happens lazily."""
+        if event.cancelled or event.executed:
+            return
+        event.cancelled = True
+        self._pending -= 1
+        self._cancelled += 1
+        if self._cancelled >= _COMPACT_MIN_CANCELLED and self._cancelled > self._pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, keeping the same list object."""
+        self._queue[:] = [
+            entry for entry in self._queue if entry[3] is None or not entry[3].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0

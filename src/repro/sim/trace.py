@@ -3,12 +3,20 @@
 Components emit :class:`TraceRecord` entries (kind + fields) to a shared
 :class:`TraceRecorder`; the evaluation layer turns recorded traces into the
 metric tables reported in EXPERIMENTS.md.
+
+The recorder is an append-optimised columnar store: one parallel array per
+column (time, kind, source, fields) plus a per-kind index, so the hot
+``record()`` path is a handful of list appends and queries like
+:meth:`TraceRecorder.by_kind` or :meth:`TraceRecorder.values` walk only the
+matching rows.  :class:`TraceRecord` objects are materialised on demand as
+views over the columns; the query API is unchanged from the original
+record-list implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -28,57 +36,119 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects trace records and offers simple query helpers."""
+    """Collects trace records columnar-style and offers simple query helpers."""
+
+    __slots__ = (
+        "enabled",
+        "_times",
+        "_kinds",
+        "_sources",
+        "_fields",
+        "_kind_index",
+        "_source_index",
+        "_listeners",
+    )
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self._times: List[float] = []
+        self._kinds: List[str] = []
+        self._sources: List[str] = []
+        self._fields: List[Dict[str, Any]] = []
+        self._kind_index: Dict[str, List[int]] = {}
+        self._source_index: Dict[str, List[int]] = {}
         self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def __bool__(self) -> bool:
+        # An empty recorder must stay truthy: callers write
+        # ``trace or TraceRecorder(...)`` when defaulting, and without this
+        # a shared-but-still-empty recorder would be silently replaced.
+        return True
 
     def record(self, time: float, kind: str, source: str, **fields: Any) -> None:
         """Append a record (no-op when disabled)."""
         if not self.enabled:
             return
-        rec = TraceRecord(time=time, kind=kind, source=source, fields=fields)
-        self.records.append(rec)
-        for listener in self._listeners:
-            listener(rec)
+        index = len(self._times)
+        self._times.append(time)
+        self._kinds.append(kind)
+        self._sources.append(source)
+        self._fields.append(fields)
+        kind_rows = self._kind_index.get(kind)
+        if kind_rows is None:
+            self._kind_index[kind] = [index]
+        else:
+            kind_rows.append(index)
+        source_rows = self._source_index.get(source)
+        if source_rows is None:
+            self._source_index[source] = [index]
+        else:
+            source_rows.append(index)
+        if self._listeners:
+            rec = TraceRecord(time=time, kind=kind, source=source, fields=fields)
+            for listener in self._listeners:
+                listener(rec)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
         """Register a callback invoked for every new record."""
         self._listeners.append(listener)
 
+    # ------------------------------------------------------------------ views
+    def _view(self, index: int) -> TraceRecord:
+        """Materialise row ``index`` as a :class:`TraceRecord` view.
+
+        The fields dict is shared with the store, not copied.
+        """
+        return TraceRecord(
+            time=self._times[index],
+            kind=self._kinds[index],
+            source=self._sources[index],
+            fields=self._fields[index],
+        )
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in emission order (materialised on demand)."""
+        return [self._view(index) for index in range(len(self._times))]
+
     def by_kind(self, kind: str) -> List[TraceRecord]:
         """All records of a given kind, in emission order."""
-        return [r for r in self.records if r.kind == kind]
+        return [self._view(index) for index in self._kind_index.get(kind, ())]
 
     def by_source(self, source: str) -> List[TraceRecord]:
         """All records emitted by a given source."""
-        return [r for r in self.records if r.source == source]
+        return [self._view(index) for index in self._source_index.get(source, ())]
 
     def kinds(self) -> Dict[str, int]:
         """Histogram of record kinds."""
-        counts: Dict[str, int] = {}
-        for rec in self.records:
-            counts[rec.kind] = counts.get(rec.kind, 0) + 1
-        return counts
+        return {kind: len(rows) for kind, rows in self._kind_index.items()}
 
     def values(self, kind: str, field_name: str) -> List[Any]:
         """Extract one field from every record of ``kind`` that carries it."""
-        return [r.fields[field_name] for r in self.by_kind(kind) if field_name in r.fields]
+        fields = self._fields
+        return [
+            fields[index][field_name]
+            for index in self._kind_index.get(kind, ())
+            if field_name in fields[index]
+        ]
 
     def last(self, kind: str) -> Optional[TraceRecord]:
         """Most recent record of ``kind``, or ``None``."""
-        for rec in reversed(self.records):
-            if rec.kind == kind:
-                return rec
-        return None
+        rows = self._kind_index.get(kind)
+        if not rows:
+            return None
+        return self._view(rows[-1])
 
     def clear(self) -> None:
-        self.records.clear()
+        self._times.clear()
+        self._kinds.clear()
+        self._sources.clear()
+        self._fields.clear()
+        self._kind_index.clear()
+        self._source_index.clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._times)
 
-    def __iter__(self) -> Iterable[TraceRecord]:
-        return iter(self.records)
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return (self._view(index) for index in range(len(self._times)))

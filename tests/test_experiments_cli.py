@@ -80,3 +80,39 @@ class TestReport:
     def test_report_empty_store(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "missing.jsonl")]) == 1
         assert "no records" in capsys.readouterr().out
+
+    @pytest.fixture
+    def stored_campaign(self, tmp_path, capsys):
+        store = str(tmp_path / "walk.jsonl")
+        assert main(
+            ["run", "demo/random_walk", "--seeds", "3", "--sweep", "drift=0.0,0.2",
+             "--store", store, "--jobs", "2", "--batch-size", "2"]
+        ) == 0
+        capsys.readouterr()
+        return store
+
+    def test_report_format_csv(self, stored_campaign, capsys):
+        assert main(["report", stored_campaign, "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("scenario,metric,count,mean")
+        assert any(line.startswith("demo/random_walk,final_position,") for line in lines)
+
+    def test_report_format_csv_grouped(self, stored_campaign, capsys):
+        assert main(
+            ["report", stored_campaign, "--format", "csv", "--group-by", "drift"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("scenario,drift,runs,failures")
+        assert len(lines) == 3  # header + one row per drift value
+
+    def test_report_format_json(self, stored_campaign, capsys):
+        import json as json_module
+
+        assert main(
+            ["report", stored_campaign, "--format", "json", "--group-by", "drift"]
+        ) == 0
+        document = json_module.loads(capsys.readouterr().out)
+        entry = document["demo/random_walk"]
+        assert entry["runs"] == 6 and entry["failed"] == 0
+        assert "final_position" in entry["aggregates"]
+        assert {row["drift"] for row in entry["groups"]} == {0.0, 0.2}

@@ -164,3 +164,90 @@ def test_run_drains_queue():
     sim.run()
     assert fired == [1.0, 2.0, 3.0]
     assert sim.peek() is None
+
+
+def test_timer_fired_tracks_execution():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    assert not timer.fired
+    sim.run_until(0.5)
+    assert not timer.fired
+    sim.run_until(1.0)
+    assert timer.fired
+
+
+def test_timer_cancelled_after_firing_still_reports_fired():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.run_until(2.0)
+    assert timer.fired
+    timer.cancel()  # no-op on an already-fired timer
+    assert timer.fired
+    assert not timer.cancelled
+
+
+def test_timer_scheduled_now_not_fired_until_callback_ran():
+    sim = Simulator()
+    observed = []
+
+    def first():
+        # `late` is scheduled at the same instant but has not run yet.
+        observed.append(late.fired)
+
+    sim.schedule(1.0, first, priority=0)
+    late = sim.schedule(1.0, lambda: None, priority=1)
+    sim.run_until(1.0)
+    assert observed == [False]
+    assert late.fired
+
+
+def test_pending_events_live_counter():
+    sim = Simulator()
+    timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events() == 10
+    timers[0].cancel()
+    timers[5].cancel()
+    assert sim.pending_events() == 8
+    timers[5].cancel()  # double-cancel must not double-decrement
+    assert sim.pending_events() == 8
+    sim.run_until(3.0)  # executes timers 2 and 3 (timer 1 was cancelled)
+    assert sim.pending_events() == 6
+    sim.run()
+    assert sim.pending_events() == 0
+
+
+def test_cancelled_event_compaction_preserves_schedule():
+    sim = Simulator()
+    fired = []
+    keep = []
+    for i in range(200):
+        timer = sim.schedule(1.0 + i * 0.01, lambda i=i: fired.append(i))
+        if i % 2:
+            keep.append(i)
+        else:
+            timer.cancel()  # enough cancellations to trigger compaction
+    assert sim.pending_events() == len(keep)
+    sim.run_until(10.0)
+    assert fired == keep
+
+
+def test_schedule_fast_interleaves_with_schedule_in_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule_fast(1.0, lambda: order.append("b"))
+    sim.schedule_at_fast(1.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("d"))
+    sim.schedule_fast(0.5, lambda: order.append("early"), priority=5)
+    sim.run_until(1.0)
+    assert order == ["early", "a", "b", "c", "d"]
+    assert sim.events_processed == 5
+    assert sim.pending_events() == 0
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0

@@ -83,3 +83,48 @@ class TestTraceRecorder:
         trace.record(0.0, "k", "s")
         trace.clear()
         assert len(trace) == 0
+        assert trace.by_kind("k") == []
+        assert trace.by_source("s") == []
+        assert trace.kinds() == {}
+        assert trace.last("k") is None
+
+    def test_empty_recorder_is_truthy(self):
+        # Callers default with `trace or TraceRecorder(...)`; an empty shared
+        # recorder must not be silently replaced by that idiom.
+        assert bool(TraceRecorder())
+        assert bool(TraceRecorder(enabled=False))
+
+    def test_records_property_materialises_views(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "s1", x=1)
+        trace.record(2.0, "b", "s2", x=2)
+        records = trace.records
+        assert [(r.time, r.kind, r.source, r.fields) for r in records] == [
+            (1.0, "a", "s1", {"x": 1}),
+            (2.0, "b", "s2", {"x": 2}),
+        ]
+        assert [r.kind for r in trace] == ["a", "b"]
+
+    def test_query_api_matches_reference_implementation(self):
+        trace = TraceRecorder()
+        rows = [
+            (0.5, "tick", "alpha", {"n": 1}),
+            (1.0, "tock", "beta", {"n": 2}),
+            (1.5, "tick", "beta", {"n": 3}),
+            (2.0, "tick", "alpha", {}),
+        ]
+        for time, kind, source, fields in rows:
+            trace.record(time, kind, source, **fields)
+        assert [r.fields for r in trace.by_kind("tick")] == [{"n": 1}, {"n": 3}, {}]
+        assert [r.kind for r in trace.by_source("beta")] == ["tock", "tick"]
+        assert trace.kinds() == {"tick": 3, "tock": 1}
+        assert trace.values("tick", "n") == [1, 3]
+        assert trace.last("tick").time == 2.0
+        assert len(trace) == 4
+
+    def test_disabled_recorder_stays_empty_and_quiet(self):
+        trace = TraceRecorder(enabled=False)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1.0, "k", "s", v=1)
+        assert len(trace) == 0 and seen == []
