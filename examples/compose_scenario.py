@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compose a brand-new scenario from ``repro.scenario`` building blocks.
+
+Every use case in this repo is built from the same five pieces — a
+:class:`RadioPreset`, a :class:`WorldSpec`, per-node :class:`NodeSpec`\\ s, a
+:class:`SensorRig` and :class:`MetricProbe`\\ s — owned by one
+:class:`ScenarioHarness`.  This example wires a miniature convoy from
+scratch in ~60 lines: two vehicles on a highway, V2V position beacons over a
+lossy medium, a noisy ranging radar, and a safety kernel that only allows
+the tight time gap while the radar is healthy and the V2V feed is fresh.
+
+It also runs ``urban_grid``, one of the three ROADMAP workloads composed
+the same way (see ``src/repro/usecases/urban_grid.py``).
+
+Run with:  PYTHONPATH=src python examples/compose_scenario.py
+"""
+
+from repro.core.los import LevelOfService, LoSCatalog
+from repro.core.rules import freshness_within, validity_at_least
+from repro.evaluation.reporting import format_table
+from repro.network.medium import MediumConfig
+from repro.scenario import MetricProbe, NodeSpec, RadioPreset, ScenarioHarness, SensorRig, WorldSpec
+from repro.sensors.detectors import RangeDetector, StuckAtDetector
+from repro.sensors.faults import StuckAtFault
+from repro.vehicles.vehicle import Vehicle
+
+
+def main() -> None:
+    harness = ScenarioHarness(
+        seed=42,
+        radio=RadioPreset(mac="r2t", medium=MediumConfig(base_loss_probability=0.05)),
+        world=WorldSpec("highway", lanes=1, step_period=0.05),
+    )
+
+    # Two vehicles, each with a radio node announcing a V2V subject.
+    leader = Vehicle(vehicle_id="leader", lane=0)
+    leader.state.position, leader.state.speed = 60.0, 25.0
+    follower = Vehicle(vehicle_id="follower", lane=0)
+    follower.state.speed = 25.0
+    beacons = []
+    harness.add_node(NodeSpec("leader", position_fn=leader.xy, announce=("v2v",)))
+    harness.add_node(NodeSpec("follower", position_fn=follower.xy,
+                              subscribe=(("v2v", beacons.append),)))
+    harness.periodic(0.1, lambda: harness.brokers["leader"].publish(
+        "v2v", content={"position": leader.position}), name="leader-beacon")
+
+    # A ranging radar built from a rig; a stuck-at fault hits mid-run.
+    radar = SensorRig(
+        name="radar", quantity="range", noise_sigma=0.3,
+        detectors=lambda: [RangeDetector(0.0, 500.0), StuckAtDetector(window=10, min_run=4)],
+    ).build(lambda _now: follower.gap_to(leader), harness.streams)
+    harness.periodic(0.05, lambda: radar.read(harness.simulator.now), name="radar-sampling")
+    radar.physical.inject(StuckAtFault(), start=8.0, end=14.0)
+
+    # A safety kernel gating the time gap on radar health + V2V freshness.
+    def v2v_age() -> float:
+        return harness.simulator.now - beacons[-1].published_at if beacons else float("inf")
+
+    kernel = harness.attach_kernel("follower", cycle_period=0.1)
+    kernel.monitor_sensor("range", radar)
+    kernel.monitor_age("v2v", v2v_age)
+    gaps = {"tight": 0.6, "loose": 2.0}
+    active = {"name": "loose"}
+    kernel.define_functionality(
+        LoSCatalog("convoy", [
+            LevelOfService("loose", 0, {"gap": gaps["loose"]}),
+            LevelOfService("tight", 1, {"gap": gaps["tight"]}, cooperative=True),
+        ]),
+        enactor=lambda level: active.update(name=level.name),
+        rules_by_rank={1: [validity_at_least("range", 0.5), freshness_within("v2v", 0.5)]},
+    )
+    kernel.start()
+
+    # Both vehicles just cruise; a probe samples which LoS is active.
+    harness.world.add_vehicle(leader, controller=lambda now: 0.0)
+    harness.world.add_vehicle(follower, controller=lambda now: 0.0)
+    los = harness.add_probe(MetricProbe("los", 0.1, lambda p: p.add(active["name"])))
+    harness.world.start()
+    harness.run_until(20.0)
+
+    print(format_table(
+        [{
+            "beacons": len(beacons),
+            "kernel_cycles": kernel.summary()["cycles"],
+            "tight_share": round(los.share("tight"), 2),
+            "downgrades": kernel.summary()["downgrades"],
+        }],
+        title="composed convoy: the kernel drops to 'loose' while the radar is stuck",
+    ))
+    print()
+
+    # The same building blocks scale to whole workloads:
+    from repro.usecases.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+    results = UrbanGridScenario(UrbanGridConfig(streets=2, followers=2, duration=30.0)).run()
+    print(format_table([results.as_row()], title="urban_grid workload (2 streets, shared spectrum)"))
+
+
+if __name__ == "__main__":
+    main()

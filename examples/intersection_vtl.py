@@ -4,30 +4,29 @@
 The road-side traffic light fails 20 s into the run.  With the virtual
 traffic light, the vehicles around the intersection elect a leader (a
 region-bound virtual node) that keeps cycling the phases over V2V; without
-it, drivers fall back to look-and-go crossing.
+it, drivers fall back to look-and-go crossing.  The three modes run as one
+campaign sweep over the registered ``intersection`` scenario.
 
-Run with:  python examples/intersection_vtl.py
+Run with:  PYTHONPATH=src python examples/intersection_vtl.py
 """
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.intersection import (
-    IntersectionConfig,
-    IntersectionMode,
-    IntersectionScenario,
-)
+from repro.experiments import ParallelCampaignRunner, ParameterGrid
 
 
 def main() -> None:
-    rows = []
-    for mode in IntersectionMode:
-        failure_time = None if mode is IntersectionMode.INFRASTRUCTURE else 20.0
-        config = IntersectionConfig(
-            mode=mode,
-            vehicles_per_approach=5,
-            duration=150.0,
-            light_failure_time=failure_time,
-        )
-        rows.append(IntersectionScenario(config).run().as_row())
+    runner = ParallelCampaignRunner()
+    result = runner.run(
+        "intersection",
+        params={
+            "vehicles_per_approach": 5,
+            "duration": 150.0,
+            "light_failure_time": 20.0,  # ignored by the infrastructure mode
+        },
+        sweep=ParameterGrid(mode=("infrastructure", "vtl_fallback", "uncoordinated")),
+        seeds=[7],
+    )
+    rows = [record.raw_result.as_row() for record in result.ok_records]
     print(format_table(rows, title="Intersection crossing: infrastructure light vs VTL fallback vs uncoordinated"))
     print()
     print("The virtual traffic light restores the infrastructure light's throughput")

@@ -1,30 +1,37 @@
 #!/usr/bin/env python3
 """Highway platooning with the KARYON safety kernel (paper use case VI-A.1).
 
-Runs the same platoon scenario under the three architecture variants compared
-in experiment E1 — KARYON safety kernel, always-cooperative (no kernel), and
-never-cooperative — while a communication blackout hits during a hard-braking
-episode of the leader.  Prints the resulting safety/performance table.
+Runs the registered ``platoon`` scenario under the three architecture
+variants compared in experiment E1 — KARYON safety kernel,
+always-cooperative (no kernel), and never-cooperative — while a
+communication blackout hits during a hard-braking episode of the leader.
+The campaign goes through the same
+:class:`~repro.experiments.runner.ParallelCampaignRunner` that powers
+``python -m repro.experiments run platoon --sweep variant=...``.
 
-Run with:  python examples/platoon_highway.py
+Run with:  PYTHONPATH=src python examples/platoon_highway.py
 """
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.acc import ArchitectureVariant, PlatoonConfig, PlatoonScenario
+from repro.experiments import ParallelCampaignRunner, ParameterGrid
 
 
 def main() -> None:
-    rows = []
-    for variant in ArchitectureVariant:
-        config = PlatoonConfig(
-            followers=4,
-            duration=60.0,
-            variant=variant,
-            interference_bursts=((18.0, 8.0),),   # blackout overlapping the braking episode
-            seed=1,
-        )
-        result = PlatoonScenario(config).run()
-        rows.append(result.as_row())
+    runner = ParallelCampaignRunner()
+    result = runner.run(
+        "platoon",
+        params={
+            "followers": 4,
+            "duration": 60.0,
+            "blackout_start": 18.0,   # blackout overlapping the braking episode
+            "blackout_duration": 8.0,
+        },
+        sweep=ParameterGrid(
+            variant=("karyon", "always_cooperative", "never_cooperative")
+        ),
+        seeds=[1],
+    )
+    rows = [record.raw_result.as_row() for record in result.ok_records]
     print(format_table(rows, title="Platoon under a communication blackout (leader brakes at t=20s)"))
     print()
     print("Reading the table:")

@@ -4,26 +4,28 @@
 Runs the three avionic traffic scenarios (in-trail, levelled crossing,
 flight-level change) against collaborative (ADS-B) and non-collaborative
 (voice-reported) intruders, with the safety kernel selecting the separation
-margin from the quality of the intruder state.
+margin from the quality of the intruder state — one campaign sweep over the
+registered ``avionics`` scenario.
 
-Run with:  python examples/rpv_airspace.py
+Run with:  PYTHONPATH=src python examples/rpv_airspace.py
 """
 
 from repro.evaluation.reporting import format_table
-from repro.usecases.avionics import AvionicsConfig, AvionicsScenario, AvionicsUseCase
+from repro.experiments import ParallelCampaignRunner, ParameterGrid
 
 
 def main() -> None:
-    rows = []
-    for use_case in AvionicsUseCase:
-        for collaborative in (True, False):
-            config = AvionicsConfig(
-                use_case=use_case,
-                with_safety_kernel=True,
-                intruder_collaborative=collaborative,
-                duration=500.0,
-            )
-            rows.append(AvionicsScenario(config).run().as_row())
+    runner = ParallelCampaignRunner()
+    result = runner.run(
+        "avionics",
+        params={"with_safety_kernel": True, "duration": 500.0},
+        sweep=ParameterGrid(
+            use_case=("in_trail", "crossing", "level_change"),
+            intruder_collaborative=(True, False),
+        ),
+        seeds=[3],
+    )
+    rows = [record.raw_result.as_row() for record in result.ok_records]
     print(format_table(rows, title="RPV separation assurance with the KARYON safety kernel"))
     print()
     print("Collaborative traffic lets the kernel authorise the tight ('collaborative')")

@@ -7,15 +7,19 @@ runner, the safety/performance metric containers and the safety-case verdict
 used by the benchmark harness.
 """
 
-from repro.evaluation.metrics import SafetyMetrics, PerformanceMetrics, summarize
+from repro.evaluation.metrics import SafetyMetrics, PerformanceMetrics, summarize, t95
 from repro.evaluation.campaign import FaultCampaign, CampaignRun, CampaignSummary
 from repro.evaluation.iso26262 import SafetyCase, GoalAssessment, Verdict
 from repro.evaluation.reporting import format_table, format_series
+from repro.evaluation.rows import ROW_COLUMNS, usecase_row
 
 __all__ = [
     "SafetyMetrics",
     "PerformanceMetrics",
     "summarize",
+    "t95",
+    "ROW_COLUMNS",
+    "usecase_row",
     "FaultCampaign",
     "CampaignRun",
     "CampaignSummary",

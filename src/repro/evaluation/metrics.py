@@ -35,16 +35,52 @@ class PerformanceMetrics:
     deadline_miss_ratio: float = 0.0
 
 
+#: Two-sided 95% Student-t critical values by degrees of freedom; beyond the
+#: table the normal approximation (1.96) is close enough.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t95(degrees_of_freedom: int) -> float:
+    """Two-sided 95% t critical value (normal approximation past df=30)."""
+    if degrees_of_freedom < 1:
+        return 0.0
+    if degrees_of_freedom <= len(_T95):
+        return _T95[degrees_of_freedom - 1]
+    return 1.96
+
+
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Mean / min / max / p95 summary for a list of samples (NaN-free)."""
+    """Mean / 95% CI / min / max / p95 summary for a list of samples (NaN-free).
+
+    ``ci95_low``/``ci95_high`` bound the *mean* with a Student-t interval
+    (the sample sizes of seed campaigns are small, so the normal
+    approximation would be too tight); with fewer than two samples the
+    interval collapses to the mean.
+    """
     clean = [v for v in values if v is not None and not math.isnan(v) and not math.isinf(v)]
     if not clean:
-        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p95": 0.0}
+        return {
+            "count": 0, "mean": 0.0, "ci95_low": 0.0, "ci95_high": 0.0,
+            "min": 0.0, "max": 0.0, "p95": 0.0,
+        }
     ordered = sorted(clean)
-    p95_index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
+        half_width = t95(count - 1) * math.sqrt(variance / count)
+    else:
+        half_width = 0.0
+    p95_index = min(count - 1, int(round(0.95 * (count - 1))))
     return {
-        "count": len(ordered),
-        "mean": sum(ordered) / len(ordered),
+        "count": count,
+        "mean": mean,
+        "ci95_low": mean - half_width,
+        "ci95_high": mean + half_width,
         "min": ordered[0],
         "max": ordered[-1],
         "p95": ordered[p95_index],

@@ -1,0 +1,80 @@
+"""One shared row schema for every use case's ``Results.as_row()``.
+
+Before this module each ``*Results`` dataclass hand-rolled its own
+serializer with ad-hoc column names and rounding, so ``report --format
+csv|json`` emitted a different vocabulary per scenario.  ``usecase_row``
+walks a single ordered column registry and emits every column whose source
+attribute the results object actually has — one naming convention
+(``*_s`` seconds, ``*_m`` metres, ``*_ms`` metres/second,
+``throughput_veh_h``), one rounding rule per metric, one column order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+#: ``(source attribute, emitted column, rounding digits)`` — ordered; a row
+#: contains the subset whose source attribute exists on the results object.
+ROW_COLUMNS: Tuple[Tuple[str, str, Optional[int]], ...] = (
+    # identity / configuration
+    ("variant", "variant", None),
+    ("mode", "mode", None),
+    ("use_case", "use_case", None),
+    ("coordinated", "coordinated", None),
+    ("with_safety_kernel", "kernel", None),
+    ("intruder_collaborative", "collaborative_traffic", None),
+    ("streets", "streets", None),
+    ("intersections", "intersections", None),
+    ("green_wave", "green_wave", None),
+    ("ground_nodes", "ground_nodes", None),
+    # safety outcomes
+    ("collisions", "collisions", None),
+    ("conflicts", "conflicts", None),
+    ("hazardous_states", "hazardous_states", None),
+    ("simultaneous_violations", "simultaneous_violations", None),
+    ("lateral_conflicts", "lateral_conflicts", None),
+    ("min_time_gap", "min_time_gap_s", 3),
+    ("mean_time_gap", "mean_time_gap_s", 3),
+    ("min_horizontal_separation", "min_horizontal_m", 0),
+    # performance outcomes
+    ("crossed", "crossed", None),
+    ("completed_changes", "completed_changes", None),
+    ("aborted_proposals", "aborted_proposals", None),
+    ("mean_speed", "mean_speed_ms", 2),
+    ("throughput", "throughput_veh_h", 0),
+    ("mean_delay", "mean_delay_s", 2),
+    ("mean_wait", "mean_wait_s", 2),
+    ("mean_travel_time", "mean_travel_time_s", 1),
+    ("stops_per_vehicle", "stops_per_vehicle", 2),
+    ("mission_time", "mission_time_s", 1),
+    ("mission_completed", "completed", None),
+    # safety kernel / coordination
+    ("downgrades", "downgrades", None),
+    ("vtl_activations", "vtl_activations", None),
+    ("los_residency", "los_residency", 2),
+    ("los_share_collaborative", "los_collaborative_share", 2),
+    # radio stack
+    ("frames_sent", "frames_sent", None),
+    ("delivery_ratio", "delivery_ratio", 3),
+    ("adsb_received", "adsb_received", None),
+    ("adsb_mean_age", "adsb_mean_age_s", 3),
+)
+
+
+def _rounded(value: Any, digits: Optional[int]) -> Any:
+    if digits is None or isinstance(value, bool):
+        return value
+    if isinstance(value, dict):
+        return {key: _rounded(inner, digits) for key, inner in value.items()}
+    if isinstance(value, (int, float)):
+        return round(float(value), digits)
+    return value
+
+
+def usecase_row(results: Any) -> Dict[str, object]:
+    """Serialize a ``*Results`` object through the shared column registry."""
+    row: Dict[str, object] = {}
+    for source, column, digits in ROW_COLUMNS:
+        if hasattr(results, source):
+            row[column] = _rounded(getattr(results, source), digits)
+    return row

@@ -279,29 +279,25 @@ def run_sensor_validity(
     true_value: float = 50.0,
 ) -> Dict[str, Any]:
     """Inject one fault class into one of three redundant ranging replicas."""
-    from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
+    from repro.scenario import SensorRig
     from repro.sensors.detectors import RangeDetector, RateLimitDetector, StuckAtDetector
     from repro.sensors.faults import FaultClass, make_fault
     from repro.sensors.fusion import naive_mean, validity_weighted_mean
 
-    def replica(name: str, rng_seed: int) -> AbstractSensor:
-        physical = PhysicalSensor(
-            name=name,
-            quantity="range",
-            truth_fn=lambda t: true_value + 5.0 * np.sin(0.5 * t),
-            noise_sigma=0.3,
-            rng=np.random.default_rng(rng_seed),
-        )
-        return AbstractSensor(
-            physical,
-            detectors=[
-                RangeDetector(low=0.0, high=200.0),
-                RateLimitDetector(max_rate=30.0),
-                StuckAtDetector(window=10, min_run=4),
-            ],
-        )
-
-    replicas = [replica(f"s{i}", rng_seed=seed + i) for i in range(3)]
+    rig = SensorRig(
+        name="ranging",
+        quantity="range",
+        noise_sigma=0.3,
+        detectors=lambda: [
+            RangeDetector(low=0.0, high=200.0),
+            RateLimitDetector(max_rate=30.0),
+            StuckAtDetector(window=10, min_run=4),
+        ],
+    )
+    truth = lambda t: true_value + 5.0 * np.sin(0.5 * t)
+    replicas = [
+        rig.build(truth, rng=np.random.default_rng(seed + i), name=f"s{i}") for i in range(3)
+    ]
     replicas[0].physical.inject(
         make_fault(FaultClass(fault_class), magnitude=magnitude), start=fault_start
     )
@@ -367,27 +363,27 @@ def run_r2t_mac(
 ) -> Dict[str, Any]:
     """Periodic safety messages between two vehicles under channel bursts."""
     from repro.network.frames import Frame, FrameKind
-    from repro.network.mac_csma import CsmaMacNode
-    from repro.network.medium import InterferenceBurst, MediumConfig, WirelessMedium
-    from repro.network.r2t_mac import R2TConfig, R2TMacNode
-    from repro.sim.kernel import Simulator
+    from repro.network.medium import MediumConfig
+    from repro.scenario import NodeSpec, RadioPreset, ScenarioHarness
 
     bursts = ((burst1_start, burst1_duration), (burst2_start, burst2_duration))
-    sim = Simulator()
-    medium = WirelessMedium(
-        sim,
-        MediumConfig(base_loss_probability=0.02, channels=3),
-        rng=np.random.default_rng(seed),
+    harness = ScenarioHarness(
+        seed=seed,
+        radio=RadioPreset(
+            mac="r2t" if use_r2t else "csma",
+            medium=MediumConfig(base_loss_probability=0.02, channels=3),
+        ),
+        medium_rng=np.random.default_rng(seed),
     )
-    for start, burst_duration in bursts:
-        medium.add_interference(InterferenceBurst(start=start, duration=burst_duration, channel=0))
+    sim = harness.simulator
+    harness.add_interference_bursts(bursts, channels=(0,))
 
-    if use_r2t:
-        sender = R2TMacNode("a", sim, medium, config=R2TConfig(), rng=np.random.default_rng(seed + 1))
-        receiver = R2TMacNode("b", sim, medium, config=R2TConfig(), rng=np.random.default_rng(seed + 2))
-    else:
-        sender = CsmaMacNode("a", sim, medium, rng=np.random.default_rng(seed + 1))
-        receiver = CsmaMacNode("b", sim, medium, rng=np.random.default_rng(seed + 2))
+    sender = harness.add_node(
+        NodeSpec("a", rng=np.random.default_rng(seed + 1), broker=False)
+    ).transport
+    receiver = harness.add_node(
+        NodeSpec("b", rng=np.random.default_rng(seed + 2), broker=False)
+    ).transport
 
     delivered: Dict[Any, float] = {}
     receiver.on_receive(lambda frame, t: delivered.setdefault(frame.frame_id, t))
@@ -522,24 +518,28 @@ def run_event_channels(
     payload_bits: int = 4000,
 ) -> Dict[str, Any]:
     """Many publishers offering load to a shared medium through event channels."""
-    from repro.middleware.broker import EventBroker
     from repro.middleware.qos import NetworkAssessor, QoSSpec
-    from repro.network.mac_csma import CsmaMacNode
-    from repro.network.medium import MediumConfig, WirelessMedium
-    from repro.sim.kernel import Simulator
+    from repro.network.medium import MediumConfig
+    from repro.scenario import NodeSpec, RadioPreset, ScenarioHarness
 
     base = seed * 1000
-    sim = Simulator()
-    medium = WirelessMedium(
-        sim,
-        MediumConfig(base_loss_probability=0.01, bitrate_bps=1_000_000.0),
-        rng=np.random.default_rng(base),
+    harness = ScenarioHarness(
+        seed=seed,
+        radio=RadioPreset(
+            mac="csma",
+            medium=MediumConfig(base_loss_probability=0.01, bitrate_bps=1_000_000.0),
+        ),
+        medium_rng=np.random.default_rng(base),
     )
-    assessor = NetworkAssessor(medium, max_utilization=0.5)
-    subscriber_mac = CsmaMacNode("subscriber", sim, medium, rng=np.random.default_rng(base + 99))
-    subscriber = EventBroker(
-        "subscriber", sim, subscriber_mac, assessor=assessor, admission_control=admission
-    )
+    sim = harness.simulator
+    assessor = NetworkAssessor(harness.medium, max_utilization=0.5)
+    subscriber = harness.add_node(
+        NodeSpec(
+            "subscriber",
+            rng=np.random.default_rng(base + 99),
+            broker_kwargs={"assessor": assessor, "admission_control": admission},
+        )
+    ).broker
     latencies: list = []
     received = [0]
 
@@ -551,11 +551,17 @@ def run_event_channels(
     rejected = 0
     publishers_list = []
     for index in range(publishers):
-        mac = CsmaMacNode(f"pub{index}", sim, medium, rng=np.random.default_rng(base + index))
-        broker = EventBroker(f"pub{index}", sim, mac, assessor=assessor, admission_control=admission)
         subject = f"karyon/topic{index}"
         spec = QoSSpec(max_latency=max_latency, rate_hz=rate_hz, payload_bits=payload_bits)
-        channel = broker.announce(subject, spec)
+        handle = harness.add_node(
+            NodeSpec(
+                f"pub{index}",
+                rng=np.random.default_rng(base + index),
+                broker_kwargs={"assessor": assessor, "admission_control": admission},
+                announce=((subject, spec),),
+            )
+        )
+        broker, channel = handle.broker, handle.channels[0]
         subscriber.subscribe(subject, on_event)
         if channel.has_guarantee:
             admitted += 1
@@ -581,6 +587,165 @@ def run_event_channels(
         "p99_latency_ms": round(1000 * float(np.percentile(latencies, 99)) if latencies else 0.0, 3),
         "deadline_miss_ratio": round(misses / len(latencies), 4) if latencies else 0.0,
     }
+
+
+# --------------------------------------------------------------------------
+# ROADMAP workloads built on the repro.scenario composition layer
+# --------------------------------------------------------------------------
+
+
+@scenario(
+    "urban_grid",
+    description="Multi-platoon city grid sharing one wireless spectrum",
+    metric_fields=(
+        "streets",
+        "variant",
+        "collisions",
+        "hazardous_states",
+        "min_time_gap",
+        "mean_time_gap",
+        "mean_speed",
+        "throughput",
+        "downgrades",
+        "frames_sent",
+        "delivery_ratio",
+    ),
+    default_seeds=(1,),
+    tags=("workload", "automotive", "grid"),
+)
+def run_urban_grid(
+    seed: int,
+    streets: int = 3,
+    followers: int = 3,
+    duration: float = 45.0,
+    variant: str = "karyon",
+    grid_spacing: float = 150.0,
+    brake_start: float = 15.0,
+    brake_stagger: float = 6.0,
+    blackout_start: float = 0.0,
+    blackout_duration: float = 0.0,
+):
+    """Run one urban-grid scenario and return its :class:`UrbanGridResults`."""
+    from repro.usecases.acc import ArchitectureVariant
+    from repro.usecases.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+    bursts = ((blackout_start, blackout_duration),) if blackout_duration > 0 else ()
+    config = UrbanGridConfig(
+        streets=streets,
+        followers=followers,
+        duration=duration,
+        variant=ArchitectureVariant(variant),
+        seed=seed,
+        grid_spacing=grid_spacing,
+        brake_start=brake_start,
+        brake_stagger=brake_stagger,
+        interference_bursts=bursts,
+    )
+    return UrbanGridScenario(config).run()
+
+
+@scenario(
+    "corridor",
+    description="Chained multi-intersection arterial with green-wave lights",
+    metric_fields=(
+        "intersections",
+        "green_wave",
+        "crossed",
+        "conflicts",
+        "throughput",
+        "mean_travel_time",
+        "stops_per_vehicle",
+    ),
+    default_seeds=(9,),
+    tags=("workload", "automotive", "corridor"),
+)
+def run_corridor(
+    seed: int,
+    intersections: int = 3,
+    green_wave: bool = True,
+    arterial_vehicles: int = 6,
+    cross_vehicles: int = 2,
+    duration: float = 150.0,
+    failed_light: int = -1,
+    light_failure_time: float = 30.0,
+):
+    """Run one corridor scenario and return its :class:`CorridorResults`."""
+    from repro.usecases.corridor import CorridorConfig, CorridorScenario
+
+    config = CorridorConfig(
+        intersections=intersections,
+        green_wave=green_wave,
+        arterial_vehicles=arterial_vehicles,
+        cross_vehicles=cross_vehicles,
+        duration=duration,
+        seed=seed,
+        failed_light=failed_light,
+        light_failure_time=light_failure_time,
+    )
+    return CorridorScenario(config).run()
+
+
+REGISTRY.variant(
+    "corridor", "corridor/green_wave", green_wave=True,
+    description="Corridor with lights offset by one block's travel time",
+)
+REGISTRY.variant(
+    "corridor", "corridor/unsynchronised", green_wave=False,
+    description="Corridor with all lights cycling in phase (stop per block)",
+)
+
+
+@scenario(
+    "mixed_airspace",
+    description="RPV ADS-B feed sharing spectrum with ground V2V traffic",
+    metric_fields=(
+        "ground_nodes",
+        "with_safety_kernel",
+        "conflicts",
+        "min_horizontal_separation",
+        "mission_time",
+        "mission_completed",
+        "los_share_collaborative",
+        "adsb_received",
+        "adsb_mean_age",
+        "frames_sent",
+        "delivery_ratio",
+    ),
+    default_seeds=(3,),
+    tags=("workload", "avionics", "automotive", "spectrum"),
+)
+def run_mixed_airspace(
+    seed: int,
+    ground_nodes: int = 8,
+    ground_rate_hz: float = 10.0,
+    with_safety_kernel: bool = True,
+    duration: float = 400.0,
+    burst_start: float = 0.0,
+    burst_duration: float = 0.0,
+):
+    """Run one mixed-airspace scenario and return its :class:`MixedAirspaceResults`."""
+    from repro.usecases.mixed_airspace import MixedAirspaceConfig, MixedAirspaceScenario
+
+    bursts = ((burst_start, burst_duration),) if burst_duration > 0 else ()
+    config = MixedAirspaceConfig(
+        ground_nodes=ground_nodes,
+        ground_rate_hz=ground_rate_hz,
+        with_safety_kernel=with_safety_kernel,
+        duration=duration,
+        seed=seed,
+        interference_bursts=bursts,
+    )
+    return MixedAirspaceScenario(config).run()
+
+
+REGISTRY.variant(
+    "mixed_airspace", "mixed_airspace/kernel", with_safety_kernel=True,
+    description="Mixed airspace with the safety kernel gating the margin",
+)
+REGISTRY.variant(
+    "mixed_airspace", "mixed_airspace/no_kernel", with_safety_kernel=False,
+    description="Mixed airspace baseline flying the tight margin blindly",
+)
 
 
 # --------------------------------------------------------------------------
@@ -633,33 +798,27 @@ def run_safety_kernel_demo(
     v2v_silence_end: float = 30.0,
 ) -> Dict[str, Any]:
     """One vehicle, one faulty radar, one flaky V2V link, one safety kernel."""
-    from repro.core.kernel import SafetyKernel
     from repro.core.los import LevelOfService, LoSCatalog
     from repro.core.rules import freshness_within, indicator_true, validity_at_least
-    from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
+    from repro.scenario import ScenarioHarness, SensorRig
     from repro.sensors.detectors import RangeDetector, StuckAtDetector
     from repro.sensors.faults import StuckAtFault
-    from repro.sim.kernel import Simulator
 
-    sim = Simulator()
-    physical = PhysicalSensor(
+    harness = ScenarioHarness(seed=seed)
+    sim = harness.simulator
+    radar = SensorRig(
         name="radar",
         quantity="range",
-        truth_fn=lambda t: 50.0 + 5.0 * np.sin(0.2 * t),
         noise_sigma=0.3,
-        rng=np.random.default_rng(seed),
-    )
-    radar = AbstractSensor(
-        physical,
-        detectors=[RangeDetector(0.0, 200.0), StuckAtDetector(window=10, min_run=4)],
-    )
+        detectors=lambda: [RangeDetector(0.0, 200.0), StuckAtDetector(window=10, min_run=4)],
+    ).build(lambda t: 50.0 + 5.0 * np.sin(0.2 * t), rng=np.random.default_rng(seed))
     sim.periodic(0.05, lambda: radar.read(sim.now), name="radar-sampling")
-    physical.inject(StuckAtFault(), start=fault_start, end=fault_end)
+    radar.physical.inject(StuckAtFault(), start=fault_start, end=fault_end)
 
     def v2v_alive() -> bool:
         return not (v2v_silence_start <= sim.now < v2v_silence_end)
 
-    kernel = SafetyKernel("vehicle-1", sim, cycle_period=0.1)
+    kernel = harness.attach_kernel("vehicle-1", cycle_period=0.1)
     kernel.monitor_sensor("range", radar)
     kernel.monitor_indicator("v2v_alive", v2v_alive)
     catalog = LoSCatalog(

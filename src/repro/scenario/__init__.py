@@ -1,0 +1,40 @@
+"""``repro.scenario`` — the declarative world/harness composition layer.
+
+The paper evaluates one safety-kernel architecture across many cooperative
+functions (platooning, intersection crossing, lane changes, RPV separation
+assurance); this layer makes that diversity *configuration* instead of
+copy-pasted wiring:
+
+* :class:`~repro.scenario.harness.ScenarioHarness` — owns the simulator,
+  seeded RNG streams, shared trace recorder, radio stack, broker fabric,
+  safety kernels and metric probes;
+* :class:`~repro.scenario.builders.RadioPreset`,
+  :class:`~repro.scenario.builders.WorldSpec`,
+  :class:`~repro.scenario.builders.NodeSpec`,
+  :class:`~repro.scenario.builders.SensorRig`,
+  :class:`~repro.scenario.builders.MetricProbe` — the building blocks
+  scenarios compose.
+
+Every use case in :mod:`repro.usecases`, the builtin experiment catalog in
+:mod:`repro.experiments.scenarios`, and the grid / corridor / mixed-airspace
+workloads are built on this layer.
+"""
+
+from repro.scenario.builders import (
+    MetricProbe,
+    NodeSpec,
+    RadioPreset,
+    SensorRig,
+    WorldSpec,
+)
+from repro.scenario.harness import NodeHandle, ScenarioHarness
+
+__all__ = [
+    "MetricProbe",
+    "NodeSpec",
+    "NodeHandle",
+    "RadioPreset",
+    "ScenarioHarness",
+    "SensorRig",
+    "WorldSpec",
+]

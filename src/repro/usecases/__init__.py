@@ -7,6 +7,13 @@
 * :mod:`repro.usecases.lane_change` -- coordinated lane-change manoeuvres
   (VI-A.3).
 * :mod:`repro.usecases.avionics` -- the three RPV scenarios (VI-B).
+
+Beyond the paper, three ROADMAP workloads composed on the
+:mod:`repro.scenario` harness layer:
+
+* :mod:`repro.usecases.urban_grid` -- multi-platoon city grid, one spectrum.
+* :mod:`repro.usecases.corridor` -- chained multi-intersection arterial.
+* :mod:`repro.usecases.mixed_airspace` -- RPV + ground V2V spectrum sharing.
 """
 
 from repro.usecases.acc import (
@@ -33,6 +40,21 @@ from repro.usecases.avionics import (
     AvionicsResults,
     AvionicsUseCase,
 )
+from repro.usecases.urban_grid import (
+    UrbanGridScenario,
+    UrbanGridConfig,
+    UrbanGridResults,
+)
+from repro.usecases.corridor import (
+    CorridorScenario,
+    CorridorConfig,
+    CorridorResults,
+)
+from repro.usecases.mixed_airspace import (
+    MixedAirspaceScenario,
+    MixedAirspaceConfig,
+    MixedAirspaceResults,
+)
 
 __all__ = [
     "PlatoonScenario",
@@ -47,9 +69,17 @@ __all__ = [
     "LaneChangeScenario",
     "LaneChangeConfig",
     "LaneChangeResults",
-    "LaneChangeResults",
     "AvionicsScenario",
     "AvionicsConfig",
     "AvionicsResults",
     "AvionicsUseCase",
+    "UrbanGridScenario",
+    "UrbanGridConfig",
+    "UrbanGridResults",
+    "CorridorScenario",
+    "CorridorConfig",
+    "CorridorResults",
+    "MixedAirspaceScenario",
+    "MixedAirspaceConfig",
+    "MixedAirspaceResults",
 ]

@@ -38,8 +38,6 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.hazard import Controllability, Exposure, Hazard, HazardAnalysis, SafetyGoal, Severity
 from repro.core.kernel import SafetyKernel
 from repro.core.los import LevelOfService, LoSCatalog
@@ -47,17 +45,12 @@ from repro.core.rules import freshness_within, indicator_true, validity_at_least
 from repro.middleware.broker import EventBroker
 from repro.middleware.qos import QoSSpec
 from repro.network.frames import FrameKind
-from repro.network.medium import InterferenceBurst, MediumConfig, WirelessMedium
-from repro.network.r2t_mac import R2TConfig, R2TMacNode
-from repro.sensors.abstract_sensor import AbstractSensor, PhysicalSensor
+from repro.network.medium import MediumConfig
+from repro.scenario import MetricProbe, NodeSpec, RadioPreset, ScenarioHarness, SensorRig, WorldSpec
 from repro.sensors.detectors import RangeDetector, RateLimitDetector, StuckAtDetector
 from repro.sensors.faults import SensorFault
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RandomStreams
-from repro.sim.trace import TraceRecorder
 from repro.vehicles.controllers import AccController, CaccController, CruiseController
 from repro.vehicles.vehicle import Vehicle
-from repro.vehicles.world import HighwayWorld
 
 
 class ArchitectureVariant(enum.Enum):
@@ -148,6 +141,98 @@ def build_acc_hazard_analysis() -> HazardAnalysis:
     return analysis
 
 
+def ranging_rig(noise_sigma: float = 0.4) -> SensorRig:
+    """The follower's forward-ranging radar rig (range + fault detectors)."""
+    return SensorRig(
+        name="radar",
+        quantity="range",
+        noise_sigma=noise_sigma,
+        stream="radar",
+        detectors=lambda: [
+            RangeDetector(low=-5.0, high=500.0),
+            RateLimitDetector(max_rate=80.0),
+            StuckAtDetector(window=10, min_run=4),
+        ],
+    )
+
+
+def doppler_rig(noise_sigma: float = 0.2) -> SensorRig:
+    """The follower's relative-speed (Doppler) rig."""
+    return SensorRig(
+        name="radar_doppler",
+        quantity="relative_speed",
+        noise_sigma=noise_sigma,
+        stream="doppler",
+        detectors=lambda: [RangeDetector(low=-60.0, high=60.0)],
+    )
+
+
+def broadcast_vehicle_state(brokers: Dict[str, EventBroker], vehicle: Vehicle) -> None:
+    """Publish one vehicle's V2V state sample on its broker (if it has one)."""
+    broker = brokers.get(vehicle.vehicle_id)
+    if broker is None:
+        return
+    broker.publish(
+        V2V_SUBJECT,
+        content={
+            "vehicle_id": vehicle.vehicle_id,
+            "position": vehicle.position,
+            "speed": vehicle.speed,
+            "acceleration": vehicle.acceleration,
+        },
+        context={"position": vehicle.xy()},
+        quality={"validity": 1.0},
+        kind=FrameKind.SAFETY,
+    )
+
+
+def sample_follower_hazards(
+    followers: List["FollowerAgent"],
+    hazard_time_gap: float,
+    trace,
+    now: float,
+    probe,
+) -> None:
+    """One hazard-monitor tick: sample time gaps, count hazardous states."""
+    for follower in followers:
+        time_gap = follower.vehicle.time_gap_to(follower.predecessor)
+        if time_gap != float("inf"):
+            probe.add(time_gap)
+        if time_gap < hazard_time_gap:
+            probe.increment("hazardous_states")
+            trace.record(
+                now,
+                "hazardous_state",
+                follower.vehicle.vehicle_id,
+                time_gap=time_gap,
+            )
+
+
+def aggregate_kernel_los(kernels) -> Tuple[Dict[str, float], int, float, float]:
+    """Pool LoS accounting over kernels.
+
+    Returns ``(residency shares, downgrades, max cycle interval, max switch
+    latency)`` summed/maxed over all given safety kernels.
+    """
+    residency: Dict[str, float] = {}
+    downgrades = 0
+    max_cycle = 0.0
+    max_switch = 0.0
+    total_cycles = 0
+    counts: Dict[str, int] = {}
+    for kernel in kernels:
+        for _functionality, by_name in kernel.manager.los_residency().items():
+            for name, cycles in by_name.items():
+                counts[name] = counts.get(name, 0) + cycles
+                total_cycles += cycles
+        downgrades += kernel.manager.downgrades()
+        max_cycle = max(max_cycle, kernel.manager.max_observed_cycle_interval)
+        max_switch = max(max_switch, kernel.manager.max_switch_latency())
+    if total_cycles:
+        residency = {name: count / total_cycles for name, count in counts.items()}
+    return residency, downgrades, max_cycle, max_switch
+
+
 @dataclass
 class LeaderProfile:
     """Speed profile of the platoon leader: cruise with braking episodes."""
@@ -217,17 +302,9 @@ class PlatoonResults:
     max_switch_latency: float
 
     def as_row(self) -> Dict[str, object]:
-        return {
-            "variant": self.variant,
-            "collisions": self.collisions,
-            "hazardous_states": self.hazardous_states,
-            "min_time_gap": round(self.min_time_gap, 3),
-            "mean_time_gap": round(self.mean_time_gap, 3),
-            "mean_speed": round(self.mean_speed, 2),
-            "throughput_veh_h": round(self.throughput, 0),
-            "downgrades": self.downgrades,
-            "los_residency": {k: round(v, 2) for k, v in self.los_residency.items()},
-        }
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
 
 
 @dataclass
@@ -256,36 +333,16 @@ class FollowerAgent:
         self.predecessor = predecessor
         self.scenario = scenario
         config = scenario.config
-        streams = scenario.streams.spawn(f"follower{index}")
+        streams = scenario.harness.spawn_streams(f"follower{index}")
 
         # ----------------------------------------------------- perception: ranging
         truth_gap = lambda _now: self.vehicle.gap_to(self.predecessor)
-        physical = PhysicalSensor(
-            name=f"radar{index}",
-            quantity="range",
-            truth_fn=truth_gap,
-            noise_sigma=config.ranging_noise,
-            rng=streams.stream("radar"),
-        )
-        self.range_sensor = AbstractSensor(
-            physical,
-            detectors=[
-                RangeDetector(low=-5.0, high=500.0),
-                RateLimitDetector(max_rate=80.0),
-                StuckAtDetector(window=10, min_run=4),
-            ],
+        self.range_sensor = ranging_rig(config.ranging_noise).build(
+            truth_gap, streams, name=f"radar{index}"
         )
         truth_rel_speed = lambda _now: self.predecessor.speed - self.vehicle.speed
-        physical_speed = PhysicalSensor(
-            name=f"radar_doppler{index}",
-            quantity="relative_speed",
-            truth_fn=truth_rel_speed,
-            noise_sigma=0.2,
-            rng=streams.stream("doppler"),
-        )
-        self.relative_speed_sensor = AbstractSensor(
-            physical_speed,
-            detectors=[RangeDetector(low=-60.0, high=60.0)],
+        self.relative_speed_sensor = doppler_rig().build(
+            truth_rel_speed, streams, name=f"radar_doppler{index}"
         )
         scenario.simulator.periodic(
             config.ranging_period,
@@ -338,11 +395,8 @@ class FollowerAgent:
     # ------------------------------------------------------------------ kernel
     def _build_kernel(self) -> SafetyKernel:
         config = self.scenario.config
-        kernel = SafetyKernel(
-            vehicle_id=self.vehicle.vehicle_id,
-            simulator=self.scenario.simulator,
-            cycle_period=config.kernel_period,
-            trace=self.scenario.trace,
+        kernel = self.scenario.harness.attach_kernel(
+            self.vehicle.vehicle_id, cycle_period=config.kernel_period
         )
         kernel.monitor_sensor("range", self.range_sensor)
         kernel.monitor_validity("v2v_leader", self._v2v_validity)
@@ -465,23 +519,24 @@ class PlatoonScenario:
 
     def __init__(self, config: Optional[PlatoonConfig] = None):
         self.config = config or PlatoonConfig()
-        self.streams = RandomStreams(self.config.seed)
-        self.simulator = Simulator()
-        self.trace = TraceRecorder(enabled=True)
-        self.world = HighwayWorld(
-            self.simulator, lanes=1, step_period=self.config.world_step, trace=self.trace
+        self.harness = ScenarioHarness(
+            seed=self.config.seed,
+            radio=RadioPreset(
+                mac="r2t" if self.config.use_r2t_mac else "csma",
+                medium=MediumConfig(base_loss_probability=self.config.base_loss_probability),
+            ),
+            world=WorldSpec("highway", lanes=1, step_period=self.config.world_step),
         )
-        self.medium = WirelessMedium(
-            self.simulator,
-            MediumConfig(base_loss_probability=self.config.base_loss_probability),
-            rng=self.streams.stream("medium"),
-        )
-        self.transports: Dict[str, object] = {}
-        self.brokers: Dict[str, EventBroker] = {}
+        self.streams = self.harness.streams
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.world = self.harness.world
+        self.medium = self.harness.medium
+        self.transports: Dict[str, object] = self.harness.transports
+        self.brokers: Dict[str, EventBroker] = self.harness.brokers
         self.followers: List[FollowerAgent] = []
         self.leader: Optional[Vehicle] = None
-        self._time_gap_samples: List[float] = []
-        self._hazard_sample_count = 0
+        self._hazard_probe: Optional[MetricProbe] = None
         self._build()
 
     # ------------------------------------------------------------------- build
@@ -499,32 +554,17 @@ class PlatoonScenario:
             vehicles.append(vehicle)
         self.leader = vehicles[0]
 
-        # Communication stack per vehicle.
+        # Communication stack per vehicle: one NodeSpec each, wired by the harness.
         for vehicle in vehicles:
-            position_fn = (lambda v=vehicle: v.xy())
-            if config.use_r2t_mac:
-                transport = R2TMacNode(
-                    vehicle.vehicle_id,
-                    self.simulator,
-                    self.medium,
-                    config=R2TConfig(),
-                    rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
-                    position_fn=position_fn,
+            self.harness.add_node(
+                NodeSpec(
+                    node_id=vehicle.vehicle_id,
+                    position_fn=(lambda v=vehicle: v.xy()),
+                    announce=(
+                        (V2V_SUBJECT, QoSSpec(rate_hz=1.0 / config.v2v_period, max_latency=None)),
+                    ),
                 )
-            else:
-                from repro.network.mac_csma import CsmaMacNode
-
-                transport = CsmaMacNode(
-                    vehicle.vehicle_id,
-                    self.simulator,
-                    self.medium,
-                    rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
-                    position_fn=position_fn,
-                )
-            self.transports[vehicle.vehicle_id] = transport
-            broker = EventBroker(vehicle.vehicle_id, self.simulator, transport)
-            broker.announce(V2V_SUBJECT, QoSSpec(rate_hz=1.0 / config.v2v_period, max_latency=None))
-            self.brokers[vehicle.vehicle_id] = broker
+            )
 
         # Leader behaviour: follow the speed profile and broadcast V2V state.
         self.world.add_vehicle(
@@ -549,11 +589,7 @@ class PlatoonScenario:
             )
 
         # Fault injection: interference bursts on every channel.
-        for start, duration in config.interference_bursts:
-            for channel in range(self.medium.config.channels):
-                self.medium.add_interference(
-                    InterferenceBurst(start=start, duration=duration, channel=channel)
-                )
+        self.harness.add_interference_bursts(config.interference_bursts)
         # Fault injection: sensor faults on follower ranging sensors.
         for follower_index, fault, start, end in config.sensor_faults:
             if 1 <= follower_index <= len(self.followers):
@@ -561,7 +597,9 @@ class PlatoonScenario:
                 agent.range_sensor.physical.inject(fault, start, end)
 
         # Hazard sampling (time-gap monitoring) runs on the world period.
-        self.simulator.periodic(config.world_step, self._sample_hazards, name="hazard-monitor")
+        self._hazard_probe = self.harness.add_probe(
+            MetricProbe("hazard-monitor", config.world_step, self._sample_hazards)
+        )
         self.world.start()
 
     # --------------------------------------------------------------- behaviour
@@ -569,35 +607,12 @@ class PlatoonScenario:
         self._broadcast_vehicle_state(self.leader)
 
     def _broadcast_vehicle_state(self, vehicle: Vehicle) -> None:
-        broker = self.brokers.get(vehicle.vehicle_id)
-        if broker is None:
-            return
-        broker.publish(
-            V2V_SUBJECT,
-            content={
-                "vehicle_id": vehicle.vehicle_id,
-                "position": vehicle.position,
-                "speed": vehicle.speed,
-                "acceleration": vehicle.acceleration,
-            },
-            context={"position": vehicle.xy()},
-            quality={"validity": 1.0},
-            kind=FrameKind.SAFETY,
-        )
+        broadcast_vehicle_state(self.brokers, vehicle)
 
-    def _sample_hazards(self) -> None:
-        for follower in self.followers:
-            time_gap = follower.vehicle.time_gap_to(follower.predecessor)
-            if time_gap != float("inf"):
-                self._time_gap_samples.append(time_gap)
-            if time_gap < self.config.hazard_time_gap:
-                self._hazard_sample_count += 1
-                self.trace.record(
-                    self.simulator.now,
-                    "hazardous_state",
-                    follower.vehicle.vehicle_id,
-                    time_gap=time_gap,
-                )
+    def _sample_hazards(self, probe: MetricProbe) -> None:
+        sample_follower_hazards(
+            self.followers, self.config.hazard_time_gap, self.trace, self.simulator.now, probe
+        )
 
     # --------------------------------------------------------------------- run
     def run(self) -> PlatoonResults:
@@ -606,35 +621,18 @@ class PlatoonScenario:
         return self._results()
 
     def _results(self) -> PlatoonResults:
-        mean_time_gap = (
-            sum(self._time_gap_samples) / len(self._time_gap_samples)
-            if self._time_gap_samples
-            else float("inf")
-        )
-        residency: Dict[str, float] = {}
-        downgrades = 0
-        max_cycle = 0.0
-        max_switch = 0.0
+        probe = self._hazard_probe
+        mean_time_gap = probe.mean(default=float("inf"))
         kernels = [f.kernel for f in self.followers if f.kernel is not None]
         if kernels:
-            total_cycles = 0
-            counts: Dict[str, int] = {}
-            for kernel in kernels:
-                for _functionality, by_name in kernel.manager.los_residency().items():
-                    for name, cycles in by_name.items():
-                        counts[name] = counts.get(name, 0) + cycles
-                        total_cycles += cycles
-                downgrades += kernel.manager.downgrades()
-                max_cycle = max(max_cycle, kernel.manager.max_observed_cycle_interval)
-                max_switch = max(max_switch, kernel.manager.max_switch_latency())
-            if total_cycles:
-                residency = {name: count / total_cycles for name, count in counts.items()}
+            residency, downgrades, max_cycle, max_switch = aggregate_kernel_los(kernels)
         else:
             residency = {self.followers[0].active_los_name if self.followers else "n/a": 1.0}
+            downgrades, max_cycle, max_switch = 0, 0.0, 0.0
         return PlatoonResults(
             variant=self.config.variant.value,
             collisions=len(self.world.collisions),
-            hazardous_states=self._hazard_sample_count,
+            hazardous_states=probe.count("hazardous_states"),
             min_gap=self.world.min_gap_observed,
             min_time_gap=self.world.min_time_gap_observed,
             mean_speed=self.world.mean_speed(),

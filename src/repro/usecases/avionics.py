@@ -29,10 +29,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.kernel import SafetyKernel
 from repro.core.los import LevelOfService, LoSCatalog
 from repro.core.rules import freshness_within, validity_at_least
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RandomStreams
-from repro.sim.trace import TraceRecorder
-from repro.vehicles.aircraft import Aircraft, AirspaceWorld, SeparationMinima
+from repro.scenario import MetricProbe, ScenarioHarness, WorldSpec
+from repro.vehicles.aircraft import Aircraft, SeparationMinima
 
 
 class AvionicsUseCase(enum.Enum):
@@ -110,16 +108,9 @@ class AvionicsResults:
     los_share_collaborative: float
 
     def as_row(self) -> Dict[str, object]:
-        return {
-            "use_case": self.use_case,
-            "kernel": self.with_safety_kernel,
-            "collaborative_traffic": self.intruder_collaborative,
-            "conflicts": self.conflicts,
-            "min_horizontal_m": round(self.min_horizontal_separation, 0),
-            "mission_time_s": round(self.mission_time, 1),
-            "completed": self.mission_completed,
-            "los_collaborative_share": round(self.los_share_collaborative, 2),
-        }
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
 
 
 @dataclass
@@ -154,11 +145,8 @@ class RpvAgent:
     # ------------------------------------------------------------------ kernel
     def _build_kernel(self) -> SafetyKernel:
         config = self.scenario.config
-        kernel = SafetyKernel(
-            vehicle_id=self.rpv.aircraft_id,
-            simulator=self.scenario.simulator,
-            cycle_period=config.kernel_period,
-            trace=self.scenario.trace,
+        kernel = self.scenario.harness.attach_kernel(
+            self.rpv.aircraft_id, cycle_period=config.kernel_period
         )
         kernel.monitor_validity("intruder_position", self._estimate_validity)
         kernel.monitor_age("intruder_position", self._estimate_age)
@@ -316,14 +304,18 @@ class AvionicsScenario:
 
     def __init__(self, config: Optional[AvionicsConfig] = None):
         self.config = config or AvionicsConfig()
-        self.streams = RandomStreams(self.config.seed)
-        self.simulator = Simulator()
-        self.trace = TraceRecorder(enabled=True)
-        self.world = AirspaceWorld(self.simulator, step_period=self.config.step_period, trace=self.trace)
+        self.harness = ScenarioHarness(
+            seed=self.config.seed,
+            world=WorldSpec("airspace", step_period=self.config.step_period),
+        )
+        self.streams = self.harness.streams
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.world = self.harness.world
         self.rpv: Optional[Aircraft] = None
         self.intruder: Optional[Aircraft] = None
         self.agent: Optional[RpvAgent] = None
-        self._los_samples: List[str] = []
+        self._los_probe: Optional[MetricProbe] = None
         self._build()
 
     def _build(self) -> None:
@@ -414,11 +406,13 @@ class AvionicsScenario:
             ),
             name="intruder-position-reports",
         )
-        self.simulator.periodic(config.kernel_period, self._sample_los, name="los-sampler")
+        self._los_probe = self.harness.add_probe(
+            MetricProbe("los-sampler", config.kernel_period, self._sample_los)
+        )
 
-    def _sample_los(self) -> None:
+    def _sample_los(self, probe: MetricProbe) -> None:
         if self.agent is not None:
-            self._los_samples.append(self.agent.active_los_name)
+            probe.add(self.agent.active_los_name)
 
     def run(self) -> AvionicsResults:
         self.simulator.run_until(self.config.duration)
@@ -427,11 +421,7 @@ class AvionicsScenario:
             if self.agent.mission_completed_at is not None
             else self.config.duration
         )
-        collaborative_share = (
-            sum(1 for name in self._los_samples if name == "collaborative") / len(self._los_samples)
-            if self._los_samples
-            else 0.0
-        )
+        collaborative_share = self._los_probe.share("collaborative")
         return AvionicsResults(
             use_case=self.config.use_case.value,
             with_safety_kernel=self.config.with_safety_kernel,

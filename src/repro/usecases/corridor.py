@@ -1,0 +1,395 @@
+"""Multi-intersection corridor: a signalised arterial crossed by side streets.
+
+The ROADMAP's second new workload.  ``intersections`` signalised crossings
+are chained every ``block_length`` metres along an arterial.  Arterial
+vehicles traverse every crossing; each crossing also carries its own side
+street traffic.  Every light broadcasts phase + I-am-alive beacons over the
+shared medium (one subject per crossing); vehicles act on the *received*
+phase, so channel loss and light failures degrade coordination exactly as
+in the single-intersection use case.
+
+With ``green_wave`` enabled each light's cycle is offset by the arterial
+travel time of one block, so a vehicle released at crossing ``k`` arrives at
+``k+1`` on green; without it every light cycles in phase and the arterial
+pays a stop per block.  A light can also fail mid-run (it stops
+broadcasting); vehicles falling back to look-and-go crossing at the dead
+intersection produce conflicts and delay.
+
+The whole scenario is harness composition: radio preset + one ``NodeSpec``
+per light and vehicle + a ``MetricProbe`` driving the vehicle-step law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.frames import FrameKind
+from repro.network.medium import MediumConfig
+from repro.scenario import MetricProbe, NodeSpec, RadioPreset, ScenarioHarness
+from repro.vehicles.kinematics import clamp
+
+
+def light_subject(index: int) -> str:
+    return f"karyon/corridor_light/{index}"
+
+
+@dataclass
+class CorridorConfig:
+    """Scenario parameters."""
+
+    intersections: int = 3
+    block_length: float = 300.0
+    #: Vehicles entering the arterial, spaced ``arterial_spacing`` apart.
+    arterial_vehicles: int = 6
+    arterial_spacing: float = 25.0
+    #: Side-street vehicles per crossing.
+    cross_vehicles: int = 2
+    cross_spacing: float = 20.0
+    duration: float = 150.0
+    seed: int = 9
+    approach_speed: float = 12.0
+    max_acceleration: float = 2.5
+    max_deceleration: float = 5.0
+    green_duration: float = 8.0
+    clearance_duration: float = 3.0
+    light_period: float = 0.5
+    light_timeout: float = 2.0
+    #: Offset successive lights by one block's travel time (green wave).
+    green_wave: bool = True
+    #: Index of a light that fails (stops broadcasting), or -1 for none.
+    failed_light: int = -1
+    light_failure_time: float = 30.0
+    courtesy_wait: float = 2.0
+    step_period: float = 0.1
+    box_length: float = 12.0
+    base_loss_probability: float = 0.02
+    #: (start, duration) interference bursts on every channel.
+    interference_bursts: Tuple[Tuple[float, float], ...] = ()
+
+
+@dataclass
+class CorridorResults:
+    """One row of the corridor table."""
+
+    intersections: int
+    green_wave: bool
+    crossed: int
+    conflicts: int
+    throughput: float
+    mean_travel_time: float
+    stops_per_vehicle: float
+
+    def as_row(self) -> Dict[str, object]:
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
+
+
+_PHASES = ("EW", "NONE", "NS", "NONE")
+
+
+@dataclass
+class _CorridorVehicle:
+    vehicle_id: str
+    #: "A" for the arterial, otherwise the crossing index it belongs to.
+    crossing: Optional[int]
+    position: float
+    speed: float
+    spawned_at: float = 0.0
+    crossed_at: Optional[float] = None
+    committed_until: float = -1.0
+    waiting_since: Optional[float] = None
+    stops: int = 0
+    _was_moving: bool = True
+
+
+class _CorridorLight:
+    """One signalised crossing: phase cycling + periodic phase beacons."""
+
+    def __init__(self, scenario: "CorridorScenario", index: int, offset: float):
+        self.scenario = scenario
+        self.index = index
+        self.offset = offset
+        self.failed = False
+        self.broker = None  # bound after the harness builds the node
+
+    def phase(self, now: float) -> str:
+        config = self.scenario.config
+        cycle = 2.0 * (config.green_duration + config.clearance_duration)
+        t = (now - self.offset) % cycle
+        if t < config.green_duration:
+            return "EW"
+        if t < config.green_duration + config.clearance_duration:
+            return "NONE"
+        if t < 2.0 * config.green_duration + config.clearance_duration:
+            return "NS"
+        return "NONE"
+
+    def tick(self) -> None:
+        if self.failed or self.broker is None:
+            return
+        now = self.scenario.simulator.now
+        self.broker.publish(
+            light_subject(self.index),
+            content={"phase": self.phase(now), "alive": True},
+            kind=FrameKind.SAFETY,
+        )
+
+
+class CorridorScenario:
+    """Builds and runs one multi-intersection corridor scenario."""
+
+    def __init__(self, config: Optional[CorridorConfig] = None):
+        self.config = config or CorridorConfig()
+        self.harness = ScenarioHarness(
+            seed=self.config.seed,
+            radio=RadioPreset(
+                mac="r2t",
+                medium=MediumConfig(
+                    base_loss_probability=self.config.base_loss_probability,
+                    communication_range=600.0,
+                ),
+            ),
+        )
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.lights: List[_CorridorLight] = []
+        self.vehicles: List[_CorridorVehicle] = []
+        #: vehicle_id -> crossing index -> (phase, received_at)
+        self._light_state: Dict[str, Dict[int, Tuple[str, float]]] = {}
+        self._conflict_pairs: set = set()
+        self._step_probe: Optional[MetricProbe] = None
+        self._build()
+
+    # ------------------------------------------------------------------- build
+    def _build(self) -> None:
+        config = self.config
+        hop_time = config.block_length / config.approach_speed
+        for k in range(config.intersections):
+            offset = k * hop_time if config.green_wave else 0.0
+            light = _CorridorLight(self, k, offset)
+            handle = self.harness.add_node(
+                NodeSpec(
+                    node_id=f"light{k}",
+                    position_fn=(lambda x=self._box_start(k): (x, 0.0)),
+                    announce=(light_subject(k),),
+                )
+            )
+            light.broker = handle.broker
+            self.lights.append(light)
+            self.simulator.periodic(config.light_period, light.tick, name=f"light:{k}")
+            if k == config.failed_light:
+                self.simulator.schedule(
+                    config.light_failure_time, lambda lt=light: setattr(lt, "failed", True)
+                )
+
+        # Arterial vehicles traverse every crossing; they listen to all lights.
+        for i in range(config.arterial_vehicles):
+            vehicle = _CorridorVehicle(
+                vehicle_id=f"a{i}",
+                crossing=None,
+                position=-60.0 - i * config.arterial_spacing,
+                speed=config.approach_speed,
+            )
+            self._add_vehicle(vehicle, subjects=range(config.intersections))
+
+        # Side-street vehicles only care about their own crossing.
+        for k in range(config.intersections):
+            for i in range(config.cross_vehicles):
+                vehicle = _CorridorVehicle(
+                    vehicle_id=f"n{k}v{i}",
+                    crossing=k,
+                    position=-60.0 - i * config.cross_spacing,
+                    speed=config.approach_speed,
+                )
+                self._add_vehicle(vehicle, subjects=(k,))
+
+        self.harness.add_interference_bursts(config.interference_bursts)
+        self._step_probe = self.harness.add_probe(
+            MetricProbe("corridor-step", config.step_period, self._step)
+        )
+
+    def _add_vehicle(self, vehicle: _CorridorVehicle, subjects) -> None:
+        self.vehicles.append(vehicle)
+        self._light_state[vehicle.vehicle_id] = {}
+        self.harness.add_node(
+            NodeSpec(
+                node_id=vehicle.vehicle_id,
+                position_fn=(lambda v=vehicle: self._xy(v)),
+                subscribe=tuple(
+                    (
+                        light_subject(k),
+                        lambda event, vid=vehicle.vehicle_id, kk=k: self._on_light(vid, kk, event),
+                    )
+                    for k in subjects
+                ),
+            )
+        )
+
+    # ---------------------------------------------------------------- geometry
+    def _box_start(self, k: int) -> float:
+        return k * self.config.block_length
+
+    def _xy(self, vehicle: _CorridorVehicle) -> Tuple[float, float]:
+        if vehicle.crossing is None:
+            return (vehicle.position, 0.0)
+        return (self._box_start(vehicle.crossing), vehicle.position)
+
+    def _next_crossing(self, vehicle: _CorridorVehicle) -> Optional[int]:
+        """The index of the next box ahead of an arterial vehicle."""
+        for k in range(self.config.intersections):
+            if vehicle.position < self._box_start(k) + self.config.box_length:
+                return k
+        return None
+
+    # ----------------------------------------------------------------- beacons
+    def _on_light(self, vehicle_id: str, crossing: int, event) -> None:
+        content = event.content or {}
+        self._light_state[vehicle_id][crossing] = (
+            content.get("phase", "NONE"),
+            event.published_at,
+        )
+
+    def _received_phase(self, vehicle_id: str, crossing: int, now: float) -> Optional[str]:
+        state = self._light_state[vehicle_id].get(crossing)
+        if state is None or (now - state[1]) > self.config.light_timeout:
+            return None
+        return state[0]
+
+    # --------------------------------------------------------------- step law
+    def _may_cross(self, vehicle: _CorridorVehicle, crossing: int, now: float) -> bool:
+        phase = self._received_phase(vehicle.vehicle_id, crossing, now)
+        wanted = "EW" if vehicle.crossing is None else "NS"
+        if phase is not None:
+            return phase == wanted
+        # Dead or unheard light: look-and-go after a courtesy stop.
+        if vehicle.waiting_since is None:
+            return False
+        return (now - vehicle.waiting_since) >= self.config.courtesy_wait
+
+    def _stop_line_distance(self, vehicle: _CorridorVehicle, crossing: int) -> float:
+        if vehicle.crossing is None:
+            return self._box_start(crossing) - vehicle.position
+        return -vehicle.position
+
+    def _leader_gap(self, vehicle: _CorridorVehicle) -> float:
+        best = float("inf")
+        for other in self.vehicles:
+            if other is vehicle or other.crossing != vehicle.crossing:
+                continue
+            if other.position > vehicle.position:
+                best = min(best, other.position - vehicle.position - 5.0)
+        return best
+
+    def _step(self, probe: MetricProbe) -> None:
+        now = self.simulator.now
+        config = self.config
+        dt = config.step_period
+        for vehicle in self.vehicles:
+            if vehicle.crossed_at is not None:
+                vehicle.speed = clamp(
+                    vehicle.speed + config.max_acceleration * dt, 0.0, config.approach_speed
+                )
+                vehicle.position += vehicle.speed * dt
+                continue
+            crossing = vehicle.crossing if vehicle.crossing is not None else self._next_crossing(vehicle)
+            must_stop = False
+            distance_to_line = float("inf")
+            if crossing is not None and now > vehicle.committed_until:
+                distance_to_line = self._stop_line_distance(vehicle, crossing)
+                in_approach = 0.0 < distance_to_line < 60.0
+                if in_approach and not self._may_cross(vehicle, crossing, now):
+                    must_stop = True
+                elif in_approach and distance_to_line < 15.0:
+                    # Released: commit for the time needed to clear the box.
+                    vehicle.committed_until = now + (
+                        distance_to_line + config.box_length + 5.0
+                    ) / max(vehicle.speed, 2.0)
+                    vehicle.waiting_since = None
+            gap = self._leader_gap(vehicle)
+            if gap < 8.0:
+                must_stop = True
+
+            if must_stop:
+                stop_distance = max(0.5, min(distance_to_line - 1.0, gap - 4.0))
+                if stop_distance <= 2.0 or vehicle.speed**2 > 2 * config.max_deceleration * stop_distance:
+                    acceleration = -config.max_deceleration
+                else:
+                    acceleration = -(vehicle.speed**2) / (2 * max(stop_distance, 0.5))
+            else:
+                acceleration = clamp(
+                    0.8 * (config.approach_speed - vehicle.speed),
+                    -config.max_deceleration,
+                    config.max_acceleration,
+                )
+            vehicle.speed = clamp(vehicle.speed + acceleration * dt, 0.0, config.approach_speed)
+            vehicle.position += vehicle.speed * dt
+
+            moving = vehicle.speed >= 0.3
+            if not moving:
+                if vehicle._was_moving:
+                    vehicle.stops += 1
+                    probe.increment("stops")
+                if vehicle.waiting_since is None and crossing is not None:
+                    if 0.0 < self._stop_line_distance(vehicle, crossing) < 10.0:
+                        vehicle.waiting_since = now
+            vehicle._was_moving = moving
+
+            end_position = (
+                self._box_start(config.intersections - 1) + config.box_length
+                if vehicle.crossing is None
+                else config.box_length
+            )
+            if vehicle.position > end_position:
+                vehicle.crossed_at = now
+        self._check_conflicts(probe, now)
+
+    def _check_conflicts(self, probe: MetricProbe, now: float) -> None:
+        config = self.config
+        for k in range(config.intersections):
+            box_start = self._box_start(k)
+            arterial_inside = [
+                v
+                for v in self.vehicles
+                if v.crossing is None
+                and v.crossed_at is None
+                and box_start <= v.position <= box_start + config.box_length
+            ]
+            cross_inside = [
+                v
+                for v in self.vehicles
+                if v.crossing == k
+                and v.crossed_at is None
+                and 0.0 <= v.position <= config.box_length
+            ]
+            for a in arterial_inside:
+                for c in cross_inside:
+                    pair = (a.vehicle_id, c.vehicle_id)
+                    if pair not in self._conflict_pairs:
+                        self._conflict_pairs.add(pair)
+                        probe.increment("conflicts")
+                        self.trace.record(
+                            now, "corridor_conflict", f"light{k}",
+                            arterial=a.vehicle_id, cross=c.vehicle_id,
+                        )
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> CorridorResults:
+        config = self.config
+        self.simulator.run_until(config.duration)
+        probe = self._step_probe
+        crossed = [v for v in self.vehicles if v.crossed_at is not None]
+        arterial_done = [v for v in crossed if v.crossing is None]
+        travel_times = [v.crossed_at - v.spawned_at for v in arterial_done]
+        mean_travel = sum(travel_times) / len(travel_times) if travel_times else config.duration
+        stops = sum(v.stops for v in self.vehicles)
+        return CorridorResults(
+            intersections=config.intersections,
+            green_wave=config.green_wave,
+            crossed=len(crossed),
+            conflicts=probe.count("conflicts"),
+            throughput=len(crossed) / config.duration * 3600.0,
+            mean_travel_time=mean_travel,
+            stops_per_vehicle=stops / len(self.vehicles) if self.vehicles else 0.0,
+        )

@@ -21,10 +21,9 @@ origin.  Experiment E7 compares:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.cooperation.failure_detector import HeartbeatFailureDetector
 from repro.cooperation.virtual_node import (
     VirtualNodeHost,
     VirtualNodeRegion,
@@ -32,11 +31,8 @@ from repro.cooperation.virtual_node import (
 )
 from repro.middleware.broker import EventBroker
 from repro.network.frames import FrameKind
-from repro.network.medium import MediumConfig, WirelessMedium
-from repro.network.r2t_mac import R2TMacNode
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RandomStreams
-from repro.sim.trace import TraceRecorder
+from repro.network.medium import MediumConfig
+from repro.scenario import NodeSpec, RadioPreset, ScenarioHarness
 from repro.vehicles.kinematics import clamp
 
 LIGHT_SUBJECT = "karyon/traffic_light"
@@ -88,14 +84,9 @@ class IntersectionResults:
     vtl_activations: int
 
     def as_row(self) -> Dict[str, object]:
-        return {
-            "mode": self.mode,
-            "crossed": self.crossed,
-            "conflicts": self.conflicts,
-            "throughput_veh_h": round(self.throughput, 0),
-            "mean_delay_s": round(self.mean_delay, 2),
-            "vtl_activations": self.vtl_activations,
-        }
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
 
 
 #: Phase sequence shared by the infrastructure light and the virtual light:
@@ -185,17 +176,22 @@ class IntersectionScenario:
 
     def __init__(self, config: Optional[IntersectionConfig] = None):
         self.config = config or IntersectionConfig()
-        self.streams = RandomStreams(self.config.seed)
-        self.simulator = Simulator()
-        self.trace = TraceRecorder(enabled=True)
-        self.medium = WirelessMedium(
-            self.simulator,
-            MediumConfig(base_loss_probability=self.config.base_loss_probability,
-                         communication_range=600.0),
-            rng=self.streams.stream("medium"),
+        self.harness = ScenarioHarness(
+            seed=self.config.seed,
+            radio=RadioPreset(
+                mac="r2t",
+                medium=MediumConfig(
+                    base_loss_probability=self.config.base_loss_probability,
+                    communication_range=600.0,
+                ),
+            ),
         )
+        self.streams = self.harness.streams
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.medium = self.harness.medium
         self.vehicles: List[_IntersectionVehicle] = []
-        self.brokers: Dict[str, EventBroker] = {}
+        self.brokers: Dict[str, EventBroker] = self.harness.brokers
         self.vn_hosts: Dict[str, VirtualNodeHost] = {}
         self._light_state: Dict[str, Tuple[str, float]] = {}
         self._vtl_state: Dict[str, Tuple[str, float]] = {}
@@ -208,15 +204,15 @@ class IntersectionScenario:
     def _build(self) -> None:
         config = self.config
         # Infrastructure light node at the intersection.
-        light_mac = R2TMacNode(
-            "traffic_light",
-            self.simulator,
-            self.medium,
-            rng=self.streams.stream("mac:light"),
-            position_fn=lambda: (0.0, 0.0),
+        light_handle = self.harness.add_node(
+            NodeSpec(
+                node_id="traffic_light",
+                position_fn=lambda: (0.0, 0.0),
+                rng_stream="mac:light",
+                announce=(LIGHT_SUBJECT,),
+            )
         )
-        self.light_broker = EventBroker("traffic_light", self.simulator, light_mac)
-        self.light_broker.announce(LIGHT_SUBJECT)
+        self.light_broker = light_handle.broker
         self.light = TrafficLightController(self)
         self.simulator.periodic(config.light_period, self.light.tick, name="traffic-light")
         if config.light_failure_time is not None:
@@ -238,19 +234,18 @@ class IntersectionScenario:
                 )
                 vehicle.position = -config.approach_length - i * config.vehicle_spacing
                 self.vehicles.append(vehicle)
-                mac = R2TMacNode(
-                    vehicle_id,
-                    self.simulator,
-                    self.medium,
-                    rng=self.streams.stream(f"mac:{vehicle_id}"),
-                    position_fn=(lambda v=vehicle: self._xy(v)),
+                handle = self.harness.add_node(
+                    NodeSpec(
+                        node_id=vehicle_id,
+                        position_fn=(lambda v=vehicle: self._xy(v)),
+                        announce=(BEACON_SUBJECT, VTL_SUBJECT),
+                        subscribe=(
+                            (LIGHT_SUBJECT, lambda event, vid=vehicle_id: self._on_light(vid, event)),
+                            (VTL_SUBJECT, lambda event, vid=vehicle_id: self._on_vtl(vid, event)),
+                        ),
+                    )
                 )
-                broker = EventBroker(vehicle_id, self.simulator, mac)
-                broker.announce(BEACON_SUBJECT)
-                broker.announce(VTL_SUBJECT)
-                broker.subscribe(LIGHT_SUBJECT, lambda event, vid=vehicle_id: self._on_light(vid, event))
-                broker.subscribe(VTL_SUBJECT, lambda event, vid=vehicle_id: self._on_vtl(vid, event))
-                self.brokers[vehicle_id] = broker
+                broker = handle.broker
                 host = VirtualNodeHost(
                     vehicle_id,
                     broadcast=(lambda message, b=broker: b.publish(VTL_SUBJECT, content=message)),

@@ -15,20 +15,16 @@ in the target lane.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cooperation.agreement import AgreementOutcome, ManeuverAgreement, ManeuverProposal
 from repro.middleware.broker import EventBroker
 from repro.middleware.qos import QoSSpec
-from repro.network.medium import MediumConfig, WirelessMedium
-from repro.network.r2t_mac import R2TMacNode
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RandomStreams
-from repro.sim.trace import TraceRecorder
+from repro.network.medium import MediumConfig
+from repro.scenario import MetricProbe, NodeSpec, RadioPreset, ScenarioHarness, WorldSpec
 from repro.vehicles.controllers import AccController, CruiseController
 from repro.vehicles.vehicle import Vehicle
-from repro.vehicles.world import HighwayWorld
 
 COORDINATION_SUBJECT = "karyon/lane_change"
 
@@ -66,14 +62,9 @@ class LaneChangeResults:
     mean_wait: float
 
     def as_row(self) -> Dict[str, object]:
-        return {
-            "coordinated": self.coordinated,
-            "completed_changes": self.completed_changes,
-            "simultaneous_violations": self.simultaneous_violations,
-            "lateral_conflicts": self.lateral_conflicts,
-            "aborted_proposals": self.aborted_proposals,
-            "mean_wait_s": round(self.mean_wait, 2),
-        }
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
 
 
 class LaneChangeAgent:
@@ -184,23 +175,29 @@ class LaneChangeScenario:
 
     def __init__(self, config: Optional[LaneChangeConfig] = None):
         self.config = config or LaneChangeConfig()
-        self.streams = RandomStreams(self.config.seed)
-        self.simulator = Simulator()
-        self.trace = TraceRecorder(enabled=True)
-        self.world = HighwayWorld(
-            self.simulator, lanes=2, step_period=self.config.world_step, trace=self.trace
+        self.harness = ScenarioHarness(
+            seed=self.config.seed,
+            radio=RadioPreset(mac="r2t", medium=MediumConfig(communication_range=400.0)),
+            world=WorldSpec("highway", lanes=2, step_period=self.config.world_step),
         )
-        self.medium = WirelessMedium(
-            self.simulator,
-            MediumConfig(communication_range=400.0),
-            rng=self.streams.stream("medium"),
-        )
-        self.brokers: Dict[str, EventBroker] = {}
+        self.streams = self.harness.streams
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.world = self.harness.world
+        self.medium = self.harness.medium
+        self.brokers: Dict[str, EventBroker] = self.harness.brokers
         self.agents: Dict[str, LaneChangeAgent] = {}
-        self.simultaneous_violations = 0
-        self.lateral_conflicts = 0
         self._conflict_pairs: Set[Tuple[str, str]] = set()
+        self._monitor_probe: Optional[MetricProbe] = None
         self._build()
+
+    @property
+    def simultaneous_violations(self) -> int:
+        return self._monitor_probe.count("simultaneous_violations")
+
+    @property
+    def lateral_conflicts(self) -> int:
+        return self._monitor_probe.count("lateral_conflicts")
 
     def _build(self) -> None:
         config = self.config
@@ -208,16 +205,13 @@ class LaneChangeScenario:
             vehicle = Vehicle(vehicle_id=f"veh{i}", lane=0)
             vehicle.state.position = (config.vehicles - i) * config.initial_spacing
             vehicle.state.speed = config.cruise_speed
-            mac = R2TMacNode(
-                vehicle.vehicle_id,
-                self.simulator,
-                self.medium,
-                rng=self.streams.stream(f"mac:{vehicle.vehicle_id}"),
-                position_fn=(lambda v=vehicle: v.xy()),
+            self.harness.add_node(
+                NodeSpec(
+                    node_id=vehicle.vehicle_id,
+                    position_fn=(lambda v=vehicle: v.xy()),
+                    announce=((COORDINATION_SUBJECT, QoSSpec(rate_hz=20.0)),),
+                )
             )
-            broker = EventBroker(vehicle.vehicle_id, self.simulator, mac)
-            broker.announce(COORDINATION_SUBJECT, QoSSpec(rate_hz=20.0))
-            self.brokers[vehicle.vehicle_id] = broker
             agent = LaneChangeAgent(vehicle, self)
             self.agents[vehicle.vehicle_id] = agent
             self.world.add_vehicle(vehicle, controller=agent.control)
@@ -228,11 +222,13 @@ class LaneChangeScenario:
                     request_time,
                     lambda vid=vehicle_id: self.agents[vid].request_change(self.simulator.now),
                 )
-        self.simulator.periodic(config.world_step, self._monitor, name="lane-change-monitor")
+        self._monitor_probe = self.harness.add_probe(
+            MetricProbe("lane-change-monitor", config.world_step, self._monitor)
+        )
         self.world.start()
 
     # ----------------------------------------------------------------- monitor
-    def _monitor(self) -> None:
+    def _monitor(self, probe: MetricProbe) -> None:
         now = self.simulator.now
         # Safety property 1: at most one changer per region at any time.  A
         # "region" is the requester's neighbourhood: two vehicles changing
@@ -243,7 +239,7 @@ class LaneChangeScenario:
             for second in changers[i + 1:]:
                 distance = abs(first.vehicle.position - second.vehicle.position)
                 if distance <= self.config.region_length:
-                    self.simultaneous_violations += 1
+                    probe.increment("simultaneous_violations")
                     self.trace.record(
                         now,
                         "simultaneous_lane_change",
@@ -265,7 +261,7 @@ class LaneChangeScenario:
                     pair = tuple(sorted((agent.vehicle.vehicle_id, other.vehicle_id)))
                     if pair not in self._conflict_pairs:
                         self._conflict_pairs.add(pair)
-                        self.lateral_conflicts += 1
+                        probe.increment("lateral_conflicts")
                         self.trace.record(
                             now, "lateral_conflict", "lane-change",
                             first=pair[0], second=pair[1],

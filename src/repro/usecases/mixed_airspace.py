@@ -1,0 +1,222 @@
+"""Mixed airspace: an RPV's ADS-B feed sharing spectrum with ground V2V traffic.
+
+The ROADMAP's third new workload.  The in-trail RPV separation scenario from
+:mod:`repro.usecases.avionics` is flown over a highway whose vehicles
+broadcast periodic CAM messages on the *same* wireless medium that carries
+the intruder's ADS-B position reports.  Unlike the pure avionic use case —
+where position reports arrive by direct callback — the reports here really
+traverse the radio stack: CSMA contention from ``ground_nodes`` CAM
+broadcasters (plus optional interference bursts) delays and drops ADS-B
+frames, the RPV's intruder estimate goes stale, and the safety kernel
+downgrades from the tight ``collaborative`` margin to the ``conservative``
+one exactly as the paper's architecture prescribes.
+
+The scenario reuses :class:`~repro.usecases.avionics.RpvAgent` unchanged;
+only the composition differs: an airspace world, a radio preset shared by
+aircraft and ground nodes, and broker pub/sub for the ADS-B feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.middleware.qos import QoSSpec
+from repro.network.frames import FrameKind
+from repro.network.medium import MediumConfig
+from repro.scenario import MetricProbe, NodeSpec, RadioPreset, ScenarioHarness, WorldSpec
+from repro.usecases.avionics import AvionicsConfig, AvionicsUseCase, RpvAgent
+from repro.vehicles.aircraft import Aircraft
+
+ADSB_SUBJECT = "karyon/adsb"
+CAM_SUBJECT = "karyon/cam"
+
+
+@dataclass
+class MixedAirspaceConfig(AvionicsConfig):
+    """Avionic parameters plus the ground-traffic spectrum load."""
+
+    #: Ground vehicles broadcasting CAM messages on the shared medium.
+    ground_nodes: int = 8
+    #: CAM rate per ground node, in Hz.
+    ground_rate_hz: float = 10.0
+    #: Ground vehicles are spread along the flight path this far apart (m).
+    ground_spacing: float = 2000.0
+    #: Radio range; must span the air-to-air separations involved.
+    communication_range: float = 25000.0
+    duration: float = 400.0
+    #: (start, duration) interference bursts on every channel.
+    interference_bursts: Tuple[Tuple[float, float], ...] = ()
+
+
+@dataclass
+class MixedAirspaceResults:
+    """One row of the mixed-airspace table."""
+
+    ground_nodes: int
+    with_safety_kernel: bool
+    conflicts: int
+    min_horizontal_separation: float
+    mission_time: float
+    mission_completed: bool
+    los_share_collaborative: float
+    adsb_received: int
+    adsb_mean_age: float
+    frames_sent: int
+    delivery_ratio: float
+
+    def as_row(self) -> Dict[str, object]:
+        from repro.evaluation.rows import usecase_row
+
+        return usecase_row(self)
+
+
+class MixedAirspaceScenario:
+    """Builds and runs one mixed automotive/avionic spectrum-sharing scenario."""
+
+    def __init__(self, config: Optional[MixedAirspaceConfig] = None):
+        self.config = config or MixedAirspaceConfig(use_case=AvionicsUseCase.IN_TRAIL)
+        config = self.config
+        self.harness = ScenarioHarness(
+            seed=config.seed,
+            radio=RadioPreset(
+                mac="csma",
+                medium=MediumConfig(
+                    communication_range=config.communication_range,
+                    base_loss_probability=0.01,
+                ),
+            ),
+            world=WorldSpec("airspace", step_period=config.step_period),
+        )
+        self.simulator = self.harness.simulator
+        self.trace = self.harness.trace
+        self.world = self.harness.world
+        self.medium = self.harness.medium
+        self.rpv: Optional[Aircraft] = None
+        self.intruder: Optional[Aircraft] = None
+        self.agent: Optional[RpvAgent] = None
+        self._los_probe: Optional[MetricProbe] = None
+        self._adsb_received = 0
+        self._adsb_ages: List[float] = []
+        self._build()
+
+    # ------------------------------------------------------------------- build
+    def _build(self) -> None:
+        config = self.config
+        self.intruder = Aircraft(
+            "intruder",
+            position=(9000.0, 0.0, 2100.0),
+            speed=config.intruder_speed,
+            heading=0.0,
+            collaborative=True,
+            position_uncertainty=config.collaborative_uncertainty,
+            separation=config.separation,
+        )
+        self.rpv = Aircraft(
+            "rpv",
+            position=(0.0, 0.0, 2100.0),
+            speed=config.rpv_speed,
+            heading=0.0,
+            separation=config.separation,
+            is_rpv=True,
+        )
+        self.agent = RpvAgent(self.rpv, self.intruder, self)
+        self.world.add_aircraft(self.intruder)
+        self.world.add_aircraft(self.rpv, controller=self.agent.control)
+        self.world.start()
+
+        # The intruder's ADS-B transmitter and the RPV's receiver share the
+        # medium with the ground fleet below.
+        intruder_handle = self.harness.add_node(
+            NodeSpec(
+                node_id="intruder",
+                position_fn=(lambda: self.intruder.position[:2]),
+                announce=((ADSB_SUBJECT, QoSSpec(rate_hz=1.0 / config.adsb_period)),),
+            )
+        )
+        self._intruder_broker = intruder_handle.broker
+        self.harness.add_node(
+            NodeSpec(
+                node_id="rpv",
+                position_fn=(lambda: self.rpv.position[:2]),
+                subscribe=((ADSB_SUBJECT, self._on_adsb),),
+            )
+        )
+        rng = self.harness.streams.stream("position-reports")
+        self.simulator.periodic(
+            config.adsb_period,
+            lambda: self._broadcast_adsb(rng),
+            name="adsb-broadcast",
+        )
+
+        # Ground fleet: pure spectrum load along the flight path.
+        for i in range(config.ground_nodes):
+            x = i * config.ground_spacing
+            handle = self.harness.add_node(
+                NodeSpec(
+                    node_id=f"ground{i}",
+                    position_fn=(lambda gx=x: (gx, 0.0)),
+                    announce=((CAM_SUBJECT, QoSSpec(rate_hz=config.ground_rate_hz)),),
+                )
+            )
+            self.simulator.periodic(
+                1.0 / config.ground_rate_hz,
+                lambda b=handle.broker: b.publish(CAM_SUBJECT, content={"t": self.simulator.now}),
+                name=f"cam:ground{i}",
+            )
+
+        self.harness.add_interference_bursts(config.interference_bursts)
+        self._los_probe = self.harness.add_probe(
+            MetricProbe("los-sampler", config.kernel_period, self._sample_los)
+        )
+
+    # --------------------------------------------------------------- behaviour
+    def _broadcast_adsb(self, rng) -> None:
+        self._intruder_broker.publish(
+            ADSB_SUBJECT,
+            content={
+                "aircraft_id": self.intruder.aircraft_id,
+                "position": self.intruder.reported_position(rng),
+            },
+            context={"position": self.intruder.position[:2]},
+            quality={"validity": 1.0},
+            kind=FrameKind.SAFETY,
+        )
+
+    def _on_adsb(self, event) -> None:
+        content = event.content or {}
+        position = content.get("position")
+        if position is None:
+            return
+        self._adsb_received += 1
+        self._adsb_ages.append(self.simulator.now - event.published_at)
+        self.agent.receive_position_report(tuple(position), validity=event.validity)
+
+    def _sample_los(self, probe: MetricProbe) -> None:
+        if self.agent is not None:
+            probe.add(self.agent.active_los_name)
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> MixedAirspaceResults:
+        config = self.config
+        self.simulator.run_until(config.duration)
+        mission_time = (
+            self.agent.mission_completed_at
+            if self.agent.mission_completed_at is not None
+            else config.duration
+        )
+        stats = self.medium.stats
+        mean_age = sum(self._adsb_ages) / len(self._adsb_ages) if self._adsb_ages else float("inf")
+        return MixedAirspaceResults(
+            ground_nodes=config.ground_nodes,
+            with_safety_kernel=config.with_safety_kernel,
+            conflicts=len(self.world.conflicts),
+            min_horizontal_separation=self.world.min_horizontal_separation,
+            mission_time=mission_time,
+            mission_completed=self.agent.mission_completed_at is not None,
+            los_share_collaborative=self._los_probe.share("collaborative"),
+            adsb_received=self._adsb_received,
+            adsb_mean_age=mean_age,
+            frames_sent=stats.frames_sent,
+            delivery_ratio=stats.delivery_ratio,
+        )

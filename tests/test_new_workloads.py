@@ -1,0 +1,149 @@
+"""Tests for the grid / corridor / mixed-airspace ROADMAP workloads."""
+
+import pytest
+
+from repro.experiments import ParallelCampaignRunner, ParameterGrid
+from repro.experiments.registry import load_builtin_scenarios
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return load_builtin_scenarios()
+
+
+class TestRegistration:
+    def test_workloads_are_registered(self, registry):
+        for name in (
+            "urban_grid",
+            "corridor",
+            "corridor/green_wave",
+            "corridor/unsynchronised",
+            "mixed_airspace",
+            "mixed_airspace/kernel",
+            "mixed_airspace/no_kernel",
+        ):
+            assert name in registry
+
+    def test_workloads_carry_the_workload_tag(self, registry):
+        tagged = [spec.name for spec in registry.specs() if "workload" in spec.tags]
+        assert {"urban_grid", "corridor", "mixed_airspace"} <= set(tagged)
+
+
+class TestUrbanGrid:
+    def _run(self, **params):
+        from repro.usecases.acc import ArchitectureVariant
+        from repro.usecases.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+        variant = params.pop("variant", "karyon")
+        config = UrbanGridConfig(
+            streets=2, followers=2, duration=25.0, seed=4,
+            variant=ArchitectureVariant(variant), **params,
+        )
+        return UrbanGridScenario(config).run()
+
+    def test_runs_and_reports_per_grid_metrics(self):
+        results = self._run()
+        assert results.streets == 2
+        assert results.collisions == 0
+        assert results.frames_sent > 0
+        assert 0.0 < results.delivery_ratio <= 1.0
+        assert results.los_residency  # kernels ran and accumulated residency
+        row = results.as_row()
+        assert row["streets"] == 2
+        assert "throughput_veh_h" in row
+
+    def test_same_seed_is_deterministic(self):
+        import dataclasses
+
+        assert dataclasses.asdict(self._run()) == dataclasses.asdict(self._run())
+
+    def test_blackout_hurts_the_trusting_baseline(self):
+        karyon = self._run(interference_bursts=((10.0, 8.0),), brake_start=12.0)
+        trusting = self._run(
+            variant="always_cooperative",
+            interference_bursts=((10.0, 8.0),),
+            brake_start=12.0,
+        )
+        assert karyon.collisions == 0
+        assert (
+            trusting.collisions + trusting.hazardous_states
+            > karyon.collisions + karyon.hazardous_states
+        )
+
+
+class TestCorridor:
+    def _run(self, **params):
+        from repro.usecases.corridor import CorridorConfig, CorridorScenario
+
+        config = CorridorConfig(
+            intersections=2, arterial_vehicles=4, cross_vehicles=1,
+            duration=90.0, seed=9, **params,
+        )
+        return CorridorScenario(config).run()
+
+    def test_green_wave_beats_unsynchronised_lights(self):
+        wave = self._run(green_wave=True)
+        unsync = self._run(green_wave=False)
+        assert wave.crossed > 0 and unsync.crossed > 0
+        assert wave.conflicts == 0
+        assert wave.mean_travel_time <= unsync.mean_travel_time
+        assert wave.stops_per_vehicle <= unsync.stops_per_vehicle
+
+    def test_failed_light_degrades_the_corridor(self):
+        healthy = self._run()
+        failed = self._run(failed_light=1, light_failure_time=15.0)
+        assert failed.mean_travel_time > healthy.mean_travel_time
+
+    def test_same_seed_is_deterministic(self):
+        import dataclasses
+
+        assert dataclasses.asdict(self._run()) == dataclasses.asdict(self._run())
+
+
+class TestMixedAirspace:
+    def _run(self, **params):
+        from repro.usecases.mixed_airspace import MixedAirspaceConfig, MixedAirspaceScenario
+
+        config = MixedAirspaceConfig(duration=150.0, seed=3, **params)
+        return MixedAirspaceScenario(config).run()
+
+    def test_adsb_really_traverses_the_radio_stack(self):
+        results = self._run(ground_nodes=2)
+        assert results.adsb_received > 0
+        assert results.frames_sent > results.adsb_received  # CAM load shares the medium
+        assert results.conflicts == 0
+
+    def test_ground_load_erodes_the_collaborative_los(self):
+        quiet = self._run(ground_nodes=0)
+        loaded = self._run(ground_nodes=20, ground_rate_hz=40.0)
+        assert quiet.los_share_collaborative > loaded.los_share_collaborative
+        assert loaded.delivery_ratio < quiet.delivery_ratio
+
+    def test_no_kernel_baseline_always_flies_tight(self):
+        results = self._run(with_safety_kernel=False, ground_nodes=6)
+        assert results.los_share_collaborative == 1.0
+
+
+class TestCampaignIntegration:
+    def test_corridor_sweepable_through_the_runner(self):
+        runner = ParallelCampaignRunner()
+        result = runner.run(
+            "corridor",
+            params={"duration": 60.0, "arterial_vehicles": 3, "cross_vehicles": 1},
+            sweep=ParameterGrid(green_wave=(True, False)),
+            seeds=[9],
+        )
+        assert result.run_count == 2
+        assert result.failures == 0
+        rows = result.grouped_rows(by=["green_wave"])
+        assert {row["green_wave"] for row in rows} == {True, False}
+
+    def test_urban_grid_runs_from_the_registry(self):
+        runner = ParallelCampaignRunner()
+        result = runner.run(
+            "urban_grid",
+            params={"duration": 20.0, "streets": 2, "followers": 2},
+            seeds=[1],
+        )
+        assert result.failures == 0
+        assert result.metric("collisions") == 0.0

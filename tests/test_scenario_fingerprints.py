@@ -1,0 +1,80 @@
+"""Refactor safety net: pinned same-seed fingerprints for every builtin workload.
+
+The constants below were captured **before** the use cases and the builtin
+experiment catalog were rebuilt on the ``repro.scenario`` composition layer
+(PR 3).  Use-case fingerprints hash the run's metrics, full trace stream
+and processed-event count at full float precision, so any change to RNG
+draw order, event scheduling order or physics shows up as a mismatch;
+registry-run workloads hash their metrics dict (see
+``fingerprint_util`` for the exact coverage per workload kind).
+
+Fingerprints are computed in a ``PYTHONHASHSEED=0`` subprocess because a few
+scenarios iterate over sets of node-id strings (TDMA topologies, pulse-sync
+neighbours, lane-change participant sets) whose order — and therefore whose
+physics — depends on string-hash randomisation.  Under a fixed hash seed
+every workload is exactly reproducible.
+
+If this test fails, the refactored wiring is **not** equivalent to the
+hand-written wiring it replaced.  Only refresh a constant (via
+``PYTHONHASHSEED=0 PYTHONPATH=src python tests/fingerprint_util.py``) for a
+deliberate, reviewed physics change.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from fingerprint_util import WORKLOADS
+
+#: Captured at PR 3 from the pre-refactor (PR 2) wiring, PYTHONHASHSEED=0.
+PINNED = {
+    "platoon/karyon": "5ee46a003ce2d14a75bd20b0798d4ecaed116b3e6a86ff5d0e78b60f25ed0ef3",
+    "platoon/always_cooperative": "815dafbe71503153c2fc8e7fb2c98771771b9b1af3e069f813a52696d75ae0e0",
+    "platoon/never_cooperative": "8b13db5393d4ff95571852738cc79b95c2bf35ded33daa1e27e4df9c2717b17b",
+    "intersection/infrastructure": "fa12e71d81f466306feded447917ad530e63254bf5ea85b1df3d2e7035d5951f",
+    "intersection/vtl_fallback": "a2d9b324e5a239f5a30ebe8268a9a44acab18ed4176ac05258dbd5cb02347ea8",
+    "intersection/uncoordinated": "af520567cc4784c7e009d875e73e3f0673f33d0cace2e10434cd11753592b5ac",
+    "lane_change/coordinated": "c233b371792c4c1eb766480d2e75d530ce9b2f9882428a31b9b6f2eeecc1a126",
+    "lane_change/uncoordinated": "ea8128e7443d390a6f8054bf016ead0ad48877f57be1ef7c0083dea2630a75b8",
+    "avionics/in_trail": "d44222d2313cd2018b0d6a8ce153b4bd6ca59e3c0449a0695fdc9f84e63597fe",
+    "avionics/crossing": "9f6fc11e9ba4e48cf48291097130c17c80b1c42f6853d14512ff50d208659651",
+    "avionics/level_change": "cf2e4753167ab952357f16e6ebee08d2f170293e45c2a0170ba0c2d0e914af84",
+    "sensor_validity": "792b055096ed868bac181756ce82ed1306894d13d5cf98e0187ca8cf743dbc24",
+    "r2t_mac/r2t": "aa893d479121579c76de17ce5238ab3c88849bef1cf1fdf4fa454f7eff09ebe1",
+    "r2t_mac/csma": "0db442b76756f0e6d7c00b68ab7f9b97d9da79c1dc1dcc241e30fffd35b4386d",
+    "tdma_convergence": "2e9c5f2640e1a9d5f82719edc20689bf4afbc1d76cbffe7396b21e5a4d821ac9",
+    "pulse_alignment": "ac4c94c4f4bc6498746a2d63fc2bb7b3ab63a924880ce94e1a98bbfa96ad6fdd",
+    "event_channels/admission": "58702a281c1c93c25d4903ca243ce3e2c3e462e9736cf0e51bb4022e9688cf9a",
+    "event_channels/open": "4db2e60dcc9203bc67d652fc4e9ccc8d73dbe707c6c863e48de5a64e1f324bce",
+    "demo/safety_kernel": "ad1d48ef14be8ba3fe8e9df0a3b2a311b241457a054555a5a6dfa3b67dc5d7a8",
+    "demo/random_walk": "e9071af4fbb5988b37e84d122efd22f38f5a488646536a80dd95ba8c8dd65640",
+}
+
+
+def test_every_workload_is_pinned():
+    assert set(PINNED) == set(WORKLOADS)
+
+
+def test_same_seed_physics_is_byte_identical():
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    output = subprocess.run(
+        [sys.executable, str(repo_root / "tests" / "fingerprint_util.py")],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    observed = json.loads(output)
+    drifted = sorted(
+        name for name in PINNED if observed.get(name) != PINNED[name]
+    )
+    assert not drifted, (
+        f"same-seed physics drifted from the pre-refactor wiring for: {drifted}"
+    )

@@ -1,0 +1,187 @@
+"""Unit tests for the ``repro.scenario`` composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.qos import QoSSpec
+from repro.network.mac_csma import CsmaMacNode
+from repro.network.medium import MediumConfig
+from repro.network.r2t_mac import R2TMacNode
+from repro.scenario import (
+    MetricProbe,
+    NodeSpec,
+    RadioPreset,
+    ScenarioHarness,
+    SensorRig,
+    WorldSpec,
+)
+from repro.sensors.detectors import RangeDetector
+from repro.vehicles.aircraft import AirspaceWorld
+from repro.vehicles.world import HighwayWorld
+
+
+class TestRadioPreset:
+    def test_rejects_unknown_mac(self):
+        with pytest.raises(ValueError):
+            RadioPreset(mac="aloha")
+
+    def test_builds_r2t_and_csma_transports(self):
+        harness = ScenarioHarness(seed=1, radio=RadioPreset(mac="r2t"))
+        r2t = harness.add_node(NodeSpec("a")).transport
+        csma = harness.add_node(NodeSpec("b", mac="csma")).transport
+        assert isinstance(r2t, R2TMacNode)
+        assert isinstance(csma, CsmaMacNode)
+
+    def test_medium_config_is_applied(self):
+        preset = RadioPreset(medium=MediumConfig(communication_range=42.0))
+        harness = ScenarioHarness(seed=1, radio=preset)
+        assert harness.medium.config.communication_range == 42.0
+
+
+class TestWorldSpec:
+    def test_builds_highway_and_airspace(self):
+        highway = ScenarioHarness(seed=1, world=WorldSpec("highway", lanes=2)).world
+        airspace = ScenarioHarness(seed=1, world=WorldSpec("airspace")).world
+        assert isinstance(highway, HighwayWorld)
+        assert highway.lanes == 2
+        assert isinstance(airspace, AirspaceWorld)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            WorldSpec("ocean").build(None, None)
+
+    def test_world_shares_harness_trace(self):
+        harness = ScenarioHarness(seed=1, world=WorldSpec("highway"))
+        assert harness.world.trace is harness.trace
+
+
+class TestScenarioHarness:
+    def test_radioless_harness_rejects_nodes_and_interference(self):
+        harness = ScenarioHarness(seed=1)
+        assert harness.medium is None
+        with pytest.raises(ValueError):
+            harness.add_node(NodeSpec("a"))
+        with pytest.raises(ValueError):
+            harness.add_interference_bursts([(1.0, 2.0)])
+
+    def test_duplicate_node_rejected(self):
+        harness = ScenarioHarness(seed=1, radio=RadioPreset())
+        harness.add_node(NodeSpec("a"))
+        with pytest.raises(ValueError):
+            harness.add_node(NodeSpec("a"))
+
+    def test_duplicate_kernel_rejected(self):
+        harness = ScenarioHarness(seed=1)
+        harness.attach_kernel("veh", cycle_period=0.1)
+        with pytest.raises(ValueError):
+            harness.attach_kernel("veh", cycle_period=0.1)
+
+    def test_brokerless_node_rejects_announce_and_subscribe(self):
+        harness = ScenarioHarness(seed=1, radio=RadioPreset())
+        with pytest.raises(ValueError):
+            harness.add_node(NodeSpec("a", broker=False, announce=("karyon/topic",)))
+        with pytest.raises(ValueError):
+            harness.add_node(
+                NodeSpec("b", broker=False, subscribe=(("karyon/topic", print),))
+            )
+
+    def test_announce_and_subscribe_wire_pub_sub(self):
+        harness = ScenarioHarness(seed=1, radio=RadioPreset(mac="csma"))
+        received = []
+        publisher = harness.add_node(
+            NodeSpec("pub", announce=(("karyon/topic", QoSSpec(rate_hz=10.0)),))
+        )
+        harness.add_node(
+            NodeSpec("sub", subscribe=(("karyon/topic", received.append),))
+        )
+        publisher.broker.publish("karyon/topic", content={"x": 1})
+        harness.simulator.run_until(1.0)
+        assert received and received[0].content == {"x": 1}
+        assert len(publisher.channels) == 1
+
+    def test_same_seed_harnesses_draw_identical_streams(self):
+        draws = []
+        for _ in range(2):
+            harness = ScenarioHarness(seed=7, radio=RadioPreset())
+            draws.append(harness.streams.stream("medium").random(8).tolist())
+        assert draws[0] == draws[1]
+
+    def test_attach_kernel_registers_and_shares_trace(self):
+        harness = ScenarioHarness(seed=1)
+        kernel = harness.attach_kernel("veh", cycle_period=0.1)
+        assert harness.kernels["veh"] is kernel
+        assert kernel.manager.trace is harness.trace
+
+    def test_interference_bursts_cover_all_channels_by_default(self):
+        harness = ScenarioHarness(
+            seed=1, radio=RadioPreset(medium=MediumConfig(channels=3))
+        )
+        harness.add_interference_bursts([(1.0, 2.0)])
+        harness.add_interference_bursts([(5.0, 1.0)], channels=(0,))
+        bursts = harness.medium._interference
+        assert len(bursts) == 4
+        assert sorted(b.channel for b in bursts) == [0, 0, 1, 2]
+
+
+class TestMetricProbe:
+    def test_accumulation_helpers(self):
+        probe = MetricProbe("p", 0.1, lambda p: None)
+        probe.add(1.0)
+        probe.add(3.0)
+        probe.increment("hits")
+        probe.increment("hits", by=2)
+        assert probe.mean() == 2.0
+        assert probe.count("hits") == 3
+        assert probe.count("misses") == 0
+        assert MetricProbe("q", 0.1, lambda p: None).mean(default=5.0) == 5.0
+
+    def test_share(self):
+        probe = MetricProbe("p", 0.1, lambda p: None)
+        assert probe.share("a") == 0.0
+        for name in ("a", "a", "b", "c"):
+            probe.add(name)
+        assert probe.share("a") == 0.5
+
+    def test_probe_runs_on_its_period(self):
+        harness = ScenarioHarness(seed=1)
+        probe = harness.add_probe(MetricProbe("tick", 0.5, lambda p: p.increment("ticks")))
+        harness.run_until(2.1)
+        # Periodic tasks fire immediately (t=0) and then every period.
+        assert probe.count("ticks") == 5
+
+    def test_duplicate_probe_rejected(self):
+        harness = ScenarioHarness(seed=1)
+        harness.add_probe(MetricProbe("p", 0.1, lambda p: None))
+        with pytest.raises(ValueError):
+            harness.add_probe(MetricProbe("p", 0.1, lambda p: None))
+
+
+class TestSensorRig:
+    RIG = SensorRig(
+        name="radar",
+        quantity="range",
+        noise_sigma=0.5,
+        detectors=lambda: [RangeDetector(low=0.0, high=100.0)],
+    )
+
+    def test_requires_streams_or_rng(self):
+        with pytest.raises(ValueError):
+            self.RIG.build(lambda t: 1.0)
+
+    def test_detector_stacks_are_fresh_per_build(self):
+        first = self.RIG.build(lambda t: 1.0, rng=np.random.default_rng(1))
+        second = self.RIG.build(lambda t: 1.0, rng=np.random.default_rng(1))
+        assert first.detectors[0] is not second.detectors[0]
+
+    def test_same_stream_gives_identical_readings(self):
+        from repro.sim.rng import RandomStreams
+
+        readings = []
+        for _ in range(2):
+            sensor = self.RIG.build(lambda t: 50.0, streams=RandomStreams(3))
+            readings.append([sensor.read(0.1 * i).value for i in range(20)])
+        assert readings[0] == readings[1]
+
+    def test_name_override(self):
+        sensor = self.RIG.build(lambda t: 1.0, rng=np.random.default_rng(1), name="radar7")
+        assert sensor.physical.name == "radar7"
