@@ -182,7 +182,9 @@ class ManeuverAgreement:
             # Nobody else in scope: trivially committed (non-cooperative case).
             self._decide(proposal, AgreementOutcome.COMMITTED)
             return proposal
-        for participant in participants:
+        # Sorted so the request send order (and everything scheduled from it)
+        # is independent of string-hash randomisation.
+        for participant in sorted(participants):
             self.send(
                 participant,
                 {
@@ -199,7 +201,7 @@ class ManeuverAgreement:
     def complete(self, proposal: ManeuverProposal) -> None:
         """Signal manoeuvre completion so participants release their leases."""
         self.lock.release(proposal.region, proposal.proposal_id)
-        for participant in proposal.participants:
+        for participant in sorted(proposal.participants):
             self.send(
                 participant,
                 {

@@ -1,0 +1,110 @@
+"""Content-addressed result cache shared across campaigns and hosts.
+
+A :class:`CacheIndex` is a directory of cached :class:`RunRecord` objects
+keyed by ``sha256(scenario source + canonical params + seed)`` (see
+:func:`repro.experiments.spec.content_cache_key`).  Because the key hashes
+the scenario's *source* rather than its name:
+
+* editing one scenario's factory invalidates exactly that scenario's
+  entries — every other scenario's completed runs stay warm;
+* variants sharing a factory share cache entries cell-by-cell;
+* renaming a scenario or moving a store keeps its cache hits.
+
+Entries are one JSON file each under a two-character fan-out
+(``objects/ab/abcdef….json``), written atomically (temp file + rename) so
+concurrent writers on a shared filesystem never corrupt an entry; both
+writers of a racing pair write identical bytes anyway, since runs are
+deterministic.  Only successful records are cached — failures always
+re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.distributed.spool import atomic_write_text
+from repro.experiments.runner import RunRecord
+
+
+class CacheIndex:
+    """Filesystem-backed content-addressed store of successful run records."""
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: Optional[str]) -> Optional[RunRecord]:
+        """The cached record for ``key``, or ``None`` on miss/corruption."""
+        if key is None:
+            return None
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            record = RunRecord.from_json_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return record if record.ok else None
+
+    def put(self, key: Optional[str], record: RunRecord) -> bool:
+        """Cache one successful record; failures and key-less runs are skipped."""
+        if key is None or not record.ok:
+            return False
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(record.to_json_dict(), sort_keys=True))
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # --------------------------------------------------------------- inventory
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for entry in sorted(bucket.iterdir()):
+                if entry.suffix == ".json" and not entry.name.startswith("."):
+                    yield entry
+
+    def keys(self) -> List[str]:
+        return [path.stem for path in self._entry_paths()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def stats(self) -> Dict[str, int]:
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+        return {"entries": entries, "bytes": total_bytes}
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

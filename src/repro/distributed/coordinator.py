@@ -1,0 +1,264 @@
+"""Campaign coordinator for the spool backend.
+
+:class:`SpoolBackend` plugs into
+:class:`~repro.experiments.runner.ParallelCampaignRunner` as an
+:class:`~repro.experiments.runner.ExecutionBackend`: it shards the pending
+``(scenario, params, seed)`` cells into atomically-claimable task files on
+a shared-filesystem spool, optionally spawns local worker processes, and
+merges the result shards back **in run-list order** — so a spool campaign's
+records, aggregates and persisted store are byte-identical to the same
+campaign run with ``jobs=1``.
+
+Workers may equally be started by hand (possibly on other hosts sharing
+the filesystem) with ``python -m repro.experiments worker <spool>``; the
+coordinator does not care who executes a task, only that every run-list
+index eventually has a shard record.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.distributed.spool import DEFAULT_LEASE_TIMEOUT, Spool, shard_cells
+from repro.experiments.runner import ExecutionBackend, RunRecord
+from repro.experiments.spec import RunSpec, ScenarioSpec
+from repro.experiments.store import ResultStore
+
+
+class SpoolDispatchError(RuntimeError):
+    """The campaign cannot be dispatched onto a spool."""
+
+
+class SpoolBackend(ExecutionBackend):
+    """Execute a campaign through a shared-filesystem work queue.
+
+    ``workers`` > 0 spawns that many local worker subprocesses for the
+    duration of the campaign; with ``workers=0`` the coordinator only
+    publishes tasks and waits for externally-started workers to drain them.
+    """
+
+    name = "spool"
+
+    def __init__(
+        self,
+        spool_root: Union[str, os.PathLike],
+        workers: int = 0,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        task_size: int = 1,
+        poll_interval: float = 0.05,
+        timeout: Optional[float] = None,
+        worker_cache_root: Optional[Union[str, os.PathLike]] = None,
+        scenario_modules: Sequence[str] = (),
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.spool = Spool(spool_root, lease_timeout=lease_timeout)
+        self.workers = int(workers)
+        self.task_size = int(task_size)
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+        self.worker_cache_root = worker_cache_root
+        self.scenario_modules = tuple(scenario_modules)
+
+    # ----------------------------------------------------------------- backend
+    def execute(
+        self,
+        spec: ScenarioSpec,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+        payload: Optional[object] = None,
+    ) -> None:
+        if not isinstance(payload, str):
+            raise SpoolDispatchError(
+                f"scenario {spec.name!r} is not resolvable by name in worker "
+                "processes (ad-hoc spec?); register it — e.g. via a module "
+                "importable with the worker's --import flag — to use the "
+                "spool backend"
+            )
+        cells = [(run_spec.params, run_spec.seed, run_spec.index) for run_spec in pending]
+        tasks = shard_cells(cells, payload, self.task_size)
+        self.spool.initialise(
+            metadata={
+                "scenario": spec.name,
+                "cells": len(cells),
+                "tasks": len(tasks),
+                "task_size": self.task_size,
+            }
+        )
+        for task in tasks:
+            self.spool.publish_task(task)
+
+        worker_processes = [self._spawn_worker() for _ in range(self.workers)]
+        try:
+            self._collect(pending, records, worker_processes)
+        finally:
+            # Let workers observe completion (or failure) and exit cleanly.
+            self.spool.mark_complete()
+            self._join_workers(worker_processes)
+
+    def finalize(self, spec: ScenarioSpec) -> None:
+        """Publish the completion marker even when nothing was dispatched.
+
+        A fully resumed/cached campaign never calls :meth:`execute`, but
+        externally-started workers (``--workers 0`` deployments) still wait
+        on the marker and would otherwise poll forever.
+        """
+        self.spool.root.mkdir(parents=True, exist_ok=True)
+        self.spool.mark_complete()
+
+    # --------------------------------------------------------------- internals
+    def _spawn_worker(self) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "worker",
+            str(self.spool.root),
+            "--poll",
+            str(self.poll_interval),
+            "--quiet",
+        ]
+        if self.worker_cache_root is not None:
+            command += ["--cache", str(self.worker_cache_root)]
+        for module in self.scenario_modules:
+            command += ["--import", module]
+        # The parent may have repro importable via sys.path manipulation
+        # (pytest conftest) rather than PYTHONPATH; make sure the worker
+        # subprocess can import it either way.
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        if package_root not in (existing or "").split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        return subprocess.Popen(command, stdout=subprocess.DEVNULL, env=env)
+
+    def _collect(
+        self,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+        worker_processes: Sequence[subprocess.Popen] = (),
+    ) -> None:
+        expected: Set[int] = {run_spec.index for run_spec in pending}
+        # Accept a shard record only when it is for this campaign's cell:
+        # a stale worker from a previous campaign on the same spool may
+        # still write shards whose task ids collide with ours.
+        key_by_index: Dict[int, str] = {
+            run_spec.index: run_spec.key for run_spec in pending
+        }
+        filled: Set[int] = set()
+        ingested: Set[str] = set()
+        #: mtime at which an unmatched (stale) shard was last parsed, so the
+        #: poll loop re-reads it only after a worker atomically replaces it.
+        stale_shard_mtime: Dict[str, float] = {}
+
+        def ingest_new_shards() -> None:
+            for task_id in self.spool.completed_task_ids():
+                if task_id in ingested:
+                    continue
+                shard_path = self.spool.results_dir / f"{task_id}.jsonl"
+                try:
+                    mtime = shard_path.stat().st_mtime
+                except FileNotFoundError:
+                    continue
+                if stale_shard_mtime.get(task_id) == mtime:
+                    continue
+                matched = True
+                for index, record in self.spool.read_result_shard(task_id):
+                    if index in expected and record.key == key_by_index[index]:
+                        records[index] = record
+                        filled.add(index)
+                    else:
+                        matched = False
+                if matched:
+                    ingested.add(task_id)
+                    stale_shard_mtime.pop(task_id, None)
+                else:
+                    # A stale shard (previous campaign's straggler) occupies
+                    # this task id; re-read only once its mtime changes —
+                    # i.e. the real worker atomically replaced it.
+                    stale_shard_mtime[task_id] = mtime
+
+        started = time.time()
+        while filled != expected:
+            ingest_new_shards()
+            if filled == expected:
+                break
+            # Spawned workers only exit on the completion marker, which is
+            # not set yet: any exit here is a crash.  With no survivors and
+            # no external workers assumed, waiting longer is hopeless — but
+            # sweep once more first, in case the last worker died *after*
+            # writing the final shard.
+            if worker_processes and all(
+                process.poll() is not None for process in worker_processes
+            ):
+                ingest_new_shards()
+                if filled == expected:
+                    break
+                codes = [process.returncode for process in worker_processes]
+                raise SpoolDispatchError(
+                    f"all {len(worker_processes)} spawned spool worker(s) "
+                    f"exited (return codes {codes}) with "
+                    f"{len(expected - filled)} cell(s) unfinished; check the "
+                    "workers' stderr for import or startup errors"
+                )
+            self.spool.reclaim_expired()
+            if self.timeout is not None and time.time() - started > self.timeout:
+                missing = sorted(expected - filled)
+                raise SpoolDispatchError(
+                    f"spool campaign timed out after {self.timeout:.1f}s with "
+                    f"{len(missing)} unfinished cell(s) (first missing run-list "
+                    f"indices: {missing[:5]})"
+                )
+            time.sleep(self.poll_interval)
+
+    def _join_workers(self, processes: Sequence[subprocess.Popen]) -> None:
+        for process in processes:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+
+
+def merge_spool_results(
+    spool: Union[str, os.PathLike, Spool],
+    store: Optional[ResultStore] = None,
+) -> List[RunRecord]:
+    """Collect every result shard of a spool **in run-list order**.
+
+    Returns the merged records; when ``store`` is given they are also
+    appended to it (skipping keys the store already has), so merging a
+    drained spool into a fresh store reproduces the ``jobs=1`` store
+    byte-for-byte.  Two shards claiming the same run-list index with
+    *different* cells is a mixed-campaign spool (e.g. a straggler worker
+    from a previous campaign wrote after the spool was reused) — that
+    raises instead of silently merging wrong data.
+    """
+    spool = spool if isinstance(spool, Spool) else Spool(spool)
+    by_index: Dict[int, RunRecord] = {}
+    for index, record in spool.iter_result_records():
+        existing = by_index.get(index)
+        if existing is not None and existing.key != record.key:
+            raise SpoolDispatchError(
+                f"spool {spool.root} mixes campaigns: run-list index {index} "
+                f"has records for both {existing.key!r} and {record.key!r}; "
+                "re-run the campaign on a clean spool"
+            )
+        by_index[index] = record
+    merged = [by_index[index] for index in sorted(by_index)]
+    if store is not None:
+        store.merge(merged)
+    return merged

@@ -1,0 +1,357 @@
+"""Shared-filesystem work queue for distributed campaigns.
+
+A *spool* is a directory any number of coordinator and worker processes —
+on one host or many, as long as they see the same filesystem — use as a
+lock-free work queue::
+
+    spool/
+      campaign.json        # campaign metadata written by the coordinator
+      complete.marker      # written when every cell has a merged result
+      tasks/task-00000.json    # pending tasks (one JSON file per task)
+      claimed/task-00000.json  # claimed tasks; mtime is the lease heartbeat
+      results/task-00000.jsonl # result shards (one JSON line per cell)
+
+Claiming is a single ``os.rename(tasks/X, claimed/X)``: rename of an
+existing file is atomic on POSIX, so exactly one of any number of racing
+workers wins and the losers get ``FileNotFoundError``.  A claimed task's
+lease is its file's mtime; workers touch it between cells, and any process
+may *reclaim* a claimed task whose lease expired (dead worker) by renaming
+it back into ``tasks/``.  Result shards are written to a temporary file
+and renamed into place, so a shard is either absent or complete — partial
+writes are never observed.  Because every cell is deterministic, a reclaim
+racing a slow-but-alive worker is harmless: both executions produce the
+same shard bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import RunRecord
+from repro.experiments.spec import jsonable
+
+SPOOL_VERSION = 1
+
+#: Default seconds without a heartbeat after which a claim is reclaimable.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+def atomic_write_text(path: Path, content: str) -> None:
+    """Write-then-rename (with fsync) so readers never observe a partial file."""
+    temp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    with temp.open("w", encoding="utf-8") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+@dataclass(frozen=True)
+class SpoolTask:
+    """One published task: a shard of campaign cells for a single scenario."""
+
+    task_id: str
+    scenario: str
+    #: ``(params, seed, run-list index)`` per cell.
+    cells: Tuple[Tuple[Dict[str, Any], int, int], ...]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        # Params go through the same jsonable() reduction as store keys and
+        # records, so enum/numpy-valued params survive the spool round-trip
+        # instead of crashing json.dumps.  (Factories see the JSON shape —
+        # e.g. tuples as lists — which canonical keys already equate.)
+        return {
+            "task_id": self.task_id,
+            "scenario": self.scenario,
+            "cells": [
+                {"params": jsonable(dict(params)), "seed": seed, "index": index}
+                for params, seed, index in self.cells
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "SpoolTask":
+        return cls(
+            task_id=payload["task_id"],
+            scenario=payload["scenario"],
+            cells=tuple(
+                (dict(cell["params"]), int(cell["seed"]), int(cell["index"]))
+                for cell in payload["cells"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """A task this process owns until it writes the result shard."""
+
+    task: SpoolTask
+    claimed_path: Path
+
+    @property
+    def task_id(self) -> str:
+        return self.task.task_id
+
+
+class Spool:
+    """The coordinator/worker-shared work-queue directory."""
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.root = Path(root)
+        self.lease_timeout = float(lease_timeout)
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def tasks_dir(self) -> Path:
+        return self.root / "tasks"
+
+    @property
+    def claimed_dir(self) -> Path:
+        return self.root / "claimed"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def campaign_path(self) -> Path:
+        return self.root / "campaign.json"
+
+    @property
+    def complete_marker(self) -> Path:
+        return self.root / "complete.marker"
+
+    def initialise(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Create the spool directories and write the campaign metadata.
+
+        Any state left over from a previous campaign on the same directory
+        (task files, claims, result shards, the completion marker) is
+        purged first — task ids restart at ``task-00000`` per campaign, so
+        stale shards would otherwise be ingested as this campaign's
+        results.
+        """
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+            for entry in directory.iterdir():
+                if entry.is_file():
+                    entry.unlink()
+        if self.complete_marker.exists():
+            self.complete_marker.unlink()
+        payload = {"version": SPOOL_VERSION, "lease_timeout": self.lease_timeout}
+        payload.update(metadata or {})
+        self._atomic_write(self.campaign_path, json.dumps(payload, indent=2, sort_keys=True))
+
+    def metadata(self) -> Dict[str, Any]:
+        if not self.campaign_path.exists():
+            return {}
+        try:
+            with self.campaign_path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return {}  # mid-rewrite by the coordinator; try again next poll
+
+    def refresh_lease_timeout(self) -> float:
+        """Adopt the lease timeout the coordinator published, if any.
+
+        Reclaim decisions must use the *coordinator's* lease, not each
+        worker's default — otherwise an idle worker with a shorter lease
+        would re-queue (and duplicate) a live peer's long-running task.
+        """
+        published = self.metadata().get("lease_timeout")
+        if published:
+            try:
+                value = float(published)
+            except (TypeError, ValueError):
+                return self.lease_timeout
+            if value > 0:
+                self.lease_timeout = value
+        return self.lease_timeout
+
+    def exists(self) -> bool:
+        return self.tasks_dir.is_dir() and self.results_dir.is_dir()
+
+    # ----------------------------------------------------------------- publish
+    def publish_task(self, task: SpoolTask) -> Path:
+        """Atomically add one task file to the pending queue."""
+        path = self.tasks_dir / f"{task.task_id}.json"
+        self._atomic_write(path, json.dumps(task.to_json_dict(), sort_keys=True))
+        return path
+
+    # ------------------------------------------------------------------- claim
+    def pending_task_ids(self) -> List[str]:
+        return self._task_ids(self.tasks_dir, ".json")
+
+    def claimed_task_ids(self) -> List[str]:
+        return self._task_ids(self.claimed_dir, ".json")
+
+    def completed_task_ids(self) -> List[str]:
+        return self._task_ids(self.results_dir, ".jsonl")
+
+    def claim(self, task_id: str) -> Optional[ClaimedTask]:
+        """Try to claim one specific pending task; ``None`` when lost the race."""
+        source = self.tasks_dir / f"{task_id}.json"
+        target = self.claimed_dir / f"{task_id}.json"
+        try:
+            # Freshen the mtime *before* the rename: the rename preserves it,
+            # so the claim enters claimed/ with a live lease rather than the
+            # publish-time mtime (which may already look expired to a
+            # reclaimer if the task waited in the queue longer than a lease).
+            os.utime(source)
+            os.rename(source, target)
+        except FileNotFoundError:
+            return None  # another worker claimed it first
+        except OSError:
+            return None
+        try:
+            with target.open("r", encoding="utf-8") as handle:
+                task = SpoolTask.from_json_dict(json.load(handle))
+        except FileNotFoundError:
+            # A peer reclaimed the task in the instant after our rename
+            # (only possible if the lease is shorter than the utime-to-here
+            # window); let it go — the task is back in the queue.
+            return None
+        return ClaimedTask(task=task, claimed_path=target)
+
+    def claim_next(self) -> Optional[ClaimedTask]:
+        """Claim the first pending task that is not already done or claimed."""
+        for task_id in self.pending_task_ids():
+            claimed = self.claim(task_id)
+            if claimed is not None:
+                return claimed
+        return None
+
+    def heartbeat(self, claimed: ClaimedTask) -> None:
+        """Refresh the lease on a claimed task (touch its mtime)."""
+        try:
+            os.utime(claimed.claimed_path)
+        except FileNotFoundError:
+            pass  # reclaimed from under us; the shard write still settles it
+
+    def release(self, claimed: ClaimedTask) -> None:
+        """Drop the claim marker once the result shard is in place."""
+        try:
+            claimed.claimed_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def reclaim_expired(self, now: Optional[float] = None) -> List[str]:
+        """Re-queue claimed tasks whose lease expired without a result shard.
+
+        Any process may call this; renaming the claim file back into
+        ``tasks/`` is atomic, so concurrent reclaimers cannot duplicate a
+        task.  A claimed task whose shard already exists is settled instead
+        (the claim marker is removed).
+        """
+        now = time.time() if now is None else now
+        reclaimed: List[str] = []
+        for task_id in self.claimed_task_ids():
+            claim_path = self.claimed_dir / f"{task_id}.json"
+            if (self.results_dir / f"{task_id}.jsonl").exists():
+                try:
+                    claim_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            try:
+                age = now - claim_path.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            if age < self.lease_timeout:
+                continue
+            try:
+                os.rename(claim_path, self.tasks_dir / f"{task_id}.json")
+            except (FileNotFoundError, OSError):
+                continue
+            reclaimed.append(task_id)
+        return reclaimed
+
+    # ----------------------------------------------------------------- results
+    def write_result_shard(
+        self, task_id: str, records: Sequence[Tuple[int, RunRecord]]
+    ) -> Path:
+        """Atomically write one task's result shard (index-tagged records)."""
+        lines = [
+            json.dumps({"index": index, "record": record.to_json_dict()}, sort_keys=True)
+            for index, record in records
+        ]
+        path = self.results_dir / f"{task_id}.jsonl"
+        self._atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def read_result_shard(self, task_id: str) -> List[Tuple[int, RunRecord]]:
+        path = self.results_dir / f"{task_id}.jsonl"
+        results: List[Tuple[int, RunRecord]] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                results.append(
+                    (int(payload["index"]), RunRecord.from_json_dict(payload["record"]))
+                )
+        return results
+
+    def iter_result_records(self) -> Iterable[Tuple[int, RunRecord]]:
+        """Every shard's records, in shard order then shard-line order."""
+        for task_id in self.completed_task_ids():
+            yield from self.read_result_shard(task_id)
+
+    # -------------------------------------------------------------- completion
+    def mark_complete(self) -> None:
+        self._atomic_write(self.complete_marker, "complete\n")
+
+    def is_complete(self) -> bool:
+        return self.complete_marker.exists()
+
+    def is_drained(self) -> bool:
+        """No pending and no claimed tasks remain."""
+        return not self.pending_task_ids() and not self.claimed_task_ids()
+
+    # --------------------------------------------------------------- internals
+    @staticmethod
+    def _task_ids(directory: Path, suffix: str) -> List[str]:
+        if not directory.is_dir():
+            return []
+        return sorted(
+            entry.name[: -len(suffix)]
+            for entry in directory.iterdir()
+            if entry.name.endswith(suffix)
+        )
+
+    _atomic_write = staticmethod(atomic_write_text)
+
+
+def shard_cells(
+    cells: Sequence[Tuple[Dict[str, Any], int, int]],
+    scenario: str,
+    task_size: int,
+) -> List[SpoolTask]:
+    """Split a campaign's pending cells into :class:`SpoolTask` shards.
+
+    Task ids are zero-padded so lexicographic claim order equals run-list
+    order and workers drain the queue front to back.
+    """
+    if task_size < 1:
+        raise ValueError(f"task_size must be >= 1, got {task_size}")
+    tasks: List[SpoolTask] = []
+    for start in range(0, len(cells), task_size):
+        tasks.append(
+            SpoolTask(
+                task_id=f"task-{len(tasks):05d}",
+                scenario=scenario,
+                cells=tuple(cells[start : start + task_size]),
+            )
+        )
+    return tasks

@@ -1,0 +1,185 @@
+"""Pull-based campaign worker: claims spool tasks and writes result shards.
+
+``python -m repro.experiments worker <spool>`` runs this loop.  Workers are
+stateless and symmetrical — any number may point at the same spool, on one
+host or many — and coordinate purely through the spool's atomic renames:
+
+1. claim the first pending task (atomic ``os.rename``);
+2. resolve the task's scenario against the registry;
+3. execute each cell (consulting the shared result cache when one is
+   attached), refreshing the claim lease between cells;
+4. atomically write the result shard and drop the claim.
+
+A worker that finds nothing to claim reclaims expired leases (rescuing
+tasks from dead peers) and polls until the coordinator marks the campaign
+complete, its idle timeout expires, or its task budget is spent.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.distributed.cache import CacheIndex
+from repro.distributed.spool import ClaimedTask, Spool
+from repro.experiments.registry import (
+    ScenarioRegistry,
+    UnknownScenarioError,
+    load_builtin_scenarios,
+)
+from repro.experiments.runner import RunRecord, execute_run
+from repro.experiments.spec import RunSpec, content_cache_key
+
+
+@dataclass
+class WorkerStats:
+    """What one worker process did before exiting."""
+
+    worker_id: str
+    tasks_completed: int = 0
+    runs_executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+
+
+def _import_scenario_modules(modules: Sequence[str]) -> None:
+    """Import modules whose import side-effect registers extra scenarios."""
+    for module in modules:
+        importlib.import_module(module)
+
+
+def execute_task(
+    claimed: ClaimedTask,
+    spool: Spool,
+    registry: ScenarioRegistry,
+    cache: Optional[CacheIndex] = None,
+    stats: Optional[WorkerStats] = None,
+) -> List[Tuple[int, RunRecord]]:
+    """Run one claimed task's cells and write its result shard."""
+    task = claimed.task
+    spec = None
+    resolve_error: Optional[str] = None
+    try:
+        spec = registry.get(task.scenario)
+    except UnknownScenarioError as exc:
+        resolve_error = f"worker could not resolve scenario: {exc.args[0]}"
+    source_fingerprint = spec.source_fingerprint() if spec is not None else None
+
+    results: List[Tuple[int, RunRecord]] = []
+    for params, seed, index in task.cells:
+        if spec is None:
+            record = RunRecord(
+                scenario=task.scenario,
+                params=dict(params),
+                seed=seed,
+                status="failed",
+                error=resolve_error,
+            )
+        else:
+            cache_key = (
+                content_cache_key(source_fingerprint, params, seed)
+                if cache is not None and source_fingerprint is not None
+                else None
+            )
+            record = cache.get(cache_key) if cache is not None else None
+            if record is not None:
+                record = record.relabelled(spec.name, dict(params), seed)
+                if stats is not None:
+                    stats.cache_hits += 1
+            else:
+                record = execute_run(
+                    spec, RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
+                )
+                if cache is not None:
+                    cache.put(cache_key, record)
+                if stats is not None:
+                    stats.runs_executed += 1
+        if stats is not None and not record.ok:
+            stats.failures += 1
+        results.append((index, record))
+        spool.heartbeat(claimed)
+    spool.write_result_shard(task.task_id, results)
+    spool.release(claimed)
+    if stats is not None:
+        stats.tasks_completed += 1
+    return results
+
+
+def run_worker(
+    spool_root: Union[str, os.PathLike],
+    *,
+    registry: Optional[ScenarioRegistry] = None,
+    cache: Optional[Union[str, os.PathLike, CacheIndex]] = None,
+    poll_interval: float = 0.2,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    lease_timeout: Optional[float] = None,
+    scenario_modules: Sequence[str] = (),
+    worker_id: Optional[str] = None,
+) -> WorkerStats:
+    """The worker main loop; returns once there is nothing left to do.
+
+    Exit conditions: the coordinator marked the campaign complete, the
+    ``max_tasks`` budget is spent, or no task could be claimed for
+    ``idle_timeout`` seconds (``None`` waits for the completion marker
+    indefinitely).  Reclaim decisions follow the lease timeout the
+    coordinator published in ``campaign.json`` unless ``lease_timeout``
+    explicitly overrides it.
+    """
+    _import_scenario_modules(scenario_modules)
+    if registry is None:
+        registry = load_builtin_scenarios()
+    if cache is not None and not isinstance(cache, CacheIndex):
+        cache = CacheIndex(cache)
+    spool = (
+        Spool(spool_root)
+        if lease_timeout is None
+        else Spool(spool_root, lease_timeout=lease_timeout)
+    )
+    stats = WorkerStats(worker_id=worker_id or f"worker-{os.getpid()}")
+    idle_since: Optional[float] = None
+    warned_missing = False
+    # A completion marker already present at startup may be left over from a
+    # *previous* campaign on this spool (workers are routinely started before
+    # the coordinator, whose initialise() purges the marker).  Only treat the
+    # marker as authoritative once we have observed it absent — i.e. it was
+    # written during this worker's lifetime.
+    marker_observed_absent = not spool.is_complete()
+    while True:
+        if spool.is_complete():
+            if marker_observed_absent:
+                break
+        else:
+            marker_observed_absent = True
+        if max_tasks is not None and stats.tasks_completed >= max_tasks:
+            break
+        claimed = spool.claim_next()
+        if claimed is None:
+            # Nothing claimable: rescue tasks from dead peers, then wait.
+            # A missing spool root may just mean the coordinator has not
+            # initialised it yet — keep polling, but tell the operator once
+            # so a typo'd path is a visible warning, not a silent hang.
+            if not warned_missing and not spool.root.is_dir():
+                warned_missing = True
+                print(
+                    f"{stats.worker_id}: spool {spool.root} does not exist "
+                    "(yet?); polling until it appears",
+                    file=sys.stderr,
+                )
+            if lease_timeout is None:
+                spool.refresh_lease_timeout()
+            spool.reclaim_expired()
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            elif idle_timeout is not None and now - idle_since >= idle_timeout:
+                break
+            time.sleep(poll_interval)
+            continue
+        idle_since = None
+        execute_task(claimed, spool, registry, cache=cache, stats=stats)
+    return stats

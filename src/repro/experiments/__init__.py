@@ -15,7 +15,12 @@ parallel, resumable campaigns:
 * :mod:`repro.experiments.perf` — pinned perf workloads and the
   wall-time budget store behind ``benchmarks/perf_budgets.py``;
 * :mod:`repro.experiments.cli` — ``python -m repro.experiments
-  list|run|report``.
+  list|run|report|worker|merge|cache``.
+
+Execution is pluggable through :class:`ExecutionBackend`: in-process
+serial, local ``multiprocessing``, or the multi-host spool backend in
+:mod:`repro.distributed` (which also provides the content-addressed
+result cache shared across campaigns).
 """
 
 from repro.experiments.spec import (
@@ -24,6 +29,7 @@ from repro.experiments.spec import (
     RunSpec,
     ScenarioSpec,
     canonical_key,
+    content_cache_key,
 )
 from repro.experiments.registry import (
     REGISTRY,
@@ -35,6 +41,9 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import (
     CampaignResult,
+    ExecutionBackend,
+    InProcessBackend,
+    MultiprocessingBackend,
     ParallelCampaignRunner,
     RunRecord,
     aggregate_records,
@@ -53,6 +62,7 @@ __all__ = [
     "RunSpec",
     "ScenarioSpec",
     "canonical_key",
+    "content_cache_key",
     "REGISTRY",
     "ScenarioRegistry",
     "UnknownScenarioError",
@@ -60,6 +70,9 @@ __all__ = [
     "load_builtin_scenarios",
     "scenario",
     "CampaignResult",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "MultiprocessingBackend",
     "ParallelCampaignRunner",
     "RunRecord",
     "aggregate_records",

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro.experiments list|run|report``.
+"""Command-line interface: ``python -m repro.experiments <command>``.
 
 Examples::
 
@@ -7,6 +7,16 @@ Examples::
     python -m repro.experiments run platoon --sweep variant=karyon,never_cooperative \\
         -p duration=30 --seeds 5 --store results.jsonl
     python -m repro.experiments report results.jsonl --group-by variant
+
+    # Distributed: coordinator on one host, workers anywhere that sees /spool
+    python -m repro.experiments run platoon/karyon --seeds 50 \\
+        --backend spool --spool /spool/platoon --workers 0 --store results.jsonl
+    python -m repro.experiments worker /spool/platoon          # on each host
+    python -m repro.experiments merge results.jsonl /spool/platoon
+
+    # Shared content-addressed cache across campaigns
+    python -m repro.experiments run platoon/karyon --seeds 50 --cache ~/.repro-cache
+    python -m repro.experiments cache stats ~/.repro-cache
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ import argparse
 import csv
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.evaluation.reporting import format_table
@@ -74,6 +85,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run every cell even when the store already has it",
     )
     run_parser.add_argument(
+        "--backend", choices=("inline", "process", "spool"), default=None,
+        help="execution backend (default: inline for --jobs 1, process otherwise)",
+    )
+    run_parser.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="shared-filesystem spool directory (required for --backend spool)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="spool only: local worker processes the coordinator spawns "
+        "(0: wait for externally-started workers; default 2)",
+    )
+    run_parser.add_argument(
+        "--task-size", type=int, default=None, metavar="N",
+        help="spool only: campaign cells per spool task file (default 1)",
+    )
+    run_parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="spool only: reclaim a claimed task after this long without a "
+        "worker heartbeat (default 60)",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="spool only: abort a campaign that has not finished after this long",
+    )
+    run_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-addressed result cache shared across campaigns "
+        "(keyed by scenario source + params + seed)",
+    )
+    run_parser.add_argument(
         "--group-by", default=None, metavar="P1,P2",
         help="extra per-group table over these parameters (default: the swept ones)",
     )
@@ -91,6 +133,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "csv", "json"), default="table",
         help="output format: human tables (default), CSV rows, or a JSON document",
     )
+
+    worker_parser = sub.add_parser(
+        "worker", help="process tasks from a shared-filesystem campaign spool"
+    )
+    worker_parser.add_argument("spool", help="spool directory written by `run --backend spool`")
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="sleep between claim attempts when the queue is empty (default 0.2)",
+    )
+    worker_parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after completing N tasks (default: until the campaign completes)",
+    )
+    worker_parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without claimable work "
+        "(default: wait for the completion marker)",
+    )
+    worker_parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the coordinator-published lease timeout used when "
+        "reclaiming dead peers' tasks",
+    )
+    worker_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="consult/fill this shared content-addressed result cache",
+    )
+    worker_parser.add_argument(
+        "--import", dest="imports", action="append", default=[], metavar="MODULE",
+        help="import MODULE before working so its scenarios register (repeatable)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the exit summary"
+    )
+
+    merge_parser = sub.add_parser(
+        "merge", help="merge spool result shards or other stores into a JSONL store"
+    )
+    merge_parser.add_argument("dest", help="destination JSONL store (created if absent)")
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="SOURCE",
+        help="spool directories and/or JSONL stores to merge in, in order",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear a content-addressed result cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument("dir", help="cache directory")
     return parser
 
 
@@ -170,19 +261,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
 
+    spool_requested = bool(args.backend == "spool" or (args.backend is None and args.spool))
+    if spool_requested:
+        if not args.spool:
+            print("error: --backend spool requires --spool DIR", file=sys.stderr)
+            return 2
+        if args.jobs != 1 or args.batch_size is not None:
+            print(
+                "error: --jobs/--batch-size do not apply to --backend spool "
+                "(worker count comes from --workers and externally-started "
+                "workers)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers is not None and args.workers < 0:
+            print("error: --workers must be >= 0", file=sys.stderr)
+            return 2
+        if args.task_size is not None and args.task_size < 1:
+            print("error: --task-size must be >= 1", file=sys.stderr)
+            return 2
+        if args.lease_timeout is not None and args.lease_timeout <= 0:
+            print("error: --lease-timeout must be positive", file=sys.stderr)
+            return 2
+        if args.timeout is not None and args.timeout <= 0:
+            print("error: --timeout must be positive", file=sys.stderr)
+            return 2
+    else:
+        misapplied = [
+            flag
+            for flag, value in (
+                ("--spool", args.spool),
+                ("--workers", args.workers),
+                ("--task-size", args.task_size),
+                ("--lease-timeout", args.lease_timeout),
+                ("--timeout", args.timeout),
+            )
+            if value is not None
+        ]
+        if misapplied:
+            print(
+                f"error: {', '.join(misapplied)} only apply to --backend spool",
+                file=sys.stderr,
+            )
+            return 2
+
+    backend = None
+    if spool_requested:
+        from repro.distributed import SpoolBackend
+
+        backend = SpoolBackend(
+            args.spool,
+            workers=args.workers if args.workers is not None else 2,
+            lease_timeout=args.lease_timeout if args.lease_timeout is not None else 60.0,
+            task_size=args.task_size if args.task_size is not None else 1,
+            timeout=args.timeout,
+            worker_cache_root=args.cache,
+        )
+    elif args.backend == "inline":
+        from repro.experiments.runner import InProcessBackend
+
+        backend = InProcessBackend()
+    elif args.backend == "process":
+        from repro.experiments.runner import MultiprocessingBackend
+
+        backend = MultiprocessingBackend(jobs=args.jobs, batch_size=args.batch_size)
+
+    cache = None
+    if args.cache:
+        from repro.distributed import CacheIndex
+
+        cache = CacheIndex(args.cache)
+
     store = ResultStore(args.store) if args.store else None
     runner = ParallelCampaignRunner(
         jobs=args.jobs,
         store=store,
         resume=not args.no_resume,
         batch_size=args.batch_size,
+        backend=backend,
+        cache=cache,
     )
     result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
 
+    cached_part = f", {result.cached} cached" if cache is not None else ""
     print(
         f"{spec.name}: {result.run_count} runs "
-        f"({result.executed} executed, {result.reused} reused, "
-        f"{result.failures} failed) jobs={result.jobs}"
+        f"({result.executed} executed, {result.reused} reused{cached_part}, "
+        f"{result.failures} failed) backend={result.backend} jobs={result.jobs}"
     )
     print()
     print(format_table(result.aggregate_rows(), title=f"{spec.name}: aggregate metrics"))
@@ -306,6 +471,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import run_worker
+
+    if args.poll <= 0:
+        print("error: --poll must be positive", file=sys.stderr)
+        return 2
+    if args.lease_timeout is not None and args.lease_timeout <= 0:
+        print("error: --lease-timeout must be positive", file=sys.stderr)
+        return 2
+    stats = run_worker(
+        args.spool,
+        cache=args.cache,
+        poll_interval=args.poll,
+        max_tasks=args.max_tasks,
+        idle_timeout=args.idle_timeout,
+        lease_timeout=args.lease_timeout,
+        scenario_modules=args.imports,
+    )
+    if not args.quiet:
+        print(
+            f"{stats.worker_id}: {stats.tasks_completed} tasks, "
+            f"{stats.runs_executed} runs executed, {stats.cache_hits} cache hits, "
+            f"{stats.failures} failed runs"
+        )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.distributed import Spool, merge_spool_results
+
+    dest = ResultStore(args.dest)
+    total = 0
+    for source in args.sources:
+        source_path = Path(source)
+        if source_path.is_dir():
+            spool = Spool(source_path)
+            if not spool.exists():
+                print(f"error: {source} is not a campaign spool", file=sys.stderr)
+                return 2
+            merged = dest.merge(merge_spool_results(spool))
+        elif source_path.is_file():
+            merged = dest.merge_store(ResultStore(source_path))
+        else:
+            print(f"error: no such store or spool: {source}", file=sys.stderr)
+            return 2
+        print(f"{source}: merged {merged} new record(s)")
+        total += merged
+    print(f"{args.dest}: {len(dest)} record(s) total (+{total})")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.distributed import CacheIndex
+
+    cache = CacheIndex(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"{args.dir}: removed {removed} cached record(s)")
+        return 0
+    stats = cache.stats()
+    print(f"{args.dir}: {stats['entries']} cached record(s), {stats['bytes']} bytes")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -314,4 +543,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 2

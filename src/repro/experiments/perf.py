@@ -105,6 +105,30 @@ PERF_WORKLOADS: Dict[str, PerfWorkload] = {
             repeats=5,
             description="E5: 6 publishers through QoS-admitted event channels",
         ),
+        PerfWorkload(
+            key="urban_grid",
+            scenario="urban_grid",
+            seed=1,
+            params={"streets": 3, "followers": 3, "duration": 30.0},
+            repeats=3,
+            description="Urban grid: 3 platoon streets sharing one spectrum, 30 s",
+        ),
+        PerfWorkload(
+            key="corridor",
+            scenario="corridor",
+            seed=9,
+            params={"intersections": 3, "duration": 90.0},
+            repeats=3,
+            description="Corridor: 3-intersection green-wave arterial, 90 s",
+        ),
+        PerfWorkload(
+            key="mixed_airspace",
+            scenario="mixed_airspace",
+            seed=3,
+            params={"ground_nodes": 8, "duration": 200.0},
+            repeats=3,
+            description="Mixed airspace: RPV ADS-B over 8-node ground V2V load, 200 s",
+        ),
     )
 }
 

@@ -1,16 +1,24 @@
 """Parallel, resumable campaign execution.
 
-:class:`ParallelCampaignRunner` executes the run list of a scenario spec with
-``multiprocessing`` workers sharded over the pending ``(params, seed)`` cells.
-Three properties the benchmark harness and the acceptance criteria rely on:
+:class:`ParallelCampaignRunner` executes the run list of a scenario spec
+through a pluggable :class:`ExecutionBackend` — in-process serial
+(:class:`InProcessBackend`), ``multiprocessing`` workers sharded over the
+pending ``(params, seed)`` cells (:class:`MultiprocessingBackend`), or a
+shared-filesystem work queue spanning hosts
+(:class:`repro.distributed.coordinator.SpoolBackend`).  Four properties the
+benchmark harness and the acceptance criteria rely on:
 
 * **Determinism** — records are re-assembled in the run-list order whatever
   order workers finish in, so aggregates (and the persisted store) of a
-  ``jobs=4`` campaign are identical to a ``jobs=1`` campaign.
+  ``jobs=4`` or spool campaign are identical to a ``jobs=1`` campaign.
 * **Fault isolation** — a crashing run becomes a ``status="failed"`` record
   with the captured exception, not a dead campaign.
 * **Resume** — with a :class:`~repro.experiments.store.ResultStore` attached,
   runs whose key already has a successful record are reused, not re-run.
+* **Caching** — with a :class:`~repro.distributed.cache.CacheIndex`
+  attached, cells whose content-addressed key (scenario source + canonical
+  params + seed) has a cached successful record are reused *across* stores,
+  campaigns and hosts before any dispatch happens.
 """
 
 from __future__ import annotations
@@ -25,7 +33,14 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.evaluation.metrics import summarize
 from repro.experiments.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
-from repro.experiments.spec import ParameterGrid, RunSpec, ScenarioSpec, canonical_key, jsonable
+from repro.experiments.spec import (
+    ParameterGrid,
+    RunSpec,
+    ScenarioSpec,
+    canonical_key,
+    content_cache_key,
+    jsonable,
+)
 
 
 @dataclass
@@ -75,6 +90,25 @@ class RunRecord:
             status=payload.get("status", "ok"),
             metrics=dict(payload.get("metrics", {})),
             error=payload.get("error"),
+        )
+
+    def relabelled(self, scenario: str, params: Mapping[str, Any], seed: int) -> "RunRecord":
+        """This record's results re-labelled onto another campaign cell.
+
+        Content-addressed cache keys are name-independent (source-addressed),
+        so a hit may have been recorded under another alias of the same
+        factory; re-labelling keeps stores keyed by (scenario, params, seed)
+        byte-identical whichever alias populated the cache.  Every
+        serialised field must be carried over here — coordinator-side and
+        worker-side cache hits both go through this one place.
+        """
+        return RunRecord(
+            scenario=scenario,
+            params=dict(params),
+            seed=seed,
+            status=self.status,
+            metrics=dict(self.metrics),
+            error=self.error,
         )
 
 
@@ -142,6 +176,119 @@ def _execute_batch(
             record = execute_run(spec, run_spec)
         results.append((index, record))
     return results
+
+
+# --------------------------------------------------------------------------
+# Execution backends
+# --------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """How a campaign's pending cells get executed.
+
+    A backend fills ``records[run_spec.index]`` for every pending run spec;
+    the runner owns everything around that seam (resume, caching, store
+    writes, aggregation).  ``payload`` is the runner's pickled-or-named form
+    of the spec for backends that ship work to other processes: the
+    registry name when workers can re-resolve it, the spec object itself
+    otherwise.
+    """
+
+    name = "backend"
+
+    def execute(
+        self,
+        spec: ScenarioSpec,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+        payload: Optional[Any] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def finalize(self, spec: ScenarioSpec) -> None:
+        """Called once per campaign, even when nothing was pending.
+
+        Backends with external observers (e.g. spool workers waiting on a
+        completion marker) use this to signal that the campaign is over —
+        a fully resumed/cached campaign never calls :meth:`execute`.
+        """
+
+
+class InProcessBackend(ExecutionBackend):
+    """Serial in-process execution; keeps raw factory results available."""
+
+    name = "inline"
+
+    def execute(
+        self,
+        spec: ScenarioSpec,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+        payload: Optional[Any] = None,
+    ) -> None:
+        for run_spec in pending:
+            records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
+
+
+class MultiprocessingBackend(ExecutionBackend):
+    """Seed-sharded ``multiprocessing`` pool on the local host.
+
+    With ``batch_size`` set, pending runs are dispatched in whole
+    seed-chunks of that size (one process dispatch executes ``batch_size``
+    runs).  Batching only changes how work is shipped: records are
+    re-assembled in run-list order either way.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        mp_context: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.mp_context = mp_context
+        self.batch_size = batch_size
+
+    def execute(
+        self,
+        spec: ScenarioSpec,
+        pending: Sequence[RunSpec],
+        records: List[Optional[RunRecord]],
+        payload: Optional[Any] = None,
+    ) -> None:
+        payload = spec if payload is None else payload
+        chunk = self.batch_size if self.batch_size is not None else 1
+        tasks = [
+            (
+                payload,
+                [
+                    (run_spec.params, run_spec.seed, run_spec.index)
+                    for run_spec in pending[start : start + chunk]
+                ],
+            )
+            for start in range(0, len(pending), chunk)
+        ]
+        context = multiprocessing.get_context(self.mp_context)
+        processes = min(self.jobs, len(tasks))
+        try:
+            with context.Pool(processes=processes) as pool:
+                for batch in pool.imap_unordered(_execute_batch, tasks):
+                    for index, record in batch:
+                        records[index] = record
+        except (multiprocessing.ProcessError, pickle.PicklingError, OSError, AttributeError, TypeError) as exc:
+            # Pool creation or task pickling failed (e.g. an ad-hoc spec whose
+            # factory is a closure): fall back to in-process execution.
+            warnings.warn(
+                f"parallel execution of {spec.name!r} failed "
+                f"({type(exc).__name__}: {exc}); falling back to serial in-process runs",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for run_spec in pending:
+                if records[run_spec.index] is None:
+                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
 
 
 # --------------------------------------------------------------------------
@@ -232,8 +379,12 @@ class CampaignResult:
     spec: ScenarioSpec
     records: List[RunRecord]
     aggregates: Dict[str, Dict[str, float]]
+    #: Runs reused from the attached store (resume).
     reused: int = 0
     jobs: int = 1
+    #: Runs reused from the shared content-addressed cache.
+    cached: int = 0
+    backend: str = ""
 
     @property
     def run_count(self) -> int:
@@ -241,7 +392,7 @@ class CampaignResult:
 
     @property
     def executed(self) -> int:
-        return self.run_count - self.reused
+        return self.run_count - self.reused - self.cached
 
     @property
     def ok_records(self) -> List[RunRecord]:
@@ -278,14 +429,23 @@ class CampaignResult:
 
 
 class ParallelCampaignRunner:
-    """Runs campaigns over registered scenarios with seed-sharded workers.
+    """Runs campaigns over registered scenarios through a pluggable backend.
 
-    With ``batch_size`` set, pending runs are dispatched to workers in whole
-    seed-chunks of that size (one process dispatch executes ``batch_size``
-    runs) instead of one run per dispatch.  Batching only changes how work is
-    shipped to workers: records are re-assembled in run-list order either
-    way, so batched campaign results and stores are byte-identical to
-    unbatched ones.
+    Without an explicit ``backend``, ``jobs=1`` executes serially in-process
+    and ``jobs>1`` shards over a local ``multiprocessing`` pool; passing a
+    :class:`~repro.distributed.coordinator.SpoolBackend` shards the campaign
+    across worker processes (possibly on other hosts) via a shared
+    filesystem spool.  Whichever backend runs the cells, records are
+    re-assembled in run-list order, so results and stores are byte-identical
+    across backends, job counts and batch sizes.
+
+    With a ``cache`` (:class:`~repro.distributed.cache.CacheIndex`)
+    attached, cells whose content-addressed key — scenario *source* +
+    canonical params + seed — already has a successful record are reused
+    before dispatch, and freshly-executed successes are published back.
+    The cache is shared by all stores: completing a campaign once warms it
+    for every later campaign touching the same cells, and editing one
+    scenario's source never invalidates another scenario's entries.
     """
 
     def __init__(
@@ -296,6 +456,8 @@ class ParallelCampaignRunner:
         resume: bool = True,
         mp_context: Optional[str] = None,
         batch_size: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[Any] = None,
     ):
         if batch_size is not None and int(batch_size) < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -305,6 +467,8 @@ class ParallelCampaignRunner:
         self.resume = resume
         self.mp_context = mp_context
         self.batch_size = int(batch_size) if batch_size is not None else None
+        self.backend = backend
+        self.cache = cache
 
     # ----------------------------------------------------------------- public
     def run(
@@ -323,29 +487,35 @@ class ParallelCampaignRunner:
         reused = 0
         if self.store is not None and self.resume:
             for run_spec in run_specs:
-                cached = self.store.get(run_spec.key)
-                if cached is not None and cached.ok:
-                    records[run_spec.index] = cached
+                stored = self.store.get(run_spec.key)
+                if stored is not None and stored.ok:
+                    records[run_spec.index] = stored
                     reused += 1
                 else:
                     pending.append(run_spec)
         else:
             pending = list(run_specs)
 
+        pending, cache_keys, cached = self._consult_cache(spec, pending, records)
+
+        backend = self._backend_for(pending)
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                for run_spec in pending:
-                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
-            else:
-                self._run_parallel(spec, pending, records)
+            backend.execute(spec, pending, records, payload=self._payload_for(spec))
+            self._publish_to_cache(pending, cache_keys, records)
+        backend.finalize(spec)
 
         final_records = [record for record in records if record is not None]
         if self.store is not None:
-            executed_indices = {run_spec.index for run_spec in pending}
+            # Cache hits count as new material for the store (they were not
+            # resumed from it), keeping the persisted store complete and
+            # byte-identical to a cache-less run of the same campaign.
+            fresh_indices = {run_spec.index for run_spec in pending} | {
+                index for index, key in cache_keys.items() if records[index] is not None
+            }
             self.store.add_many(
                 record
                 for index, record in enumerate(records)
-                if record is not None and index in executed_indices
+                if record is not None and index in fresh_indices
             )
         aggregates = aggregate_records(final_records, spec.metric_fields)
         return CampaignResult(
@@ -355,6 +525,8 @@ class ParallelCampaignRunner:
             aggregates=aggregates,
             reused=reused,
             jobs=self.jobs,
+            cached=cached,
+            backend=backend.name,
         )
 
     # ---------------------------------------------------------------- internal
@@ -364,6 +536,15 @@ class ParallelCampaignRunner:
         if self.registry is REGISTRY:
             load_builtin_scenarios()
         return self.registry.get(scenario)
+
+    def _backend_for(self, pending: Sequence[RunSpec]) -> ExecutionBackend:
+        if self.backend is not None:
+            return self.backend
+        if self.jobs == 1 or len(pending) <= 1:
+            return InProcessBackend()
+        return MultiprocessingBackend(
+            jobs=self.jobs, mp_context=self.mp_context, batch_size=self.batch_size
+        )
 
     def _payload_for(self, spec: ScenarioSpec) -> Any:
         """Ship the scenario by name when workers can re-resolve it, else by value."""
@@ -375,40 +556,49 @@ class ParallelCampaignRunner:
             return spec.name
         return spec
 
-    def _run_parallel(
+    def _consult_cache(
         self,
         spec: ScenarioSpec,
+        pending: List[RunSpec],
+        records: List[Optional[RunRecord]],
+    ) -> Tuple[List[RunSpec], Dict[int, str], int]:
+        """Fill cells the shared cache already has; returns what remains.
+
+        The per-index key map covers both hits (so the store write treats
+        them as fresh material) and misses (so successful executions can be
+        published back without re-hashing).
+        """
+        if self.cache is None or not pending:
+            return pending, {}, 0
+        source_fingerprint = spec.source_fingerprint()
+        if source_fingerprint is None:
+            return pending, {}, 0
+        still_pending: List[RunSpec] = []
+        cache_keys: Dict[int, str] = {}
+        cached = 0
+        for run_spec in pending:
+            key = content_cache_key(source_fingerprint, run_spec.params, run_spec.seed)
+            record = self.cache.get(key)
+            if record is not None and record.ok:
+                records[run_spec.index] = record.relabelled(
+                    run_spec.scenario, run_spec.params, run_spec.seed
+                )
+                cache_keys[run_spec.index] = key
+                cached += 1
+            else:
+                still_pending.append(run_spec)
+                cache_keys[run_spec.index] = key
+        return still_pending, cache_keys, cached
+
+    def _publish_to_cache(
+        self,
         pending: Sequence[RunSpec],
+        cache_keys: Dict[int, str],
         records: List[Optional[RunRecord]],
     ) -> None:
-        payload = self._payload_for(spec)
-        chunk = self.batch_size if self.batch_size is not None else 1
-        tasks = [
-            (
-                payload,
-                [
-                    (run_spec.params, run_spec.seed, run_spec.index)
-                    for run_spec in pending[start : start + chunk]
-                ],
-            )
-            for start in range(0, len(pending), chunk)
-        ]
-        context = multiprocessing.get_context(self.mp_context)
-        processes = min(self.jobs, len(tasks))
-        try:
-            with context.Pool(processes=processes) as pool:
-                for batch in pool.imap_unordered(_execute_batch, tasks):
-                    for index, record in batch:
-                        records[index] = record
-        except (multiprocessing.ProcessError, pickle.PicklingError, OSError, AttributeError, TypeError) as exc:
-            # Pool creation or task pickling failed (e.g. an ad-hoc spec whose
-            # factory is a closure): fall back to in-process execution.
-            warnings.warn(
-                f"parallel execution of {spec.name!r} failed "
-                f"({type(exc).__name__}: {exc}); falling back to serial in-process runs",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            for run_spec in pending:
-                if records[run_spec.index] is None:
-                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
+        if self.cache is None or not cache_keys:
+            return
+        for run_spec in pending:
+            record = records[run_spec.index]
+            if record is not None and record.ok:
+                self.cache.put(cache_keys.get(run_spec.index), record)

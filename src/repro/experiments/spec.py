@@ -12,10 +12,12 @@ triple for result stores and resume logic.
 from __future__ import annotations
 
 import enum
+import hashlib
 import inspect
 import itertools
 import json
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -53,6 +55,55 @@ def canonical_key(scenario: str, params: Mapping[str, Any], seed: int) -> str:
     """Canonical store key for one run: stable across dict ordering."""
     payload = json.dumps(jsonable(dict(params)), sort_keys=True, separators=(",", ":"))
     return f"{scenario}|{payload}|seed={seed}"
+
+
+def content_cache_key(source_fingerprint: str, params: Mapping[str, Any], seed: int) -> str:
+    """Content-addressed cache key for one run.
+
+    Unlike :func:`canonical_key` the cache key is derived from the
+    *scenario source* rather than the scenario name, so editing one
+    scenario's factory invalidates exactly that scenario's cached runs —
+    renaming a scenario, or editing an unrelated one, invalidates nothing.
+    """
+    payload = json.dumps(jsonable(dict(params)), sort_keys=True, separators=(",", ":"))
+    blob = f"{source_fingerprint}|{payload}|seed={seed}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: Scenario-catalog modules excluded from the engine fingerprint: editing a
+#: factory there must invalidate only that factory's cache entries (via the
+#: per-spec source hash), not every scenario's.
+_ENGINE_EXCLUDED = ("experiments/scenarios.py",)
+
+_engine_fingerprint: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """SHA-256 over the whole ``repro`` package source (minus the scenario
+    catalog), memoised per process.
+
+    Cached physics is only reusable while the simulation engine underneath
+    the factories is unchanged — a factory's own source does not see edits
+    to the kernel, network models or use-case classes it calls.  Folding
+    this coarse engine hash into every cache key over-invalidates (any
+    engine edit flushes the cache) but never serves stale physics.
+    """
+    global _engine_fingerprint
+    if _engine_fingerprint is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            relative = path.relative_to(package_root).as_posix()
+            if relative in _ENGINE_EXCLUDED:
+                continue
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _engine_fingerprint = digest.hexdigest()
+    return _engine_fingerprint
 
 
 @dataclass(frozen=True)
@@ -256,6 +307,27 @@ class ScenarioSpec:
                     )
                 )
         return run_specs
+
+    # ---------------------------------------------------------------- caching
+    def source_fingerprint(self) -> Optional[str]:
+        """SHA-256 over the factory's source plus the engine fingerprint,
+        or ``None`` when the factory source is unavailable (REPL / exec'd
+        factories).
+
+        This is the content-addressing anchor of the shared result cache:
+        two specs whose factories read identically (e.g. a scenario and its
+        variants) share cached runs cell-by-cell, and editing one factory
+        invalidates only that factory's cache entries.  The folded-in
+        :func:`engine_fingerprint` additionally invalidates *every* entry
+        when the simulation engine the factories call into changes — stale
+        physics must never be served from cache.
+        """
+        try:
+            source = inspect.getsource(self.factory)
+        except (OSError, TypeError):
+            return None
+        blob = engine_fingerprint() + "|" + source
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # ---------------------------------------------------------------- running
     def build(self, seed: int, params: Mapping[str, Any]) -> Any:

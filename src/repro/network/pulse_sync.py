@@ -139,7 +139,9 @@ class PulseSyncNetwork:
         # each neighbour relative to itself.
         for node_id, node in self.nodes.items():
             phase_self = node.phase(reference_time)
-            for peer in self.adjacency.get(node_id, set()):
+            # Sorted so loss/jitter RNG draws are independent of string-hash
+            # randomisation: physics must not depend on PYTHONHASHSEED.
+            for peer in sorted(self.adjacency.get(node_id, set())):
                 if self.rng.random() < self.config.pulse_loss_probability:
                     continue
                 jitter = float(self.rng.normal(0.0, self.config.delay_jitter))

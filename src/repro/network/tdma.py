@@ -218,7 +218,9 @@ class TdmaNetwork:
                             for transmitter in (a, b):
                                 if self._feedback_delivered():
                                     colliders.add(transmitter)
-        for node_id in colliders:
+        # Sorted so the re-draw RNG order is independent of string-hash
+        # randomisation: physics must not depend on PYTHONHASHSEED.
+        for node_id in sorted(colliders):
             self.nodes[node_id].react_to_collision()
         self.collision_history.append(total_collided_slots)
         return total_collided_slots

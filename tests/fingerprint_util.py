@@ -178,11 +178,10 @@ def compute_all() -> Dict[str, str]:
 def main() -> None:
     """Print the fingerprint table as JSON.
 
-    Scenarios that iterate over sets of node ids (TDMA topologies, pulse-sync
-    neighbours, lane-change participant sets) have physics that depends on
-    string-hash randomisation, so fingerprints are only comparable between
-    interpreters started with the same ``PYTHONHASHSEED``.  The pinning test
-    and this refresh entry point both run under ``PYTHONHASHSEED=0``.
+    Every set-of-node-ids iteration that feeds RNG draws or message
+    scheduling is sorted (PR 4), so fingerprints are reproducible across
+    interpreters regardless of ``PYTHONHASHSEED`` — no fixed hash seed is
+    needed to refresh or compare them.
     """
     print(json.dumps(compute_all(), indent=2))
 

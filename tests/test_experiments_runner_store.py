@@ -1,6 +1,7 @@
 """Tests for the parallel campaign runner and the JSONL result store."""
 
 import json
+import warnings
 
 import pytest
 
@@ -87,14 +88,38 @@ class TestResultStore:
         assert loaded == record
         assert fresh.completed_keys() == [record.key]
 
-    def test_corrupt_lines_are_skipped(self, tmp_path):
+    def test_corrupt_lines_are_skipped_with_one_warning(self, tmp_path):
         path = tmp_path / "r.jsonl"
         store = ResultStore(path)
         store.add(RunRecord(scenario="s", params={}, seed=1, metrics={"m": 1.0}))
         with path.open("a") as handle:
             handle.write("{truncated json\n")
             handle.write("\n")
-        assert len(ResultStore(path)) == 1
+        fresh = ResultStore(path)
+        with pytest.warns(RuntimeWarning, match="malformed JSONL"):
+            assert len(fresh) == 1
+        assert fresh.malformed_lines == 1
+
+    def test_truncated_final_line_is_counted_and_warned(self, tmp_path):
+        """Regression: a partial final line (interrupted write) must be
+        surfaced, not silently dropped."""
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.add(RunRecord(scenario="s", params={"a": 1}, seed=1, metrics={"m": 1.0}))
+        store.add(RunRecord(scenario="s", params={"a": 1}, seed=2, metrics={"m": 2.0}))
+        full_line = path.read_text().splitlines()[0]
+        with path.open("a") as handle:
+            handle.write(full_line[: len(full_line) // 2])  # no trailing newline
+        fresh = ResultStore(path)
+        with pytest.warns(RuntimeWarning, match=r"skipped 1 malformed JSONL line"):
+            records = fresh.records()
+        assert len(records) == 2
+        assert fresh.malformed_lines == 1
+        # With the bad tail stripped, the store loads silently again.
+        path.write_text("\n".join(path.read_text().splitlines()[:2]) + "\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(ResultStore(path)) == 2
 
     def test_resume_skips_completed_runs(self, tmp_path):
         path = tmp_path / "campaign.jsonl"

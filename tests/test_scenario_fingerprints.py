@@ -1,23 +1,21 @@
 """Refactor safety net: pinned same-seed fingerprints for every builtin workload.
 
-The constants below were captured **before** the use cases and the builtin
-experiment catalog were rebuilt on the ``repro.scenario`` composition layer
-(PR 3).  Use-case fingerprints hash the run's metrics, full trace stream
-and processed-event count at full float precision, so any change to RNG
-draw order, event scheduling order or physics shows up as a mismatch;
-registry-run workloads hash their metrics dict (see
-``fingerprint_util`` for the exact coverage per workload kind).
+Use-case fingerprints hash the run's metrics, full trace stream and
+processed-event count at full float precision, so any change to RNG draw
+order, event scheduling order or physics shows up as a mismatch;
+registry-run workloads hash their metrics dict (see ``fingerprint_util``
+for the exact coverage per workload kind).
 
-Fingerprints are computed in a ``PYTHONHASHSEED=0`` subprocess because a few
-scenarios iterate over sets of node-id strings (TDMA topologies, pulse-sync
-neighbours, lane-change participant sets) whose order — and therefore whose
-physics — depends on string-hash randomisation.  Under a fixed hash seed
-every workload is exactly reproducible.
+Since PR 4 every set-of-node-ids iteration that feeds RNG draws or message
+scheduling (TDMA collision re-draws, pulse-sync neighbour exchanges,
+manoeuvre-agreement participant requests) is sorted, so the physics no
+longer depends on ``PYTHONHASHSEED`` and the fingerprints are computed
+in-process — no fixed-hash-seed subprocess needed.
 
-If this test fails, the refactored wiring is **not** equivalent to the
-hand-written wiring it replaced.  Only refresh a constant (via
-``PYTHONHASHSEED=0 PYTHONPATH=src python tests/fingerprint_util.py``) for a
-deliberate, reviewed physics change.
+If this test fails, current wiring is **not** physics-equivalent to the
+pinned state.  Only refresh a constant (via
+``PYTHONPATH=src python tests/fingerprint_util.py``) for a deliberate,
+reviewed physics change.
 """
 
 import json
@@ -28,7 +26,9 @@ from pathlib import Path
 
 from fingerprint_util import WORKLOADS
 
-#: Captured at PR 3 from the pre-refactor (PR 2) wiring, PYTHONHASHSEED=0.
+#: Refreshed at PR 4 when the hash-order-dependent set iterations were
+#: sorted; identical to the PR 3 pins except ``lane_change/coordinated``
+#: and ``pulse_alignment``, whose draw orders changed deliberately.
 PINNED = {
     "platoon/karyon": "5ee46a003ce2d14a75bd20b0798d4ecaed116b3e6a86ff5d0e78b60f25ed0ef3",
     "platoon/always_cooperative": "815dafbe71503153c2fc8e7fb2c98771771b9b1af3e069f813a52696d75ae0e0",
@@ -36,7 +36,7 @@ PINNED = {
     "intersection/infrastructure": "fa12e71d81f466306feded447917ad530e63254bf5ea85b1df3d2e7035d5951f",
     "intersection/vtl_fallback": "a2d9b324e5a239f5a30ebe8268a9a44acab18ed4176ac05258dbd5cb02347ea8",
     "intersection/uncoordinated": "af520567cc4784c7e009d875e73e3f0673f33d0cace2e10434cd11753592b5ac",
-    "lane_change/coordinated": "c233b371792c4c1eb766480d2e75d530ce9b2f9882428a31b9b6f2eeecc1a126",
+    "lane_change/coordinated": "e0d800185db4b4a42a4b5b85eb7545a9bfc1da39a7b0e941cedf3994e3a1c698",
     "lane_change/uncoordinated": "ea8128e7443d390a6f8054bf016ead0ad48877f57be1ef7c0083dea2630a75b8",
     "avionics/in_trail": "d44222d2313cd2018b0d6a8ce153b4bd6ca59e3c0449a0695fdc9f84e63597fe",
     "avionics/crossing": "9f6fc11e9ba4e48cf48291097130c17c80b1c42f6853d14512ff50d208659651",
@@ -45,12 +45,21 @@ PINNED = {
     "r2t_mac/r2t": "aa893d479121579c76de17ce5238ab3c88849bef1cf1fdf4fa454f7eff09ebe1",
     "r2t_mac/csma": "0db442b76756f0e6d7c00b68ab7f9b97d9da79c1dc1dcc241e30fffd35b4386d",
     "tdma_convergence": "2e9c5f2640e1a9d5f82719edc20689bf4afbc1d76cbffe7396b21e5a4d821ac9",
-    "pulse_alignment": "ac4c94c4f4bc6498746a2d63fc2bb7b3ab63a924880ce94e1a98bbfa96ad6fdd",
+    "pulse_alignment": "12003d4bded5a944a4c375575ab07ff37e1d27bf2d7536afd9e91cb88be08c6c",
     "event_channels/admission": "58702a281c1c93c25d4903ca243ce3e2c3e462e9736cf0e51bb4022e9688cf9a",
     "event_channels/open": "4db2e60dcc9203bc67d652fc4e9ccc8d73dbe707c6c863e48de5a64e1f324bce",
     "demo/safety_kernel": "ad1d48ef14be8ba3fe8e9df0a3b2a311b241457a054555a5a6dfa3b67dc5d7a8",
     "demo/random_walk": "e9071af4fbb5988b37e84d122efd22f38f5a488646536a80dd95ba8c8dd65640",
 }
+
+#: The workloads whose physics used to depend on set iteration order (TDMA
+#: collision re-draws, pulse-sync neighbour exchanges, lane-change
+#: participant requests) before those iterations were sorted.
+_FORMERLY_HASH_DEPENDENT = (
+    "tdma_convergence",
+    "pulse_alignment",
+    "lane_change/coordinated",
+)
 
 
 def test_every_workload_is_pinned():
@@ -58,23 +67,40 @@ def test_every_workload_is_pinned():
 
 
 def test_same_seed_physics_is_byte_identical():
-    repo_root = Path(__file__).resolve().parent.parent
-    env = dict(os.environ)
-    env["PYTHONHASHSEED"] = "0"
-    env["PYTHONPATH"] = str(repo_root / "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    output = subprocess.run(
-        [sys.executable, str(repo_root / "tests" / "fingerprint_util.py")],
-        env=env,
-        check=True,
-        capture_output=True,
-        text=True,
-    ).stdout
-    observed = json.loads(output)
-    drifted = sorted(
-        name for name in PINNED if observed.get(name) != PINNED[name]
-    )
+    observed = {name: WORKLOADS[name]() for name in PINNED}
+    drifted = sorted(name for name in PINNED if observed[name] != PINNED[name])
     assert not drifted, (
-        f"same-seed physics drifted from the pre-refactor wiring for: {drifted}"
+        f"same-seed physics drifted from the pinned wiring for: {drifted}"
+    )
+
+
+def test_physics_does_not_depend_on_hash_seed():
+    """The formerly hash-dependent workloads fingerprint identically under
+    two different ``PYTHONHASHSEED`` values (regression for the sorted
+    set iterations)."""
+    repo_root = Path(__file__).resolve().parent.parent
+    script = (
+        "import json, fingerprint_util as f; "
+        "names = json.loads(%r); "
+        "print(json.dumps({n: f.WORKLOADS[n]() for n in names}))"
+    ) % json.dumps(list(_FORMERLY_HASH_DEPENDENT))
+    outputs = []
+    for hash_seed in ("1", "424242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src"), str(repo_root / "tests")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        outputs.append(json.loads(result.stdout))
+    assert outputs[0] == outputs[1], (
+        "physics depends on PYTHONHASHSEED for: "
+        + ", ".join(sorted(n for n in outputs[0] if outputs[0][n] != outputs[1][n]))
     )
