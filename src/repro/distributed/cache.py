@@ -16,17 +16,27 @@ concurrent writers on a shared filesystem never corrupt an entry; both
 writers of a racing pair write identical bytes anyway, since runs are
 deterministic.  Only successful records are cached — failures always
 re-run.
+
+Effectiveness bookkeeping (first slice of ROADMAP item 5): every index
+counts its hits / misses / puts in-process and mirrors them into the
+global telemetry registry (``cache.hit`` / ``cache.miss`` / ``cache.put``
+counters).  :meth:`CacheIndex.flush_stats` appends the session's counts to
+a ``stats.jsonl`` ledger inside the cache root, so ``cache stats`` can
+report lifetime effectiveness across campaigns and hosts, not just the
+current process.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
-from repro.distributed.spool import atomic_write_text
 from repro.experiments.runner import RunRecord
+from repro.observability.progress import atomic_write_text
+from repro.observability.telemetry import TELEMETRY
 
 
 class CacheIndex:
@@ -34,10 +44,19 @@ class CacheIndex:
 
     def __init__(self, root: Union[str, os.PathLike]):
         self.root = Path(root)
+        # Session counters; see flush_stats() for the cross-process ledger.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._flushed = (0, 0, 0)
 
     @property
     def objects_dir(self) -> Path:
         return self.root / "objects"
+
+    @property
+    def stats_path(self) -> Path:
+        return self.root / "stats.jsonl"
 
     def path_for(self, key: str) -> Path:
         if len(key) < 3:
@@ -55,8 +74,14 @@ class CacheIndex:
                 payload = json.load(handle)
             record = RunRecord.from_json_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
-            return None
-        return record if record.ok else None
+            record = None
+        if record is not None and record.ok:
+            self.hits += 1
+            TELEMETRY.count("cache.hit")
+            return record
+        self.misses += 1
+        TELEMETRY.count("cache.miss")
+        return None
 
     def put(self, key: Optional[str], record: RunRecord) -> bool:
         """Cache one successful record; failures and key-less runs are skipped."""
@@ -65,10 +90,75 @@ class CacheIndex:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(path, json.dumps(record.to_json_dict(), sort_keys=True))
+        self.puts += 1
+        TELEMETRY.count("cache.put")
         return True
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
+
+    # ------------------------------------------------------------ effectiveness
+    def session_stats(self) -> Dict[str, int]:
+        """Hit/miss/put counts recorded by *this* index instance."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def flush_stats(self) -> bool:
+        """Append the not-yet-flushed session counts to the stats ledger.
+
+        The ledger (``stats.jsonl``) is append-only, one JSON line per
+        flush, shared by every process using the cache root — the same
+        whole-line-append pattern as the event log.  Flushing is
+        best-effort and idempotent per count: each call appends only the
+        delta since the previous flush.
+        """
+        delta = (
+            self.hits - self._flushed[0],
+            self.misses - self._flushed[1],
+            self.puts - self._flushed[2],
+        )
+        if not any(delta):
+            return False
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 6),
+                "hits": delta[0],
+                "misses": delta[1],
+                "puts": delta[2],
+            },
+            sort_keys=True,
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.stats_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            return False
+        self._flushed = (self.hits, self.misses, self.puts)
+        return True
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Hit/miss/put totals accumulated in the ledger across sessions."""
+        totals = {"hits": 0, "misses": 0, "puts": 0}
+        try:
+            handle = self.stats_path.open("r", encoding="utf-8")
+        except OSError:
+            return totals
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                for name in totals:
+                    value = entry.get(name)
+                    if isinstance(value, int):
+                        totals[name] += value
+        return totals
 
     # --------------------------------------------------------------- inventory
     def _entry_paths(self) -> Iterator[Path]:
@@ -87,7 +177,7 @@ class CacheIndex:
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         entries = 0
         total_bytes = 0
         for path in self._entry_paths():
@@ -96,7 +186,9 @@ class CacheIndex:
                 total_bytes += path.stat().st_size
             except OSError:
                 continue
-        return {"entries": entries, "bytes": total_bytes}
+        stats: Dict[str, Any] = {"entries": entries, "bytes": total_bytes}
+        stats["lifetime"] = self.lifetime_stats()
+        return stats
 
     def clear(self) -> int:
         """Remove every cached entry; returns the number removed."""

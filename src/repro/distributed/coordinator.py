@@ -13,10 +13,17 @@ Workers may equally be started by hand (possibly on other hosts sharing
 the filesystem) with ``python -m repro.experiments worker <spool>``; the
 coordinator does not care who executes a task, only that every run-list
 index eventually has a shard record.
+
+While collecting, the coordinator keeps the spool's ``progress.json``
+current (cells pending/running/done/failed plus each worker's latest
+heartbeat), appends campaign lifecycle events to the shared event log, and
+reports reclaimed leases and early worker deaths *as they happen* via
+``logging`` — not only in the terminal failure message.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import subprocess
 import sys
@@ -28,6 +35,10 @@ from repro.distributed.spool import DEFAULT_LEASE_TIMEOUT, Spool, shard_cells
 from repro.experiments.runner import ExecutionBackend, RunRecord
 from repro.experiments.spec import RunSpec, ScenarioSpec
 from repro.experiments.store import ResultStore
+from repro.observability.events import EventLog
+from repro.observability.progress import ProgressTracker
+
+logger = logging.getLogger(__name__)
 
 
 class SpoolDispatchError(RuntimeError):
@@ -72,6 +83,7 @@ class SpoolBackend(ExecutionBackend):
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
         payload: Optional[object] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         if not isinstance(payload, str):
             raise SpoolDispatchError(
@@ -93,12 +105,43 @@ class SpoolBackend(ExecutionBackend):
         for task in tasks:
             self.spool.publish_task(task)
 
+        # The coordinator's own progress file lives inside the spool, where
+        # `status <spool>` (and workers on other hosts) can see it; the
+        # runner's tracker — when a store is attached — is fed the same
+        # per-cell completions via ``progress``.
+        events = EventLog(self.spool.events_path, source="coordinator")
+        tracker = ProgressTracker(
+            self.spool.progress_path, scenario=spec.name, backend=self.name
+        )
+        trackers = [tracker] + ([progress] if progress is not None else [])
+        tracker.begin(
+            total=len(records), reused=sum(1 for record in records if record is not None)
+        )
+        events.emit(
+            "campaign_start",
+            scenario=spec.name,
+            cells=len(cells),
+            tasks=len(tasks),
+            workers=self.workers,
+        )
+        cells_by_task = {task.task_id: len(task.cells) for task in tasks}
         worker_processes = [self._spawn_worker() for _ in range(self.workers)]
+        ok = False
         try:
-            self._collect(pending, records, worker_processes)
+            self._collect(
+                pending,
+                records,
+                worker_processes,
+                events=events,
+                trackers=trackers,
+                cells_by_task=cells_by_task,
+            )
+            ok = True
         finally:
             # Let workers observe completion (or failure) and exit cleanly.
             self.spool.mark_complete()
+            events.emit("campaign_complete", ok=ok)
+            tracker.finish(complete=ok)
             self._join_workers(worker_processes)
 
     def finalize(self, spec: ScenarioSpec) -> None:
@@ -146,6 +189,9 @@ class SpoolBackend(ExecutionBackend):
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
         worker_processes: Sequence[subprocess.Popen] = (),
+        events: Optional[EventLog] = None,
+        trackers: Sequence[ProgressTracker] = (),
+        cells_by_task: Optional[Dict[str, int]] = None,
     ) -> None:
         expected: Set[int] = {run_spec.index for run_spec in pending}
         # Accept a shard record only when it is for this campaign's cell:
@@ -175,7 +221,10 @@ class SpoolBackend(ExecutionBackend):
                 for index, record in self.spool.read_result_shard(task_id):
                     if index in expected and record.key == key_by_index[index]:
                         records[index] = record
-                        filled.add(index)
+                        if index not in filled:
+                            filled.add(index)
+                            for tracker in trackers:
+                                tracker.record_record(ok=record.ok)
                     else:
                         matched = False
                 if matched:
@@ -187,19 +236,47 @@ class SpoolBackend(ExecutionBackend):
                     # i.e. the real worker atomically replaced it.
                     stale_shard_mtime[task_id] = mtime
 
+        def update_liveness() -> None:
+            """Fold claimed-cell counts and worker heartbeats into progress."""
+            if not trackers:
+                return
+            running = sum(
+                (cells_by_task or {}).get(task_id, 1)
+                for task_id in self.spool.claimed_task_ids()
+            )
+            heartbeats = self.spool.worker_heartbeats()
+            for tracker in trackers:
+                tracker.set_running(running)
+                tracker.set_workers(heartbeats)
+
+        reported_dead: Set[int] = set()
         started = time.time()
         while filled != expected:
             ingest_new_shards()
+            update_liveness()
             if filled == expected:
                 break
             # Spawned workers only exit on the completion marker, which is
-            # not set yet: any exit here is a crash.  With no survivors and
-            # no external workers assumed, waiting longer is hopeless — but
-            # sweep once more first, in case the last worker died *after*
-            # writing the final shard.
-            if worker_processes and all(
-                process.poll() is not None for process in worker_processes
-            ):
+            # not set yet: any exit here is a crash.  Report each death as it
+            # is observed; with no survivors (and no external workers
+            # assumed) waiting longer is hopeless — but sweep once more
+            # first, in case the last worker died *after* writing the final
+            # shard.
+            for position, process in enumerate(worker_processes):
+                if position in reported_dead or process.poll() is None:
+                    continue
+                reported_dead.add(position)
+                logger.warning(
+                    "spawned spool worker (pid %d) exited early with return "
+                    "code %s before campaign completion",
+                    process.pid,
+                    process.returncode,
+                )
+                if events is not None:
+                    events.emit(
+                        "worker_dead", pid=process.pid, returncode=process.returncode
+                    )
+            if worker_processes and len(reported_dead) == len(worker_processes):
                 ingest_new_shards()
                 if filled == expected:
                     break
@@ -210,7 +287,12 @@ class SpoolBackend(ExecutionBackend):
                     f"{len(expected - filled)} cell(s) unfinished; check the "
                     "workers' stderr for import or startup errors"
                 )
-            self.spool.reclaim_expired()
+            for task_id in self.spool.reclaim_expired():
+                logger.warning(
+                    "reclaimed expired lease on %s (worker dead or stalled)", task_id
+                )
+                if events is not None:
+                    events.emit("task_reclaimed", task=task_id)
             if self.timeout is not None and time.time() - started > self.timeout:
                 missing = sorted(expected - filled)
                 raise SpoolDispatchError(

@@ -35,20 +35,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.experiments.runner import RunRecord
 from repro.experiments.spec import jsonable
 
+# Canonical home is the observability layer (its progress files need the
+# same never-torn guarantee); re-exported here for the existing importers.
+from repro.observability.progress import atomic_write_text
+
 SPOOL_VERSION = 1
 
 #: Default seconds without a heartbeat after which a claim is reclaimable.
 DEFAULT_LEASE_TIMEOUT = 60.0
-
-
-def atomic_write_text(path: Path, content: str) -> None:
-    """Write-then-rename (with fsync) so readers never observe a partial file."""
-    temp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    with temp.open("w", encoding="utf-8") as handle:
-        handle.write(content)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
 
 
 @dataclass(frozen=True)
@@ -132,22 +126,38 @@ class Spool:
     def complete_marker(self) -> Path:
         return self.root / "complete.marker"
 
+    @property
+    def events_path(self) -> Path:
+        """The campaign's shared append-only event log (``tail`` reads this)."""
+        return self.root / "events.jsonl"
+
+    @property
+    def progress_path(self) -> Path:
+        """The coordinator-maintained progress snapshot (``status`` reads this)."""
+        return self.root / "progress.json"
+
+    @property
+    def workers_dir(self) -> Path:
+        """Per-worker heartbeat files (``workers/<worker_id>.json``)."""
+        return self.root / "workers"
+
     def initialise(self, metadata: Optional[Dict[str, Any]] = None) -> None:
         """Create the spool directories and write the campaign metadata.
 
         Any state left over from a previous campaign on the same directory
-        (task files, claims, result shards, the completion marker) is
-        purged first — task ids restart at ``task-00000`` per campaign, so
-        stale shards would otherwise be ingested as this campaign's
-        results.
+        (task files, claims, result shards, the completion marker, the
+        event log, progress and worker heartbeats) is purged first — task
+        ids restart at ``task-00000`` per campaign, so stale shards would
+        otherwise be ingested as this campaign's results.
         """
-        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir, self.workers_dir):
             directory.mkdir(parents=True, exist_ok=True)
             for entry in directory.iterdir():
                 if entry.is_file():
                     entry.unlink()
-        if self.complete_marker.exists():
-            self.complete_marker.unlink()
+        for stale in (self.complete_marker, self.events_path, self.progress_path):
+            if stale.exists():
+                stale.unlink()
         payload = {"version": SPOOL_VERSION, "lease_timeout": self.lease_timeout}
         payload.update(metadata or {})
         self._atomic_write(self.campaign_path, json.dumps(payload, indent=2, sort_keys=True))
@@ -275,6 +285,50 @@ class Spool:
                 continue
             reclaimed.append(task_id)
         return reclaimed
+
+    # -------------------------------------------------------------- heartbeats
+    def write_worker_heartbeat(self, worker_id: str, payload: Dict[str, Any]) -> bool:
+        """Publish one worker's heartbeat summary (atomic; best-effort).
+
+        Distinct from the task-lease mtime heartbeat: this one is for
+        observers (``status``, the coordinator's progress file) and carries
+        task counts and runtimes.  Never creates the spool, so a worker
+        pointed at an uninitialised directory stays invisible.
+        """
+        if not self.workers_dir.is_dir():
+            return False
+        stamped = {"worker_id": worker_id, "ts": round(time.time(), 6)}
+        stamped.update(payload)
+        try:
+            self._atomic_write(
+                self.workers_dir / f"{worker_id}.json",
+                json.dumps(stamped, sort_keys=True),
+            )
+        except OSError:
+            return False
+        return True
+
+    def worker_heartbeats(self, now: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        """Latest heartbeat per worker, each with a computed ``age_s``."""
+        now = time.time() if now is None else now
+        heartbeats: Dict[str, Dict[str, Any]] = {}
+        if not self.workers_dir.is_dir():
+            return heartbeats
+        for entry in sorted(self.workers_dir.iterdir()):
+            if entry.suffix != ".json" or entry.name.startswith("."):
+                continue
+            try:
+                with entry.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            stamp = payload.get("ts")
+            if isinstance(stamp, (int, float)):
+                payload["age_s"] = round(max(0.0, now - float(stamp)), 3)
+            heartbeats[entry.stem] = payload
+        return heartbeats
 
     # ----------------------------------------------------------------- results
     def write_result_shard(

@@ -13,16 +13,24 @@ host or many — and coordinate purely through the spool's atomic renames:
 A worker that finds nothing to claim reclaims expired leases (rescuing
 tasks from dead peers) and polls until the coordinator marks the campaign
 complete, its idle timeout expires, or its task budget is spent.
+
+Observability: each worker appends to the spool's shared event log (task
+claimed/completed, cache hit/miss, reclaims it performs, its own
+start/idle/exit transitions) and stamps a heartbeat file
+(``workers/<id>.json``) with task counts and runtimes, which the
+coordinator folds into ``progress.json``.  Both are advisory and
+best-effort — a worker on a spool that does not exist yet stays silent and
+keeps polling.
 """
 
 from __future__ import annotations
 
 import importlib
+import logging
 import os
-import sys
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.distributed.cache import CacheIndex
 from repro.distributed.spool import ClaimedTask, Spool
@@ -33,6 +41,9 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import RunRecord, execute_run
 from repro.experiments.spec import RunSpec, content_cache_key
+from repro.observability.events import EventLog
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -44,6 +55,24 @@ class WorkerStats:
     runs_executed: int = 0
     cache_hits: int = 0
     failures: int = 0
+    #: Wall seconds spent executing tasks (excludes idle polling).
+    busy_s: float = 0.0
+    #: Why the main loop returned: "complete" | "max_tasks" | "idle_timeout".
+    exit_reason: str = ""
+
+    def heartbeat_payload(self, state: str, current_task: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "state": state,
+            "tasks_completed": self.tasks_completed,
+            "runs_executed": self.runs_executed,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "busy_s": round(self.busy_s, 3),
+            "pid": os.getpid(),
+        }
+        if current_task is not None:
+            payload["current_task"] = current_task
+        return payload
 
 
 def _import_scenario_modules(modules: Sequence[str]) -> None:
@@ -58,9 +87,11 @@ def execute_task(
     registry: ScenarioRegistry,
     cache: Optional[CacheIndex] = None,
     stats: Optional[WorkerStats] = None,
+    events: Optional[EventLog] = None,
 ) -> List[Tuple[int, RunRecord]]:
     """Run one claimed task's cells and write its result shard."""
     task = claimed.task
+    started = time.perf_counter()
     spec = None
     resolve_error: Optional[str] = None
     try:
@@ -90,7 +121,11 @@ def execute_task(
                 record = record.relabelled(spec.name, dict(params), seed)
                 if stats is not None:
                     stats.cache_hits += 1
+                if events is not None:
+                    events.emit("cache_hit", task=task.task_id, index=index)
             else:
+                if events is not None and cache is not None and cache_key is not None:
+                    events.emit("cache_miss", task=task.task_id, index=index)
                 record = execute_run(
                     spec, RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
                 )
@@ -104,8 +139,18 @@ def execute_task(
         spool.heartbeat(claimed)
     spool.write_result_shard(task.task_id, results)
     spool.release(claimed)
+    elapsed = time.perf_counter() - started
     if stats is not None:
         stats.tasks_completed += 1
+        stats.busy_s += elapsed
+    if events is not None:
+        events.emit(
+            "task_completed",
+            task=task.task_id,
+            cells=len(task.cells),
+            failures=sum(1 for _, record in results if not record.ok),
+            elapsed_s=round(elapsed, 6),
+        )
     return results
 
 
@@ -141,7 +186,11 @@ def run_worker(
         else Spool(spool_root, lease_timeout=lease_timeout)
     )
     stats = WorkerStats(worker_id=worker_id or f"worker-{os.getpid()}")
+    events = EventLog(spool.events_path, source=stats.worker_id)
+    events.emit("worker_start", pid=os.getpid())
+    spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("starting"))
     idle_since: Optional[float] = None
+    was_idle = False
     warned_missing = False
     # A completion marker already present at startup may be left over from a
     # *previous* campaign on this spool (workers are routinely started before
@@ -152,10 +201,12 @@ def run_worker(
     while True:
         if spool.is_complete():
             if marker_observed_absent:
+                stats.exit_reason = "complete"
                 break
         else:
             marker_observed_absent = True
         if max_tasks is not None and stats.tasks_completed >= max_tasks:
+            stats.exit_reason = "max_tasks"
             break
         claimed = spool.claim_next()
         if claimed is None:
@@ -165,21 +216,59 @@ def run_worker(
             # so a typo'd path is a visible warning, not a silent hang.
             if not warned_missing and not spool.root.is_dir():
                 warned_missing = True
-                print(
-                    f"{stats.worker_id}: spool {spool.root} does not exist "
-                    "(yet?); polling until it appears",
-                    file=sys.stderr,
+                logger.warning(
+                    "%s: spool %s does not exist (yet?); polling until it appears",
+                    stats.worker_id,
+                    spool.root,
                 )
             if lease_timeout is None:
                 spool.refresh_lease_timeout()
-            spool.reclaim_expired()
+            for task_id in spool.reclaim_expired():
+                logger.warning(
+                    "%s: reclaimed expired lease on %s", stats.worker_id, task_id
+                )
+                events.emit("task_reclaimed", task=task_id)
             now = time.time()
             if idle_since is None:
                 idle_since = now
             elif idle_timeout is not None and now - idle_since >= idle_timeout:
+                stats.exit_reason = "idle_timeout"
                 break
+            if not was_idle:
+                was_idle = True  # one event per idle stretch, not per poll
+                events.emit("worker_idle")
+                spool.write_worker_heartbeat(
+                    stats.worker_id, stats.heartbeat_payload("idle")
+                )
             time.sleep(poll_interval)
             continue
         idle_since = None
-        execute_task(claimed, spool, registry, cache=cache, stats=stats)
+        was_idle = False
+        events.emit("task_claimed", task=claimed.task_id, cells=len(claimed.task.cells))
+        spool.write_worker_heartbeat(
+            stats.worker_id,
+            stats.heartbeat_payload("running", current_task=claimed.task_id),
+        )
+        execute_task(claimed, spool, registry, cache=cache, stats=stats, events=events)
+        spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("running"))
+    events.emit(
+        "worker_exit",
+        reason=stats.exit_reason,
+        tasks_completed=stats.tasks_completed,
+        runs_executed=stats.runs_executed,
+        cache_hits=stats.cache_hits,
+        failures=stats.failures,
+        busy_s=round(stats.busy_s, 3),
+    )
+    spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("exited"))
+    if isinstance(cache, CacheIndex):
+        cache.flush_stats()
+    logger.info(
+        "%s: exit (%s) after %d task(s), %d run(s), %d cache hit(s)",
+        stats.worker_id,
+        stats.exit_reason or "done",
+        stats.tasks_completed,
+        stats.runs_executed,
+        stats.cache_hits,
+    )
     return stats

@@ -17,6 +17,11 @@ Examples::
     # Shared content-addressed cache across campaigns
     python -m repro.experiments run platoon/karyon --seeds 50 --cache ~/.repro-cache
     python -m repro.experiments cache stats ~/.repro-cache
+
+    # Observability: watch a campaign, tail its event log, profile cells
+    python -m repro.experiments status /spool/platoon --watch
+    python -m repro.experiments tail /spool/platoon --follow
+    python -m repro.experiments run platoon/karyon --seeds 5 --profile
 """
 
 from __future__ import annotations
@@ -24,19 +29,30 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import logging
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.evaluation.reporting import format_table
 from repro.experiments.registry import REGISTRY, UnknownScenarioError, load_builtin_scenarios
 from repro.experiments.runner import (
+    PROFILE_PHASES,
     ParallelCampaignRunner,
     aggregate_records,
     grouped_rows,
 )
 from repro.experiments.spec import ParameterGrid, ScenarioSpec
 from repro.experiments.store import ResultStore
+from repro.observability.events import EVENT_KINDS, follow_events, read_events
+from repro.observability.progress import (
+    CampaignProgress,
+    atomic_write_text,
+    read_progress,
+)
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,15 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Scenario registry, parameter sweeps and parallel campaigns.",
     )
+    # Shared by every subcommand (a parent parser, so it appears after the
+    # subcommand on the command line: `run ... --log-level debug`).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="warning",
+        help="stdlib logging threshold for coordinator/worker diagnostics "
+        "(default warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = sub.add_parser("list", help="list registered scenarios")
+    list_parser = sub.add_parser("list", help="list registered scenarios", parents=[common])
     list_parser.add_argument("--tag", help="only scenarios carrying this tag")
     list_parser.add_argument(
         "--params", action="store_true", help="show every parameter with its default"
     )
 
-    run_parser = sub.add_parser("run", help="run a campaign over one scenario")
+    run_parser = sub.add_parser("run", help="run a campaign over one scenario", parents=[common])
     run_parser.add_argument("scenario", help="registered scenario name (see `list`)")
     run_parser.add_argument(
         "--seeds", type=int, default=None, metavar="N",
@@ -122,8 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--strict", action="store_true", help="exit non-zero when any run failed"
     )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="time each executed cell's build/sim/collect phases (inline "
+        "execution only; enables telemetry for the duration of the run)",
+    )
 
-    report_parser = sub.add_parser("report", help="aggregate a JSONL results store")
+    report_parser = sub.add_parser("report", help="aggregate a JSONL results store", parents=[common])
     report_parser.add_argument("store", help="path to a JSONL store written by `run`")
     report_parser.add_argument("--scenario", default=None, help="only this scenario")
     report_parser.add_argument(
@@ -135,7 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     worker_parser = sub.add_parser(
-        "worker", help="process tasks from a shared-filesystem campaign spool"
+        "worker", help="process tasks from a shared-filesystem campaign spool",
+        parents=[common],
     )
     worker_parser.add_argument("spool", help="spool directory written by `run --backend spool`")
     worker_parser.add_argument(
@@ -169,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     merge_parser = sub.add_parser(
-        "merge", help="merge spool result shards or other stores into a JSONL store"
+        "merge", help="merge spool result shards or other stores into a JSONL store",
+        parents=[common],
     )
     merge_parser.add_argument("dest", help="destination JSONL store (created if absent)")
     merge_parser.add_argument(
@@ -178,10 +209,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear a content-addressed result cache"
+        "cache", help="inspect or clear a content-addressed result cache",
+        parents=[common],
     )
     cache_parser.add_argument("action", choices=("stats", "clear"))
     cache_parser.add_argument("dir", help="cache directory")
+
+    status_parser = sub.add_parser(
+        "status",
+        help="show a campaign's progress.json (spool dir, store path, or the "
+        "progress file itself)",
+        parents=[common],
+    )
+    status_parser.add_argument(
+        "target", help="spool directory, result store path, or progress.json file"
+    )
+    status_parser.add_argument(
+        "--watch", action="store_true",
+        help="keep polling and printing until the campaign completes",
+    )
+    status_parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll interval for --watch (default 1.0)",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw progress document instead of a summary line",
+    )
+
+    tail_parser = sub.add_parser(
+        "tail", help="print a campaign's event log (spool dir or events.jsonl path)",
+        parents=[common],
+    )
+    tail_parser.add_argument("target", help="spool directory or events.jsonl file")
+    tail_parser.add_argument(
+        "-n", "--lines", type=int, default=20, metavar="N",
+        help="show the last N events (default 20; <= 0 shows all)",
+    )
+    tail_parser.add_argument(
+        "--follow", action="store_true",
+        help="keep printing new events as they are appended (Ctrl-C to stop)",
+    )
+    tail_parser.add_argument(
+        "--kind", action="append", default=[], metavar="KIND",
+        help=f"only these event kinds (repeatable; known: {', '.join(sorted(EVENT_KINDS))})",
+    )
     return parser
 
 
@@ -262,6 +334,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     spool_requested = bool(args.backend == "spool" or (args.backend is None and args.spool))
+    if args.profile and (spool_requested or args.backend == "process" or args.jobs != 1):
+        print(
+            "error: --profile requires inline execution (--jobs 1, no "
+            "--backend process/spool): phase timers are process-global",
+            file=sys.stderr,
+        )
+        return 2
     if spool_requested:
         if not args.spool:
             print("error: --backend spool requires --spool DIR", file=sys.stderr)
@@ -317,10 +396,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             worker_cache_root=args.cache,
         )
-    elif args.backend == "inline":
+    elif args.backend == "inline" or args.profile:
         from repro.experiments.runner import InProcessBackend
 
-        backend = InProcessBackend()
+        backend = InProcessBackend(profile=args.profile)
     elif args.backend == "process":
         from repro.experiments.runner import MultiprocessingBackend
 
@@ -341,7 +420,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=backend,
         cache=cache,
     )
-    result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
+    if args.profile:
+        from repro.observability.telemetry import telemetry_enabled
+
+        with telemetry_enabled():
+            result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
+    else:
+        result = runner.run(spec, params=params, sweep=sweep, seeds=seeds)
 
     cached_part = f", {result.cached} cached" if cache is not None else ""
     print(
@@ -349,6 +434,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({result.executed} executed, {result.reused} reused{cached_part}, "
         f"{result.failures} failed) backend={result.backend} jobs={result.jobs}"
     )
+    if cache is not None:
+        session = cache.session_stats()
+        print(
+            f"cache: {session['hits']} hit(s), {session['misses']} miss(es), "
+            f"{session['puts']} put(s) this campaign"
+        )
     print()
     print(format_table(result.aggregate_rows(), title=f"{spec.name}: aggregate metrics"))
     group_by = [part for part in (args.group_by or "").split(",") if part]
@@ -365,10 +456,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.failures:
         print()
         print(format_table(result.failure_rows(), title="failed runs"))
+    if args.profile:
+        profile = _profile_document(result)
+        if profile["cells"]:
+            print()
+            print(
+                format_table(
+                    profile["summary"],
+                    title=f"{spec.name}: phase profile over "
+                    f"{len(profile['cells'])} executed cell(s)",
+                )
+            )
+        else:
+            print()
+            print("profile: no cells executed (all reused or cached)")
+        if args.store:
+            sidecar = Path(f"{args.store}.profile.json")
+            atomic_write_text(sidecar, json.dumps(profile, indent=2, sort_keys=True) + "\n")
+            print(f"phase profile stored in {sidecar}")
     if args.store:
         print()
         print(f"results stored in {args.store} (re-run to resume)")
     return 1 if (args.strict and result.failures) else 0
+
+
+def _profile_document(result: Any) -> Dict[str, Any]:
+    """Per-cell phase timings plus a per-phase summary, JSON-ready."""
+    cells: List[Dict[str, Any]] = []
+    for record in result.records:
+        if record.phases is None:
+            continue
+        cells.append(
+            {
+                "params": record.params,
+                "seed": record.seed,
+                "status": record.status,
+                "duration_s": round(record.duration, 6),
+                "phases": {name: round(value, 6) for name, value in record.phases.items()},
+            }
+        )
+    summary: List[Dict[str, Any]] = []
+    for phase in PROFILE_PHASES:
+        values = [cell["phases"].get(phase, 0.0) for cell in cells]
+        if not values:
+            continue
+        summary.append(
+            {
+                "phase": phase,
+                "total_s": round(sum(values), 4),
+                "mean_s": round(sum(values) / len(values), 4),
+                "max_s": round(max(values), 4),
+            }
+        )
+    return {"scenario": result.scenario, "cells": cells, "summary": summary}
 
 
 def _report_rows(
@@ -468,7 +608,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 )
             )
         print()
+    _print_profile_sidecar(args.store)
     return 0
+
+
+def _print_profile_sidecar(store_path: str) -> None:
+    """Surface a `run --profile` sidecar's phase summary, when one exists."""
+    sidecar = Path(f"{store_path}.profile.json")
+    try:
+        with sidecar.open("r", encoding="utf-8") as handle:
+            profile = json.load(handle)
+    except (OSError, ValueError):
+        return
+    summary = profile.get("summary") if isinstance(profile, dict) else None
+    if not isinstance(summary, list) or not summary:
+        return
+    print(
+        format_table(
+            summary,
+            title=f"{profile.get('scenario', '?')}: phase profile over "
+            f"{len(profile.get('cells', []))} cell(s) ({sidecar.name})",
+        )
+    )
+    print()
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -532,11 +694,162 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     stats = cache.stats()
     print(f"{args.dir}: {stats['entries']} cached record(s), {stats['bytes']} bytes")
+    lifetime = stats.get("lifetime", {})
+    if any(lifetime.values()):
+        print(
+            f"lifetime: {lifetime.get('hits', 0)} hit(s), "
+            f"{lifetime.get('misses', 0)} miss(es), {lifetime.get('puts', 0)} put(s)"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# status / tail
+# ---------------------------------------------------------------------------
+
+
+def _resolve_progress_path(target: str) -> Path:
+    """Map a spool dir, store path, or progress file onto its progress.json."""
+    path = Path(target)
+    if path.is_dir():
+        return path / "progress.json"
+    if path.name.endswith("progress.json"):
+        return path
+    return Path(f"{target}.progress.json")
+
+
+def _format_progress(progress: CampaignProgress) -> str:
+    state = "complete" if progress.complete else "running"
+    parts = [
+        f"{progress.scenario} [{progress.backend}] {state}:",
+        f"{progress.done}/{progress.total} done",
+    ]
+    detail = [f"{progress.failed} failed"] if progress.failed else []
+    if progress.cached:
+        detail.append(f"{progress.cached} cached")
+    if progress.reused:
+        detail.append(f"{progress.reused} reused")
+    if detail:
+        parts.append(f"({', '.join(detail)})")
+    if not progress.complete:
+        parts.append(f"{progress.running} running, {progress.pending} pending")
+        if progress.throughput_rps:
+            parts.append(f"| {progress.throughput_rps:.2f} cells/s")
+        if progress.eta_s is not None:
+            parts.append(f"eta {progress.eta_s:.0f}s")
+    return " ".join(parts)
+
+
+def _format_worker(worker_id: str, heartbeat: Dict[str, Any]) -> str:
+    state = heartbeat.get("state", "?")
+    bits = [f"  {worker_id}: {state}"]
+    task = heartbeat.get("current_task")
+    if state == "running" and task:
+        bits.append(f"on {task}")
+    bits.append(
+        f"({heartbeat.get('tasks_completed', 0)} tasks, "
+        f"{heartbeat.get('runs_executed', 0)} runs, "
+        f"{heartbeat.get('cache_hits', 0)} cache hits"
+    )
+    age = heartbeat.get("age_s")
+    suffix = f", heartbeat {age:.1f}s ago)" if isinstance(age, (int, float)) else ")"
+    return " ".join(bits) + suffix
+
+
+def _print_status(progress: CampaignProgress, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(progress.to_json_dict(), indent=2, sort_keys=True))
+        return
+    print(_format_progress(progress))
+    for worker_id in sorted(progress.workers):
+        print(_format_worker(worker_id, progress.workers[worker_id]))
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    path = _resolve_progress_path(args.target)
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if not args.watch:
+        progress = read_progress(path)
+        if progress is None:
+            print(f"no progress file at {path} (campaign not started?)", file=sys.stderr)
+            return 1
+        _print_status(progress, args.as_json)
+        return 0
+    try:
+        while True:
+            progress = read_progress(path)
+            if progress is None:
+                print(f"waiting for {path} ...")
+            else:
+                _print_status(progress, args.as_json)
+                if progress.complete:
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+def _format_event(event: Dict[str, Any]) -> str:
+    stamp = event.get("ts")
+    clock = (
+        time.strftime("%H:%M:%S", time.localtime(stamp))
+        if isinstance(stamp, (int, float))
+        else "--:--:--"
+    )
+    source = str(event.get("source", "-"))
+    kind = str(event.get("kind", "?"))
+    rest = " ".join(
+        f"{key}={event[key]}"
+        for key in sorted(event)
+        if key not in ("ts", "source", "kind")
+    )
+    return f"{clock} {source:<16} {kind:<16} {rest}".rstrip()
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    path = Path(args.target)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    unknown = sorted(set(args.kind) - EVENT_KINDS)
+    if unknown:
+        print(
+            f"error: unknown event kind(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(EVENT_KINDS))})",
+            file=sys.stderr,
+        )
+        return 2
+    kinds = set(args.kind) or None
+    events = read_events(path, kinds=kinds)
+    if not events and not path.exists() and not args.follow:
+        print(f"no event log at {path}", file=sys.stderr)
+        return 1
+    shown = events[-args.lines :] if args.lines > 0 else events
+    for event in shown:
+        print(_format_event(event))
+    if not args.follow:
+        return 0
+    try:
+        # follow_events replays the file from the start: skip everything the
+        # initial read already covered and print only genuinely new events.
+        for position, event in enumerate(follow_events(path, kinds=kinds)):
+            if position < len(events):
+                continue
+            print(_format_event(event), flush=True)
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+        force=True,
+    )
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
@@ -549,4 +862,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_merge(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     return 2

@@ -23,15 +23,18 @@ benchmark harness and the acceptance criteria rely on:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import time
-import warnings
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.evaluation.metrics import summarize
+from repro.observability.progress import ProgressTracker
+from repro.observability.telemetry import TELEMETRY
 from repro.experiments.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
 from repro.experiments.spec import (
     ParameterGrid,
@@ -41,6 +44,11 @@ from repro.experiments.spec import (
     content_cache_key,
     jsonable,
 )
+
+logger = logging.getLogger(__name__)
+
+#: Timer names that make up a run's phase breakdown under ``run --profile``.
+PROFILE_PHASES = ("scenario.build", "scenario.sim", "run.collect")
 
 
 @dataclass
@@ -59,6 +67,10 @@ class RunRecord:
     #: The raw factory result; only populated for in-process (serial)
     #: execution, never pickled back from workers nor serialised.
     raw_result: Any = field(default=None, compare=False, repr=False)
+    #: Per-phase wall seconds (``scenario.build``/``scenario.sim``/
+    #: ``run.collect``); populated only under ``run --profile`` and — like
+    #: ``duration`` — transient, never serialised.
+    phases: Optional[Dict[str, float]] = field(default=None, compare=False, repr=False)
 
     @property
     def key(self) -> str:
@@ -112,12 +124,24 @@ class RunRecord:
         )
 
 
-def execute_run(spec: ScenarioSpec, run_spec: RunSpec, keep_result: bool = False) -> RunRecord:
-    """Execute one run, capturing any exception into a failed record."""
+def execute_run(
+    spec: ScenarioSpec,
+    run_spec: RunSpec,
+    keep_result: bool = False,
+    profile: bool = False,
+) -> RunRecord:
+    """Execute one run, capturing any exception into a failed record.
+
+    With ``profile`` set (and telemetry enabled), the record's transient
+    ``phases`` dict carries this cell's build/sim/collect wall seconds,
+    computed as deltas of the global timer totals around the run.
+    """
     start = time.perf_counter()
+    before = TELEMETRY.timer_totals() if profile else None
     try:
         result = spec.build(run_spec.seed, run_spec.params)
-        metrics = spec.extract_metrics(result)
+        with TELEMETRY.timer("run.collect"):
+            metrics = spec.extract_metrics(result)
         record = RunRecord(
             scenario=spec.name,
             params=dict(run_spec.params),
@@ -135,6 +159,11 @@ def execute_run(spec: ScenarioSpec, run_spec: RunSpec, keep_result: bool = False
             error="".join(traceback.format_exception_only(type(exc), exc)).strip(),
         )
     record.duration = time.perf_counter() - start
+    if before is not None:
+        after = TELEMETRY.timer_totals()
+        record.phases = {
+            name: after.get(name, 0.0) - before.get(name, 0.0) for name in PROFILE_PHASES
+        }
     return record
 
 
@@ -191,7 +220,10 @@ class ExecutionBackend:
     writes, aggregation).  ``payload`` is the runner's pickled-or-named form
     of the spec for backends that ship work to other processes: the
     registry name when workers can re-resolve it, the spec object itself
-    otherwise.
+    otherwise.  ``progress`` is an optional
+    :class:`~repro.observability.progress.ProgressTracker` the backend
+    feeds one :meth:`record_record` per settled cell — purely advisory, so
+    a backend that ignores it is still correct.
     """
 
     name = "backend"
@@ -202,6 +234,7 @@ class ExecutionBackend:
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         raise NotImplementedError
 
@@ -215,9 +248,16 @@ class ExecutionBackend:
 
 
 class InProcessBackend(ExecutionBackend):
-    """Serial in-process execution; keeps raw factory results available."""
+    """Serial in-process execution; keeps raw factory results available.
+
+    The only backend that can profile: phase timers are process-global, so
+    a per-cell breakdown requires the cells to run here, one at a time.
+    """
 
     name = "inline"
+
+    def __init__(self, profile: bool = False):
+        self.profile = profile
 
     def execute(
         self,
@@ -225,9 +265,13 @@ class InProcessBackend(ExecutionBackend):
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         for run_spec in pending:
-            records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
+            record = execute_run(spec, run_spec, keep_result=True, profile=self.profile)
+            records[run_spec.index] = record
+            if progress is not None:
+                progress.record_record(ok=record.ok)
 
 
 class MultiprocessingBackend(ExecutionBackend):
@@ -257,6 +301,7 @@ class MultiprocessingBackend(ExecutionBackend):
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         payload = spec if payload is None else payload
         chunk = self.batch_size if self.batch_size is not None else 1
@@ -277,18 +322,24 @@ class MultiprocessingBackend(ExecutionBackend):
                 for batch in pool.imap_unordered(_execute_batch, tasks):
                     for index, record in batch:
                         records[index] = record
+                        if progress is not None:
+                            progress.record_record(ok=record.ok)
         except (multiprocessing.ProcessError, pickle.PicklingError, OSError, AttributeError, TypeError) as exc:
             # Pool creation or task pickling failed (e.g. an ad-hoc spec whose
             # factory is a closure): fall back to in-process execution.
-            warnings.warn(
-                f"parallel execution of {spec.name!r} failed "
-                f"({type(exc).__name__}: {exc}); falling back to serial in-process runs",
-                RuntimeWarning,
-                stacklevel=2,
+            logger.warning(
+                "parallel execution of %r failed (%s: %s); "
+                "falling back to serial in-process runs",
+                spec.name,
+                type(exc).__name__,
+                exc,
             )
             for run_spec in pending:
                 if records[run_spec.index] is None:
-                    records[run_spec.index] = execute_run(spec, run_spec, keep_result=True)
+                    record = execute_run(spec, run_spec, keep_result=True)
+                    records[run_spec.index] = record
+                    if progress is not None:
+                        progress.record_record(ok=record.ok)
 
 
 # --------------------------------------------------------------------------
@@ -458,6 +509,7 @@ class ParallelCampaignRunner:
         batch_size: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[Any] = None,
+        progress_path: Optional[Any] = None,
     ):
         if batch_size is not None and int(batch_size) < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -469,6 +521,9 @@ class ParallelCampaignRunner:
         self.batch_size = int(batch_size) if batch_size is not None else None
         self.backend = backend
         self.cache = cache
+        #: Where to maintain the campaign's ``progress.json``; defaults to a
+        #: ``<store path>.progress.json`` sidecar when a store is attached.
+        self.progress_path = progress_path
 
     # ----------------------------------------------------------------- public
     def run(
@@ -499,10 +554,21 @@ class ParallelCampaignRunner:
         pending, cache_keys, cached = self._consult_cache(spec, pending, records)
 
         backend = self._backend_for(pending)
+        tracker = self._progress_tracker(spec, backend)
+        if tracker is not None:
+            tracker.begin(total=len(run_specs), reused=reused, cached=cached)
+            tracker.set_running(len(pending))
         if pending:
-            backend.execute(spec, pending, records, payload=self._payload_for(spec))
+            backend.execute(
+                spec, pending, records, payload=self._payload_for(spec), progress=tracker
+            )
             self._publish_to_cache(pending, cache_keys, records)
         backend.finalize(spec)
+        if tracker is not None:
+            tracker.finish()
+        flush_stats = getattr(self.cache, "flush_stats", None)
+        if flush_stats is not None:
+            flush_stats()
 
         final_records = [record for record in records if record is not None]
         if self.store is not None:
@@ -536,6 +602,17 @@ class ParallelCampaignRunner:
         if self.registry is REGISTRY:
             load_builtin_scenarios()
         return self.registry.get(scenario)
+
+    def _progress_tracker(
+        self, spec: ScenarioSpec, backend: ExecutionBackend
+    ) -> Optional[ProgressTracker]:
+        path = self.progress_path
+        if path is None:
+            store_path = getattr(self.store, "path", None)
+            if store_path is None:
+                return None
+            path = Path(f"{store_path}.progress.json")
+        return ProgressTracker(path, scenario=spec.name, backend=backend.name)
 
     def _backend_for(self, pending: Sequence[RunSpec]) -> ExecutionBackend:
         if self.backend is not None:

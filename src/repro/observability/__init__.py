@@ -1,0 +1,57 @@
+"""``repro.observability`` — telemetry, campaign progress and event logs.
+
+The observability subsystem makes running campaigns inspectable without
+ever touching the physics:
+
+* :mod:`repro.observability.telemetry` — a lightweight, thread-safe
+  metrics registry (counters, gauges, monotonic-clock timer spans) with a
+  process-global default instance.  **Hard rule**: telemetry never draws
+  randomness, never reorders events and never changes result bytes — the
+  fingerprint suite re-runs with telemetry enabled to enforce it — and is
+  a near-zero-overhead no-op while disabled (the default).
+* :mod:`repro.observability.events` — an append-only JSONL event log with
+  a fixed taxonomy (task claimed/completed/reclaimed, cache hit/miss,
+  worker start/idle/exit, ...), safe for many processes appending to one
+  file on a shared filesystem.
+* :mod:`repro.observability.progress` — the machine-readable
+  ``progress.json`` snapshot (atomic tmp+rename) that the runner and the
+  spool coordinator keep up to date, and that ``python -m
+  repro.experiments status`` (and, later, the campaign-as-a-service
+  control plane of ROADMAP item 1) polls.
+
+Layering: this package depends on the stdlib only, so every other
+subsystem (``sim``, ``experiments``, ``distributed``) may import it freely.
+"""
+
+from repro.observability.events import EVENT_KINDS, EventLog, follow_events, read_events
+from repro.observability.progress import (
+    PROGRESS_VERSION,
+    CampaignProgress,
+    ProgressTracker,
+    atomic_write_text,
+    read_progress,
+    write_progress,
+)
+from repro.observability.telemetry import (
+    TelemetryRegistry,
+    get_telemetry,
+    set_telemetry_enabled,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "follow_events",
+    "read_events",
+    "PROGRESS_VERSION",
+    "CampaignProgress",
+    "ProgressTracker",
+    "atomic_write_text",
+    "read_progress",
+    "write_progress",
+    "TelemetryRegistry",
+    "get_telemetry",
+    "set_telemetry_enabled",
+    "telemetry_enabled",
+]

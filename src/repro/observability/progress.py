@@ -1,0 +1,260 @@
+"""Machine-readable campaign progress snapshots (``progress.json``).
+
+A progress file is one JSON object describing a campaign in flight: how
+many cells are pending / running / done / failed, how many were served
+from the result store or the content-addressed cache, current throughput
+and an ETA, and — for spool campaigns — each worker's last heartbeat.
+The runner maintains ``<store>.progress.json`` next to its result store;
+the spool coordinator maintains ``progress.json`` inside the spool root.
+Either is what ``python -m repro.experiments status`` (and ROADMAP item
+1's control plane) polls.
+
+Writes are atomic tmp+rename (:func:`atomic_write_text` — the canonical
+home of the helper the spool layer re-exports), so a reader never sees a
+torn file; a reader that catches the sub-millisecond replace window
+simply retries on the next poll (:func:`read_progress` returns ``None``
+for missing or unparsable files rather than raising).
+
+Progress is *advisory*: it never feeds back into scheduling or results,
+and the tracker throttles rewrites so per-cell bookkeeping stays cheap
+even for thousand-cell campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+PROGRESS_VERSION = 1
+
+
+def atomic_write_text(path: Path, content: str) -> None:
+    """Write-then-rename (with fsync) so readers never observe a partial file."""
+    path = Path(path)
+    temp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    with temp.open("w", encoding="utf-8") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+@dataclass
+class CampaignProgress:
+    """One snapshot of a campaign's cell accounting.
+
+    Cell counts partition the campaign: ``pending + running + done +
+    failed == total``.  ``done`` counts settled-ok cells from *any* source
+    — fresh execution, store reuse (``reused``) or cache hits (``cached``)
+    — so a campaign is finished exactly when ``done + failed == total``.
+    ``workers`` maps worker id to its latest heartbeat summary (spool
+    campaigns only; see :meth:`Spool.worker_heartbeats`).
+    """
+
+    scenario: str
+    total: int
+    pending: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    cached: int = 0
+    reused: int = 0
+    backend: str = "inline"
+    complete: bool = False
+    started_at: float = 0.0
+    updated_at: float = 0.0
+    throughput_rps: Optional[float] = None
+    eta_s: Optional[float] = None
+    workers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "version": PROGRESS_VERSION,
+            "scenario": self.scenario,
+            "total": self.total,
+            "pending": self.pending,
+            "running": self.running,
+            "done": self.done,
+            "failed": self.failed,
+            "cached": self.cached,
+            "reused": self.reused,
+            "backend": self.backend,
+            "complete": self.complete,
+            "started_at": self.started_at,
+            "updated_at": self.updated_at,
+            "throughput_rps": self.throughput_rps,
+            "eta_s": self.eta_s,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "CampaignProgress":
+        return cls(
+            scenario=str(payload.get("scenario", "")),
+            total=int(payload.get("total", 0)),
+            pending=int(payload.get("pending", 0)),
+            running=int(payload.get("running", 0)),
+            done=int(payload.get("done", 0)),
+            failed=int(payload.get("failed", 0)),
+            cached=int(payload.get("cached", 0)),
+            reused=int(payload.get("reused", 0)),
+            backend=str(payload.get("backend", "inline")),
+            complete=bool(payload.get("complete", False)),
+            started_at=float(payload.get("started_at", 0.0)),
+            updated_at=float(payload.get("updated_at", 0.0)),
+            throughput_rps=payload.get("throughput_rps"),
+            eta_s=payload.get("eta_s"),
+            workers=dict(payload.get("workers") or {}),
+        )
+
+
+def write_progress(path: Union[str, os.PathLike], progress: CampaignProgress) -> None:
+    """Atomically publish one progress snapshot."""
+    atomic_write_text(
+        Path(path), json.dumps(progress.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def read_progress(path: Union[str, os.PathLike]) -> Optional[CampaignProgress]:
+    """The latest snapshot, or ``None`` if absent / unreadable / malformed."""
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    try:
+        return CampaignProgress.from_json_dict(payload)
+    except (TypeError, ValueError):
+        return None
+
+
+class ProgressTracker:
+    """Maintains one campaign's ``progress.json`` with throttled rewrites.
+
+    Thread-safe: the multiprocessing backend's collector thread and the
+    coordinator's ingest loop may record completions concurrently.  Calls
+    between :meth:`begin` and :meth:`finish` rewrite the file at most once
+    per ``min_interval`` seconds (forced on begin/finish), so per-cell
+    accounting costs a lock and an integer bump, not an fsync.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        scenario: str,
+        backend: str = "inline",
+        min_interval: float = 0.2,
+    ):
+        self.path = Path(path)
+        self.scenario = scenario
+        self.backend = backend
+        self.min_interval = float(min_interval)
+        self._lock = threading.Lock()
+        self._total = 0
+        self._done = 0
+        self._failed = 0
+        self._cached = 0
+        self._reused = 0
+        self._running = 0
+        self._workers: Dict[str, Dict[str, Any]] = {}
+        self._complete = False
+        self._started_at = 0.0
+        self._fresh_done = 0  # executed this session; drives throughput/ETA
+        self._started_mono = 0.0
+        self._last_write = 0.0
+
+    # ---------------------------------------------------------------- updates
+    def begin(self, total: int, reused: int = 0, cached: int = 0) -> None:
+        """Open the campaign: ``reused``/``cached`` cells are already done."""
+        with self._lock:
+            self._total = int(total)
+            self._reused = int(reused)
+            self._cached = int(cached)
+            self._done = int(reused) + int(cached)
+            self._started_at = time.time()
+            self._started_mono = time.monotonic()
+            self._write_locked(force=True)
+
+    def record_record(self, ok: bool = True, cached: bool = False) -> None:
+        """Account one settled cell (optionally served from the cache)."""
+        with self._lock:
+            if ok:
+                self._done += 1
+            else:
+                self._failed += 1
+            if cached:
+                self._cached += 1
+            else:
+                self._fresh_done += 1
+            self._write_locked()
+
+    def set_running(self, running: int) -> None:
+        with self._lock:
+            self._running = max(0, int(running))
+            self._write_locked()
+
+    def set_workers(self, workers: Dict[str, Dict[str, Any]]) -> None:
+        with self._lock:
+            self._workers = dict(workers)
+            self._write_locked()
+
+    def finish(self, complete: bool = True) -> None:
+        """Close the campaign and force a final snapshot."""
+        with self._lock:
+            self._complete = bool(complete)
+            self._running = 0
+            self._write_locked(force=True)
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot(self) -> CampaignProgress:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> CampaignProgress:
+        settled = self._done + self._failed
+        remaining = max(0, self._total - settled)
+        throughput: Optional[float] = None
+        eta: Optional[float] = None
+        elapsed = time.monotonic() - self._started_mono if self._started_mono else 0.0
+        if self._fresh_done and elapsed > 0:
+            throughput = self._fresh_done / elapsed
+            if not self._complete:
+                eta = remaining / throughput
+        return CampaignProgress(
+            scenario=self.scenario,
+            total=self._total,
+            pending=max(0, remaining - self._running),
+            running=min(self._running, remaining),
+            done=self._done,
+            failed=self._failed,
+            cached=self._cached,
+            reused=self._reused,
+            backend=self.backend,
+            complete=self._complete,
+            started_at=self._started_at,
+            updated_at=time.time(),
+            throughput_rps=throughput,
+            eta_s=eta,
+            workers=dict(self._workers),
+        )
+
+    def _write_locked(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_write < self.min_interval:
+            return
+        try:
+            # Unlike the event log (worker-side, must never conjure a spool
+            # into existence), the tracker runs on the owning side — creating
+            # the parent directory here is creating our own output location.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            write_progress(self.path, self._snapshot_locked())
+        except OSError:
+            return  # advisory only: never fail a campaign over progress I/O
+        self._last_write = now

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
+
+from repro.observability.telemetry import TELEMETRY
 
 #: Compact the queue once at least this many cancelled events are buried in it
 #: (and they outnumber the live ones) — small enough to bound waste, large
@@ -180,6 +183,10 @@ class Simulator:
         self._pending = 0  # live (non-cancelled, non-executed) events in the queue
         self._cancelled = 0  # cancelled events still buried in the queue
         self.events_processed = 0
+        # Telemetry anchors (wall-clock-free): the gap between construction
+        # and the first run_until is the scenario's build phase.
+        self._created_at = perf_counter()
+        self._build_span_recorded = False
 
     @property
     def now(self) -> float:
@@ -300,6 +307,18 @@ class Simulator:
         pending there, so back-to-back ``run_until`` calls behave like a
         continuous timeline.
         """
+        # Telemetry wraps the *outer* call only — the per-event hot loop is
+        # untouched, and while disabled this costs one attribute check.
+        if TELEMETRY.enabled:
+            if not self._build_span_recorded:
+                self._build_span_recorded = True
+                TELEMETRY.record_span("scenario.build", perf_counter() - self._created_at)
+            with TELEMETRY.timer("scenario.sim"):
+                self._run_until(end_time)
+            return
+        self._run_until(end_time)
+
+    def _run_until(self, end_time: float) -> None:
         if end_time < self._now:
             raise SimulationError(
                 f"end_time {end_time} is before current time {self._now}"

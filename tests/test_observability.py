@@ -1,0 +1,621 @@
+"""Tests for ``repro.observability``: telemetry, progress files, event logs.
+
+Covers the subsystem's acceptance criteria: telemetry is a no-op while
+disabled and physics-blind while enabled (the byte-identity half lives in
+``test_scenario_fingerprints``), progress.json round-trips its schema and
+is kept current by the runner and the spool coordinator, the event log
+keeps append order under two racing workers, and the ``status`` / ``tail``
+/ ``run --profile`` CLI surfaces work end to end.
+"""
+
+import json
+import logging
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.distributed import CacheIndex, Spool, SpoolBackend, SpoolDispatchError, run_worker
+from repro.distributed.spool import shard_cells
+from repro.experiments import ParallelCampaignRunner, ResultStore
+from repro.experiments.cli import main as cli_main
+from repro.experiments.registry import load_builtin_scenarios
+from repro.observability import (
+    EVENT_KINDS,
+    CampaignProgress,
+    EventLog,
+    ProgressTracker,
+    TelemetryRegistry,
+    follow_events,
+    get_telemetry,
+    read_events,
+    read_progress,
+    telemetry_enabled,
+    write_progress,
+)
+from repro.sim.kernel import Simulator
+
+
+def _demo_cells(seeds):
+    spec = load_builtin_scenarios().get("demo/random_walk")
+    run_specs = spec.runs(seeds=seeds)
+    return spec, [(rs.params, rs.seed, rs.index) for rs in run_specs]
+
+
+# --------------------------------------------------------------------------
+# Telemetry registry
+# --------------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_disabled_registry_records_nothing(self):
+        registry = TelemetryRegistry(enabled=False)
+        registry.count("c")
+        registry.gauge("g", 1.0)
+        with registry.timer("t"):
+            pass
+        assert registry.counters() == {}
+        assert registry.gauges() == {}
+        assert registry.timers() == {}
+
+    def test_disabled_timer_is_the_shared_null_span(self):
+        registry = TelemetryRegistry(enabled=False)
+        assert registry.timer("a") is registry.timer("b")
+
+    def test_counters_gauges_and_spans(self):
+        registry = TelemetryRegistry(enabled=True)
+        registry.count("cells")
+        registry.count("cells", 4)
+        registry.gauge("pending", 7)
+        for _ in range(3):
+            with registry.timer("phase"):
+                pass
+        assert registry.counters() == {"cells": 5}
+        assert registry.gauges() == {"pending": 7.0}
+        span = registry.timers()["phase"]
+        assert span["count"] == 3
+        assert span["min_s"] <= span["mean_s"] <= span["max_s"]
+        assert span["total_s"] == pytest.approx(span["mean_s"] * 3)
+        assert registry.timer_totals() == {"phase": span["total_s"]}
+
+    def test_span_aggregate_tracks_min_and_max(self):
+        registry = TelemetryRegistry(enabled=True)
+        registry.record_span("t", 0.5)
+        registry.record_span("t", 0.1)
+        registry.record_span("t", 0.3)
+        span = registry.timers()["t"]
+        assert span == {
+            "count": 3,
+            "total_s": pytest.approx(0.9),
+            "min_s": 0.1,
+            "max_s": 0.5,
+            "mean_s": pytest.approx(0.3),
+        }
+
+    def test_thread_safety_of_counters_and_spans(self):
+        registry = TelemetryRegistry(enabled=True)
+
+        def hammer():
+            for _ in range(1000):
+                registry.count("n")
+                registry.record_span("t", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counters()["n"] == 4000
+        assert registry.timers()["t"]["count"] == 4000
+
+    def test_context_manager_restores_previous_state(self):
+        registry = get_telemetry()
+        assert registry.enabled is False  # suite-wide default
+        with telemetry_enabled() as inner:
+            assert inner is registry and registry.enabled
+            with telemetry_enabled(False):
+                assert not registry.enabled
+            assert registry.enabled
+        assert registry.enabled is False
+
+    def test_reset_and_snapshot(self):
+        registry = TelemetryRegistry(enabled=True)
+        registry.count("c")
+        registry.record_span("t", 0.2)
+        snapshot = registry.snapshot()
+        assert snapshot["enabled"] and snapshot["counters"] == {"c": 1}
+        assert snapshot["timers"]["t"]["count"] == 1
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        assert registry.snapshot()["timers"] == {}
+
+
+class TestKernelInstrumentation:
+    def test_run_until_records_build_and_sim_spans(self):
+        with telemetry_enabled() as registry:
+            registry.reset()
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.run_until(2.0)
+            sim.run_until(4.0)
+            spans = registry.timers()
+        assert spans["scenario.build"]["count"] == 1  # once per simulator
+        assert spans["scenario.sim"]["count"] == 2  # once per run_until
+
+    def test_run_until_records_nothing_while_disabled(self):
+        registry = get_telemetry()
+        registry.reset()
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert registry.timers() == {}
+
+
+# --------------------------------------------------------------------------
+# Progress files
+# --------------------------------------------------------------------------
+
+
+class TestProgress:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        progress = CampaignProgress(
+            scenario="demo/random_walk",
+            total=10,
+            pending=2,
+            running=3,
+            done=4,
+            failed=1,
+            cached=2,
+            reused=1,
+            backend="spool",
+            complete=False,
+            started_at=100.0,
+            updated_at=101.5,
+            throughput_rps=2.5,
+            eta_s=0.8,
+            workers={"w1": {"state": "running", "age_s": 0.2}},
+        )
+        path = tmp_path / "progress.json"
+        write_progress(path, progress)
+        loaded = read_progress(path)
+        assert loaded == progress
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_read_missing_or_corrupt_returns_none(self, tmp_path):
+        assert read_progress(tmp_path / "absent.json") is None
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert read_progress(corrupt) is None
+        wrong_shape = tmp_path / "list.json"
+        wrong_shape.write_text("[1, 2]")
+        assert read_progress(wrong_shape) is None
+
+    def test_tracker_lifecycle_counts_partition_the_campaign(self, tmp_path):
+        path = tmp_path / "progress.json"
+        tracker = ProgressTracker(path, scenario="s", backend="inline", min_interval=0.0)
+        tracker.begin(total=6, reused=1, cached=1)
+        tracker.set_running(4)
+        snapshot = read_progress(path)
+        assert snapshot.total == 6 and snapshot.done == 2  # reused + cached
+        assert snapshot.running == 4 and snapshot.pending == 0
+        assert not snapshot.complete
+        tracker.record_record(ok=True)
+        tracker.record_record(ok=True)
+        tracker.record_record(ok=False)
+        tracker.record_record(ok=True)
+        tracker.finish()
+        final = read_progress(path)
+        assert final.complete
+        assert (final.done, final.failed, final.running, final.pending) == (5, 1, 0, 0)
+        assert final.done + final.failed == final.total
+        assert final.throughput_rps > 0
+        assert final.eta_s is None  # complete campaigns carry no ETA
+
+    def test_tracker_throttles_intermediate_writes(self, tmp_path):
+        path = tmp_path / "progress.json"
+        tracker = ProgressTracker(path, scenario="s", min_interval=3600.0)
+        tracker.begin(total=3)  # forced write
+        first = path.read_text()
+        tracker.record_record(ok=True)
+        tracker.record_record(ok=True)
+        assert path.read_text() == first  # throttled
+        tracker.finish()  # forced write
+        assert read_progress(path).done == 2
+
+    def test_tracker_creates_its_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "progress.json"
+        tracker = ProgressTracker(path, scenario="s")
+        tracker.begin(total=1)
+        assert read_progress(path) is not None
+
+    def test_eta_reflects_remaining_over_throughput(self, tmp_path):
+        tracker = ProgressTracker(tmp_path / "p.json", scenario="s", min_interval=0.0)
+        tracker.begin(total=100)
+        tracker._started_mono -= 10.0  # pretend 10s elapsed
+        for _ in range(10):
+            tracker.record_record(ok=True)
+        snapshot = tracker.snapshot()
+        assert snapshot.throughput_rps == pytest.approx(1.0, rel=0.05)
+        assert snapshot.eta_s == pytest.approx(90.0, rel=0.05)
+
+
+# --------------------------------------------------------------------------
+# Event log
+# --------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_and_read_round_trip(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl", source="me")
+        log.emit("worker_start", pid=1)
+        log.emit("task_claimed", task="task-00000")
+        events = read_events(tmp_path / "events.jsonl")
+        assert [event["kind"] for event in events] == ["worker_start", "task_claimed"]
+        assert all(event["source"] == "me" for event in events)
+        assert all("ts" in event for event in events)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("task_exploded")
+
+    def test_missing_directory_drops_instead_of_creating(self, tmp_path):
+        log = EventLog(tmp_path / "spool" / "events.jsonl", source="w")
+        assert log.emit("worker_start") is None
+        assert log.dropped == 1
+        assert not (tmp_path / "spool").exists()  # never conjured the spool
+
+    def test_read_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("worker_start")
+        with path.open("a") as handle:
+            handle.write("{torn line\n")
+        log.emit("worker_exit")
+        assert [event["kind"] for event in read_events(path)] == [
+            "worker_start",
+            "worker_exit",
+        ]
+
+    def test_read_filters_by_kind(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("worker_start")
+        log.emit("cache_hit")
+        log.emit("cache_miss")
+        assert [e["kind"] for e in read_events(path, kinds={"cache_hit", "cache_miss"})] == [
+            "cache_hit",
+            "cache_miss",
+        ]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_follow_drains_remaining_events_before_stopping(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("worker_start")
+        stopped = threading.Event()
+
+        def append_then_stop():
+            log.emit("task_claimed", task="t")
+            log.emit("worker_exit")
+            stopped.set()
+
+        thread = threading.Thread(target=append_then_stop)
+        thread.start()
+        thread.join()
+        events = list(follow_events(path, poll_interval=0.01, stop=stopped.is_set))
+        assert [event["kind"] for event in events] == [
+            "worker_start",
+            "task_claimed",
+            "worker_exit",
+        ]
+
+
+# --------------------------------------------------------------------------
+# Runner and spool integration
+# --------------------------------------------------------------------------
+
+
+class TestRunnerProgress:
+    def test_store_campaign_writes_progress_sidecar(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        result = ParallelCampaignRunner(store=ResultStore(store_path)).run(
+            "demo/random_walk", seeds=[1, 2, 3]
+        )
+        assert result.failures == 0
+        progress = read_progress(tmp_path / "results.jsonl.progress.json")
+        assert progress.scenario == "demo/random_walk"
+        assert progress.complete and progress.backend == "inline"
+        assert (progress.total, progress.done, progress.failed) == (3, 3, 0)
+
+    def test_resumed_campaign_reports_reuse(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        ParallelCampaignRunner(store=store).run("demo/random_walk", seeds=[1, 2])
+        ParallelCampaignRunner(store=ResultStore(store.path)).run(
+            "demo/random_walk", seeds=[1, 2]
+        )
+        progress = read_progress(f"{store.path}.progress.json")
+        assert progress.complete
+        assert progress.reused == 2 and progress.done == 2
+
+    def test_explicit_progress_path_without_store(self, tmp_path):
+        path = tmp_path / "campaign-progress.json"
+        ParallelCampaignRunner(progress_path=path).run("demo/random_walk", seeds=[1])
+        assert read_progress(path).complete
+
+    def test_no_store_no_progress_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ParallelCampaignRunner().run("demo/random_walk", seeds=[1])
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSpoolObservability:
+    def test_two_worker_campaign_event_ordering_and_progress(self, tmp_path):
+        spool_root = tmp_path / "spool"
+        backend = SpoolBackend(spool_root, workers=2, timeout=120.0, poll_interval=0.01)
+        result = ParallelCampaignRunner(backend=backend).run(
+            "demo/random_walk", seeds=[1, 2, 3, 4]
+        )
+        assert result.failures == 0
+
+        events = read_events(spool_root / "events.jsonl")
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "campaign_start"
+        assert "campaign_complete" in kinds
+        assert kinds.index("campaign_complete") > max(
+            index for index, kind in enumerate(kinds) if kind == "task_completed"
+        )
+        assert all(kind in EVENT_KINDS for kind in kinds)
+        # Each task's lifecycle is ordered within the single append-only log:
+        # its claim precedes its completion.
+        for task_id in {e["task"] for e in events if e["kind"] == "task_completed"}:
+            claimed_at = next(
+                i for i, e in enumerate(events)
+                if e["kind"] == "task_claimed" and e["task"] == task_id
+            )
+            completed_at = next(
+                i for i, e in enumerate(events)
+                if e["kind"] == "task_completed" and e["task"] == task_id
+            )
+            assert claimed_at < completed_at
+        completed = [e for e in events if e["kind"] == "task_completed"]
+        assert sum(e["cells"] for e in completed) == 4
+        # Two real worker processes both appended under their own source ids.
+        sources = {e["source"] for e in events if e["kind"] == "worker_start"}
+        assert len(sources) == 2
+
+        progress = read_progress(spool_root / "progress.json")
+        assert progress.complete and progress.backend == "spool"
+        assert (progress.total, progress.done, progress.failed) == (4, 4, 0)
+        heartbeats = Spool(spool_root).worker_heartbeats()
+        assert len(heartbeats) == 2
+        for heartbeat in heartbeats.values():
+            assert heartbeat["state"] == "exited"
+            assert heartbeat["tasks_completed"] >= 0
+            assert "age_s" in heartbeat
+
+    def test_worker_reports_reclaimed_lease(self, tmp_path, caplog):
+        spool = Spool(tmp_path / "spool", lease_timeout=0.01)
+        spec, cells = _demo_cells([1])
+        spool.initialise(metadata={"scenario": spec.name})
+        (task,) = shard_cells(cells, spec.name, task_size=1)
+        spool.publish_task(task)
+        claimed = spool.claim(task.task_id)
+        # Backdate the lease so it looks like a dead worker's claim.
+        stale = time.time() - 60.0
+        os.utime(claimed.claimed_path, (stale, stale))
+        with caplog.at_level(logging.WARNING, logger="repro.distributed.worker"):
+            stats = run_worker(
+                spool.root, idle_timeout=0.5, poll_interval=0.01, lease_timeout=0.01
+            )
+        assert stats.tasks_completed == 1
+        assert any("reclaimed expired lease" in message for message in caplog.messages)
+        reclaim_events = read_events(spool.events_path, kinds={"task_reclaimed"})
+        assert [event["task"] for event in reclaim_events] == [task.task_id]
+
+    def test_coordinator_reports_dead_workers_as_they_die(self, tmp_path, caplog, monkeypatch):
+        def dead_worker(self):
+            return subprocess.Popen([sys.executable, "-c", "import sys; sys.exit(3)"])
+
+        monkeypatch.setattr(SpoolBackend, "_spawn_worker", dead_worker)
+        backend = SpoolBackend(tmp_path / "spool", workers=2, poll_interval=0.01)
+        with caplog.at_level(logging.WARNING, logger="repro.distributed.coordinator"):
+            with pytest.raises(SpoolDispatchError, match="exited"):
+                ParallelCampaignRunner(backend=backend).run("demo/random_walk", seeds=[1, 2])
+        early = [message for message in caplog.messages if "exited early" in message]
+        assert len(early) == 2  # one warning per dead worker, as observed
+        dead_events = read_events(tmp_path / "spool" / "events.jsonl", kinds={"worker_dead"})
+        assert len(dead_events) == 2
+        assert all(event["returncode"] == 3 for event in dead_events)
+
+    def test_worker_exit_stats_include_busy_time_and_reason(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        spec, cells = _demo_cells([1, 2])
+        spool.initialise(metadata={"scenario": spec.name})
+        for task in shard_cells(cells, spec.name, task_size=1):
+            spool.publish_task(task)
+        stats = run_worker(spool.root, idle_timeout=0.01, poll_interval=0.01)
+        assert stats.tasks_completed == 2
+        assert stats.busy_s > 0
+        assert stats.exit_reason == "idle_timeout"
+        exits = read_events(spool.events_path, kinds={"worker_exit"})
+        assert exits[0]["reason"] == "idle_timeout"
+        assert exits[0]["tasks_completed"] == 2
+
+
+# --------------------------------------------------------------------------
+# Cache effectiveness counters
+# --------------------------------------------------------------------------
+
+
+class TestCacheCounters:
+    def test_session_counters_track_hits_misses_puts(self, tmp_path):
+        cache = CacheIndex(tmp_path / "cache")
+        runner = ParallelCampaignRunner(cache=cache)
+        runner.run("demo/random_walk", seeds=[1, 2])
+        assert cache.session_stats() == {"hits": 0, "misses": 2, "puts": 2}
+        warm = CacheIndex(tmp_path / "cache")
+        ParallelCampaignRunner(cache=warm).run("demo/random_walk", seeds=[1, 2])
+        assert warm.session_stats() == {"hits": 2, "misses": 0, "puts": 0}
+
+    def test_flush_accumulates_lifetime_stats_across_instances(self, tmp_path):
+        cache = CacheIndex(tmp_path / "cache")
+        ParallelCampaignRunner(cache=cache).run("demo/random_walk", seeds=[1])
+        # The runner flushes after the campaign; flushing again is a no-op.
+        assert cache.flush_stats() is False
+        fresh = CacheIndex(tmp_path / "cache")
+        ParallelCampaignRunner(cache=fresh).run("demo/random_walk", seeds=[1])
+        lifetime = CacheIndex(tmp_path / "cache").lifetime_stats()
+        assert lifetime == {"hits": 1, "misses": 1, "puts": 1}
+        assert CacheIndex(tmp_path / "cache").stats()["lifetime"] == lifetime
+
+    def test_telemetry_counters_mirror_cache_traffic(self, tmp_path):
+        with telemetry_enabled() as registry:
+            registry.reset()
+            cache = CacheIndex(tmp_path / "cache")
+            ParallelCampaignRunner(cache=cache).run("demo/random_walk", seeds=[1])
+            counters = registry.counters()
+        assert counters["cache.miss"] == 1
+        assert counters["cache.put"] == 1
+
+
+# --------------------------------------------------------------------------
+# CLI surface: status, tail, profile, log-level
+# --------------------------------------------------------------------------
+
+
+class TestStatusAndTailCli:
+    def _complete_campaign(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert cli_main(["run", "demo/random_walk", "--seeds", "2", "--store", store]) == 0
+        return store
+
+    def test_status_on_store_sidecar(self, tmp_path, capsys):
+        store = self._complete_campaign(tmp_path)
+        capsys.readouterr()
+        assert cli_main(["status", store]) == 0
+        out = capsys.readouterr().out
+        assert "demo/random_walk" in out and "complete" in out and "2/2 done" in out
+
+    def test_status_json_parses_and_matches_schema(self, tmp_path, capsys):
+        store = self._complete_campaign(tmp_path)
+        capsys.readouterr()
+        assert cli_main(["status", store, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["complete"] is True
+        assert document["done"] == document["total"] == 2
+
+    def test_status_on_spool_directory(self, tmp_path, capsys):
+        spool_root = tmp_path / "spool"
+        backend = SpoolBackend(spool_root, workers=1, timeout=120.0, poll_interval=0.01)
+        ParallelCampaignRunner(backend=backend).run("demo/random_walk", seeds=[1, 2])
+        capsys.readouterr()
+        assert cli_main(["status", str(spool_root)]) == 0
+        out = capsys.readouterr().out
+        assert "[spool] complete" in out and "2/2 done" in out
+
+    def test_status_missing_progress_file(self, tmp_path, capsys):
+        assert cli_main(["status", str(tmp_path / "nowhere.jsonl")]) == 1
+        assert "no progress file" in capsys.readouterr().err
+
+    def test_tail_prints_events_and_filters_kinds(self, tmp_path, capsys):
+        spool_root = tmp_path / "spool"
+        backend = SpoolBackend(spool_root, workers=1, timeout=120.0, poll_interval=0.01)
+        ParallelCampaignRunner(backend=backend).run("demo/random_walk", seeds=[1, 2])
+        capsys.readouterr()
+        assert cli_main(["tail", str(spool_root), "-n", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign_start" in out and "campaign_complete" in out
+        assert cli_main(["tail", str(spool_root), "--kind", "task_completed"]) == 0
+        filtered = capsys.readouterr().out
+        assert "task_completed" in filtered and "campaign_start" not in filtered
+
+    def test_tail_respects_line_limit(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, source="w")
+        for index in range(10):
+            log.emit("cache_miss", index=index)
+        capsys.readouterr()
+        assert cli_main(["tail", str(path), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3 and "index=9" in lines[-1]
+
+    def test_tail_unknown_kind_and_missing_log(self, tmp_path, capsys):
+        assert cli_main(["tail", str(tmp_path), "--kind", "nope"]) == 2
+        assert "unknown event kind" in capsys.readouterr().err
+        assert cli_main(["tail", str(tmp_path)]) == 1
+        assert "no event log" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_profile_prints_phase_table_and_writes_sidecar(self, tmp_path, capsys):
+        # demo/safety_kernel actually drives the event kernel, so its cells
+        # have a nonzero scenario.sim phase (demo/random_walk is pure numpy).
+        store = str(tmp_path / "results.jsonl")
+        assert cli_main(
+            ["run", "demo/safety_kernel", "--seeds", "2", "--store", store, "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase profile over 2 executed cell(s)" in out
+        assert "scenario.sim" in out
+        sidecar = json.loads((tmp_path / "results.jsonl.profile.json").read_text())
+        assert sidecar["scenario"] == "demo/safety_kernel"
+        assert len(sidecar["cells"]) == 2
+        for cell in sidecar["cells"]:
+            assert set(cell["phases"]) == {"scenario.build", "scenario.sim", "run.collect"}
+            assert cell["phases"]["scenario.sim"] > 0
+        assert {row["phase"] for row in sidecar["summary"]} == {
+            "scenario.build",
+            "scenario.sim",
+            "run.collect",
+        }
+
+    def test_profile_leaves_global_telemetry_disabled(self, tmp_path):
+        assert get_telemetry().enabled is False
+        assert cli_main(["run", "demo/random_walk", "--seeds", "1", "--profile"]) == 0
+        assert get_telemetry().enabled is False
+
+    def test_report_surfaces_profile_sidecar(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert cli_main(
+            ["run", "demo/random_walk", "--seeds", "2", "--store", store, "--profile"]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["report", store]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out and "scenario.sim" in out
+
+    def test_profile_rejects_parallel_backends(self, tmp_path, capsys):
+        rc = cli_main(["run", "demo/random_walk", "--seeds", "2", "--jobs", "2", "--profile"])
+        assert rc == 2
+        assert "--profile requires inline execution" in capsys.readouterr().err
+
+    def test_cache_counters_in_run_output(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert cli_main(["run", "demo/random_walk", "--seeds", "2", "--cache", cache]) == 0
+        assert "cache: 0 hit(s), 2 miss(es), 2 put(s)" in capsys.readouterr().out
+        assert cli_main(["run", "demo/random_walk", "--seeds", "2", "--cache", cache]) == 0
+        assert "cache: 2 hit(s), 0 miss(es), 0 put(s)" in capsys.readouterr().out
+        assert cli_main(["cache", "stats", cache]) == 0
+        stats_out = capsys.readouterr().out
+        assert "lifetime: 2 hit(s), 2 miss(es), 2 put(s)" in stats_out
+
+
+class TestLogLevelFlag:
+    def test_log_level_flag_accepted_on_subcommands(self, tmp_path, capsys):
+        assert cli_main(["list", "--log-level", "info"]) == 0
+        capsys.readouterr()
+        store = str(tmp_path / "results.jsonl")
+        assert cli_main(
+            ["run", "demo/random_walk", "--seeds", "1", "--store", store,
+             "--log-level", "debug"]
+        ) == 0
+        assert logging.getLogger().level == logging.DEBUG
+        assert cli_main(["status", store, "--log-level", "error"]) == 0
+        assert logging.getLogger().level == logging.ERROR

@@ -66,12 +66,29 @@ def test_every_workload_is_pinned():
     assert set(PINNED) == set(WORKLOADS)
 
 
-def test_same_seed_physics_is_byte_identical():
-    observed = {name: WORKLOADS[name]() for name in PINNED}
+def test_same_seed_physics_is_byte_identical_with_telemetry_enabled():
+    """All 20 pinned fingerprints, computed WITH telemetry recording.
+
+    This is the observability subsystem's hard rule: telemetry never draws
+    randomness, never reorders simulator events, and never contributes to
+    result bytes — so the fingerprints must match the pins exactly as they
+    do with telemetry off (the suite's every other test runs with the
+    default disabled registry and covers that side).
+    """
+    from repro.observability.telemetry import telemetry_enabled
+
+    with telemetry_enabled() as registry:
+        registry.reset()
+        observed = {name: WORKLOADS[name]() for name in PINNED}
+        spans = registry.timers()
     drifted = sorted(name for name in PINNED if observed[name] != PINNED[name])
     assert not drifted, (
         f"same-seed physics drifted from the pinned wiring for: {drifted}"
     )
+    # Prove telemetry was actually live during the workloads, so the
+    # byte-identity above tested the instrumented path, not a no-op.
+    assert spans.get("scenario.sim", {}).get("count", 0) > 0
+    assert spans.get("scenario.build", {}).get("count", 0) > 0
 
 
 def test_physics_does_not_depend_on_hash_seed():
