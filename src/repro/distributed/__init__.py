@@ -20,16 +20,24 @@ machines using nothing but a shared filesystem (NFS mount, bind mount,
 
 from repro.distributed.cache import CacheIndex
 from repro.distributed.coordinator import SpoolBackend, SpoolDispatchError, merge_spool_results
-from repro.distributed.spool import ClaimedTask, Spool, SpoolTask
+from repro.distributed.spool import (
+    DEFAULT_MAX_TASK_ATTEMPTS,
+    ClaimedTask,
+    Spool,
+    SpoolTask,
+    TornShardError,
+)
 from repro.distributed.worker import WorkerStats, run_worker
 
 __all__ = [
     "CacheIndex",
     "ClaimedTask",
+    "DEFAULT_MAX_TASK_ATTEMPTS",
     "Spool",
     "SpoolBackend",
     "SpoolDispatchError",
     "SpoolTask",
+    "TornShardError",
     "WorkerStats",
     "merge_spool_results",
     "run_worker",

@@ -29,6 +29,7 @@ current process.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from pathlib import Path
@@ -37,10 +38,21 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from repro.experiments.runner import RunRecord
 from repro.observability.progress import atomic_write_text
 from repro.observability.telemetry import TELEMETRY
+from repro.resilience.faults import inject
+
+logger = logging.getLogger(__name__)
 
 
 class CacheIndex:
-    """Filesystem-backed content-addressed store of successful run records."""
+    """Filesystem-backed content-addressed store of successful run records.
+
+    Resilience semantics: a *corrupt* entry (garbled JSON, wrong shape) is
+    repaired on read — the object is deleted so the re-executed run can
+    re-publish a good one — and an *unreachable* cache (permission error,
+    dead mount: any OSError other than a plain missing entry) degrades the
+    whole index: one warning, then every get/put is a silent no-op.  A
+    campaign never fails because its cache did; it just runs uncached.
+    """
 
     def __init__(self, root: Union[str, os.PathLike]):
         self.root = Path(root)
@@ -48,7 +60,27 @@ class CacheIndex:
         self.hits = 0
         self.misses = 0
         self.puts = 0
-        self._flushed = (0, 0, 0)
+        #: Corrupt entries deleted on read this session.
+        self.repairs = 0
+        self._flushed = (0, 0, 0, 0)
+        #: Set after the first infrastructure-level OSError; see degraded.
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """True once the cache has been abandoned for this session."""
+        return self._degraded
+
+    def _degrade(self, exc: OSError) -> None:
+        if self._degraded:
+            return
+        self._degraded = True
+        TELEMETRY.count("cache.degraded")
+        logger.warning(
+            "result cache %s is unreachable (%s); continuing uncached",
+            self.root,
+            exc,
+        )
 
     @property
     def objects_dir(self) -> Path:
@@ -65,16 +97,41 @@ class CacheIndex:
 
     # ------------------------------------------------------------------ access
     def get(self, key: Optional[str]) -> Optional[RunRecord]:
-        """The cached record for ``key``, or ``None`` on miss/corruption."""
-        if key is None:
+        """The cached record for ``key``, or ``None`` on miss.
+
+        Corrupt entries are *repaired on read*: the garbled object is
+        deleted (so the re-executed run re-publishes a good one) and the
+        lookup counts as a miss.  Infrastructure failures degrade the
+        whole index instead — see the class docstring.
+        """
+        if key is None or self._degraded:
             return None
         path = self.path_for(key)
+        corrupt = False
         try:
+            inject("cache.get", key=key)
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             record = RunRecord.from_json_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             record = None
+        except (ValueError, KeyError, TypeError):
+            record = None
+            corrupt = True
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+        if corrupt:
+            self.repairs += 1
+            TELEMETRY.count("cache.repair")
+            logger.warning(
+                "corrupt cache object %s removed (repair-on-read); the cell re-executes",
+                path.name,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
         if record is not None and record.ok:
             self.hits += 1
             TELEMETRY.count("cache.hit")
@@ -85,11 +142,25 @@ class CacheIndex:
 
     def put(self, key: Optional[str], record: RunRecord) -> bool:
         """Cache one successful record; failures and key-less runs are skipped."""
-        if key is None or not record.ok:
+        if key is None or not record.ok or self._degraded:
             return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, json.dumps(record.to_json_dict(), sort_keys=True))
+        try:
+            rule = inject("cache.put", key=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps(record.to_json_dict(), sort_keys=True))
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        if rule is not None and rule.kind == "corrupt":
+            # Garble the just-written object in place (simulates a cache
+            # host losing the tail of the write after the rename landed).
+            keep = int(rule.args.get("keep_bytes", 10))
+            with path.open("r+", encoding="utf-8") as handle:
+                content = handle.read()
+                handle.seek(0)
+                handle.truncate()
+                handle.write(content[:keep])
         self.puts += 1
         TELEMETRY.count("cache.put")
         return True
@@ -99,8 +170,13 @@ class CacheIndex:
 
     # ------------------------------------------------------------ effectiveness
     def session_stats(self) -> Dict[str, int]:
-        """Hit/miss/put counts recorded by *this* index instance."""
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        """Hit/miss/put/repair counts recorded by *this* index instance."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "repairs": self.repairs,
+        }
 
     def flush_stats(self) -> bool:
         """Append the not-yet-flushed session counts to the stats ledger.
@@ -111,34 +187,37 @@ class CacheIndex:
         best-effort and idempotent per count: each call appends only the
         delta since the previous flush.
         """
+        if self._degraded:
+            return False
         delta = (
             self.hits - self._flushed[0],
             self.misses - self._flushed[1],
             self.puts - self._flushed[2],
+            self.repairs - self._flushed[3],
         )
         if not any(delta):
             return False
-        line = json.dumps(
-            {
-                "ts": round(time.time(), 6),
-                "hits": delta[0],
-                "misses": delta[1],
-                "puts": delta[2],
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "ts": round(time.time(), 6),
+            "hits": delta[0],
+            "misses": delta[1],
+            "puts": delta[2],
+        }
+        if delta[3]:
+            payload["repairs"] = delta[3]
+        line = json.dumps(payload, sort_keys=True)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             with self.stats_path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
         except OSError:
             return False
-        self._flushed = (self.hits, self.misses, self.puts)
+        self._flushed = (self.hits, self.misses, self.puts, self.repairs)
         return True
 
     def lifetime_stats(self) -> Dict[str, int]:
-        """Hit/miss/put totals accumulated in the ledger across sessions."""
-        totals = {"hits": 0, "misses": 0, "puts": 0}
+        """Hit/miss/put/repair totals accumulated in the ledger across sessions."""
+        totals = {"hits": 0, "misses": 0, "puts": 0, "repairs": 0}
         try:
             handle = self.stats_path.open("r", encoding="utf-8")
         except OSError:

@@ -23,22 +23,46 @@ reports reclaimed leases and early worker deaths *as they happen* via
 
 from __future__ import annotations
 
+import hashlib
+import json
 import logging
 import os
 import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.distributed.spool import DEFAULT_LEASE_TIMEOUT, Spool, shard_cells
+from repro.distributed.spool import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_TASK_ATTEMPTS,
+    Spool,
+    SpoolTask,
+    TornShardError,
+    shard_cells,
+)
 from repro.experiments.runner import ExecutionBackend, RunRecord
-from repro.experiments.spec import RunSpec, ScenarioSpec
+from repro.experiments.spec import RunSpec, ScenarioSpec, jsonable
 from repro.experiments.store import ResultStore
 from repro.observability.events import EventLog
 from repro.observability.progress import ProgressTracker
+from repro.resilience.faults import GENERATION_ENV, inject
 
 logger = logging.getLogger(__name__)
+
+
+def _campaign_id(payload: str, cells: Sequence[Tuple[Dict[str, Any], int, int]], task_size: int) -> str:
+    """Content id of a campaign's exact work list (scenario + cells + sharding).
+
+    Stored in ``campaign.json``: a restarted coordinator recomputes it from
+    its own pending cells and resumes the spool's campaign *only* on an
+    exact match — anything else is a different campaign and gets the usual
+    purge-and-republish."""
+    blob = json.dumps(
+        {"scenario": payload, "cells": jsonable(list(cells)), "task_size": task_size},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class SpoolDispatchError(RuntimeError):
@@ -65,16 +89,30 @@ class SpoolBackend(ExecutionBackend):
         timeout: Optional[float] = None,
         worker_cache_root: Optional[Union[str, os.PathLike]] = None,
         scenario_modules: Sequence[str] = (),
+        max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+        max_respawns: int = 0,
+        worker_retries: Optional[int] = None,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
-        self.spool = Spool(spool_root, lease_timeout=lease_timeout)
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.spool = Spool(
+            spool_root, lease_timeout=lease_timeout, max_task_attempts=max_task_attempts
+        )
         self.workers = int(workers)
         self.task_size = int(task_size)
         self.poll_interval = float(poll_interval)
         self.timeout = timeout
         self.worker_cache_root = worker_cache_root
         self.scenario_modules = tuple(scenario_modules)
+        #: Budget of replacement workers spawned when a spawned worker dies
+        #: before campaign completion.  Each respawn runs at the next fault
+        #: generation (``REPRO_FAULT_GENERATION``), so generation-gated
+        #: crash rules kill the first wave but let replacements run clean.
+        self.max_respawns = int(max_respawns)
+        #: ``--retries`` forwarded to spawned workers (None = their default).
+        self.worker_retries = worker_retries
 
     # ----------------------------------------------------------------- backend
     def execute(
@@ -94,16 +132,19 @@ class SpoolBackend(ExecutionBackend):
             )
         cells = [(run_spec.params, run_spec.seed, run_spec.index) for run_spec in pending]
         tasks = shard_cells(cells, payload, self.task_size)
-        self.spool.initialise(
-            metadata={
-                "scenario": spec.name,
-                "cells": len(cells),
-                "tasks": len(tasks),
-                "task_size": self.task_size,
-            }
-        )
-        for task in tasks:
-            self.spool.publish_task(task)
+        campaign_id = _campaign_id(payload, cells, self.task_size)
+        metadata = {
+            "scenario": spec.name,
+            "cells": len(cells),
+            "tasks": len(tasks),
+            "task_size": self.task_size,
+            "campaign_id": campaign_id,
+        }
+        recovery = self._try_resume(campaign_id, tasks, metadata)
+        if recovery is None:
+            self.spool.initialise(metadata=metadata)
+            for task in tasks:
+                self.spool.publish_task(task)
 
         # The coordinator's own progress file lives inside the spool, where
         # `status <spool>` (and workers on other hosts) can see it; the
@@ -117,24 +158,41 @@ class SpoolBackend(ExecutionBackend):
         tracker.begin(
             total=len(records), reused=sum(1 for record in records if record is not None)
         )
-        events.emit(
-            "campaign_start",
-            scenario=spec.name,
-            cells=len(cells),
-            tasks=len(tasks),
-            workers=self.workers,
-        )
+        if recovery is not None:
+            logger.warning(
+                "resuming campaign %s on spool %s: %d shard(s) already done, "
+                "%d torn shard(s) dropped, %d task(s) republished",
+                campaign_id[:12],
+                self.spool.root,
+                recovery["completed"],
+                recovery["torn_shards"],
+                recovery["republished"],
+            )
+            events.emit("campaign_resumed", scenario=spec.name, **recovery)
+        else:
+            events.emit(
+                "campaign_start",
+                scenario=spec.name,
+                cells=len(cells),
+                tasks=len(tasks),
+                workers=self.workers,
+            )
         cells_by_task = {task.task_id: len(task.cells) for task in tasks}
-        worker_processes = [self._spawn_worker() for _ in range(self.workers)]
+        task_by_id = {task.task_id: task for task in tasks}
+        worker_slots: List[Dict[str, Any]] = [
+            {"process": self._spawn_worker(), "generation": 0, "reported": False}
+            for _ in range(self.workers)
+        ]
         ok = False
         try:
             self._collect(
                 pending,
                 records,
-                worker_processes,
+                worker_slots,
                 events=events,
                 trackers=trackers,
                 cells_by_task=cells_by_task,
+                task_by_id=task_by_id,
             )
             ok = True
         finally:
@@ -142,7 +200,7 @@ class SpoolBackend(ExecutionBackend):
             self.spool.mark_complete()
             events.emit("campaign_complete", ok=ok)
             tracker.finish(complete=ok)
-            self._join_workers(worker_processes)
+            self._join_workers([slot["process"] for slot in worker_slots])
 
     def finalize(self, spec: ScenarioSpec) -> None:
         """Publish the completion marker even when nothing was dispatched.
@@ -155,7 +213,55 @@ class SpoolBackend(ExecutionBackend):
         self.spool.mark_complete()
 
     # --------------------------------------------------------------- internals
-    def _spawn_worker(self) -> subprocess.Popen:
+    def _try_resume(
+        self,
+        campaign_id: str,
+        tasks: Sequence[SpoolTask],
+        metadata: Dict[str, Any],
+    ) -> Optional[Dict[str, int]]:
+        """Adopt an interrupted campaign's spool state instead of purging it.
+
+        Called before :meth:`Spool.initialise`: when the spool's recorded
+        ``campaign_id`` matches this exact work list, a previous coordinator
+        (killed mid-campaign, crashed, or power-cut) left partial state we
+        can converge from — valid shards are kept, torn shards dropped, and
+        tasks that are nowhere (not pending, claimed, done, or quarantined)
+        are republished.  Claims are deliberately *not* force-reclaimed:
+        their holders may be live external workers, and expired leases are
+        reaped by the normal collect loop.  Returns the recovery stats, or
+        ``None`` when the spool holds a different campaign (purge as usual).
+        """
+        if self.spool.metadata().get("campaign_id") != campaign_id or not self.spool.exists():
+            return None
+        try:
+            self.spool.complete_marker.unlink()
+        except FileNotFoundError:
+            pass
+        torn = 0
+        for task in tasks:
+            shard_path = self.spool.results_dir / f"{task.task_id}.jsonl"
+            if shard_path.exists() and not self.spool.verify_shard(task.task_id):
+                try:
+                    shard_path.unlink()
+                except FileNotFoundError:
+                    pass
+                torn += 1
+        task_ids = {task.task_id for task in tasks}
+        present: Set[str] = set(self.spool.pending_task_ids())
+        present.update(self.spool.claimed_task_ids())
+        present.update(self.spool.quarantined_task_ids())
+        done = set(self.spool.completed_task_ids()) & task_ids
+        present.update(done)
+        republished = 0
+        for task in tasks:
+            if task.task_id not in present:
+                self.spool.publish_task(task)
+                republished += 1
+        # Refresh the published lease/attempt policy for this coordinator.
+        self.spool.write_campaign_metadata(metadata)
+        return {"completed": len(done), "torn_shards": torn, "republished": republished}
+
+    def _spawn_worker(self, generation: int = 0) -> subprocess.Popen:
         command = [
             sys.executable,
             "-m",
@@ -168,6 +274,8 @@ class SpoolBackend(ExecutionBackend):
         ]
         if self.worker_cache_root is not None:
             command += ["--cache", str(self.worker_cache_root)]
+        if self.worker_retries is not None:
+            command += ["--retries", str(self.worker_retries)]
         for module in self.scenario_modules:
             command += ["--import", module]
         # The parent may have repro importable via sys.path manipulation
@@ -182,16 +290,20 @@ class SpoolBackend(ExecutionBackend):
             env["PYTHONPATH"] = (
                 package_root + (os.pathsep + existing if existing else "")
             )
+        # Respawned workers run at the next fault generation so that
+        # generation-gated chaos rules (max_generation: 0) spare them.
+        env[GENERATION_ENV] = str(generation)
         return subprocess.Popen(command, stdout=subprocess.DEVNULL, env=env)
 
     def _collect(
         self,
         pending: Sequence[RunSpec],
         records: List[Optional[RunRecord]],
-        worker_processes: Sequence[subprocess.Popen] = (),
+        worker_slots: Optional[List[Dict[str, Any]]] = None,
         events: Optional[EventLog] = None,
         trackers: Sequence[ProgressTracker] = (),
         cells_by_task: Optional[Dict[str, int]] = None,
+        task_by_id: Optional[Dict[str, SpoolTask]] = None,
     ) -> None:
         expected: Set[int] = {run_spec.index for run_spec in pending}
         # Accept a shard record only when it is for this campaign's cell:
@@ -217,8 +329,37 @@ class SpoolBackend(ExecutionBackend):
                     continue
                 if stale_shard_mtime.get(task_id) == mtime:
                     continue
+                try:
+                    shard_records = self.spool.read_result_shard(task_id)
+                except TornShardError:
+                    # A partial write slipped to the final path (fault
+                    # injection, or a filesystem that tore the rename's
+                    # backing write).  Drop it and republish the task so
+                    # its cells re-execute: merging half a shard would
+                    # silently diverge from the serial store.
+                    logger.warning(
+                        "torn result shard %s detected; discarding and re-executing",
+                        task_id,
+                    )
+                    try:
+                        shard_path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    stale_shard_mtime.pop(task_id, None)
+                    if events is not None:
+                        events.emit("shard_torn", task=task_id)
+                    task = (task_by_id or {}).get(task_id)
+                    if task is not None and not (
+                        (self.spool.tasks_dir / f"{task_id}.json").exists()
+                        or (self.spool.claimed_dir / f"{task_id}.json").exists()
+                        or (self.spool.quarantine_dir / f"{task_id}.json").exists()
+                    ):
+                        self.spool.publish_task(task)
+                    continue
+                except FileNotFoundError:
+                    continue
                 matched = True
-                for index, record in self.spool.read_result_shard(task_id):
+                for index, record in shard_records:
                     if index in expected and record.key == key_by_index[index]:
                         records[index] = record
                         if index not in filled:
@@ -236,6 +377,48 @@ class SpoolBackend(ExecutionBackend):
                     # i.e. the real worker atomically replaced it.
                     stale_shard_mtime[task_id] = mtime
 
+        handled_quarantine: Set[str] = set()
+
+        def absorb_quarantined() -> None:
+            """Synthesise failed records for poison tasks so the campaign
+            completes (with visible failures) instead of stalling forever."""
+            for task_id in self.spool.quarantined_task_ids():
+                if task_id in handled_quarantine:
+                    continue
+                handled_quarantine.add(task_id)
+                task = (task_by_id or {}).get(task_id)
+                if task is None:
+                    continue  # another campaign's leftovers; not our cells
+                attempts = max(1, self.spool.reclaim_count(task_id) + 1)
+                logger.error(
+                    "task %s quarantined as poison after %d failed attempt(s); "
+                    "its cells are recorded as failures "
+                    "(`quarantine retry` re-queues it)",
+                    task_id,
+                    attempts,
+                )
+                if events is not None:
+                    events.emit("task_quarantined", task=task_id, attempts=attempts)
+                for params, seed, index in task.cells:
+                    if index not in expected or index in filled:
+                        continue
+                    record = RunRecord(
+                        scenario=task.scenario,
+                        params=dict(params),
+                        seed=seed,
+                        status="failed",
+                        error=(
+                            f"task {task_id} quarantined after {attempts} "
+                            "failed execution attempt(s)"
+                        ),
+                        error_class="TaskQuarantined",
+                        attempts=attempts,
+                    )
+                    records[index] = record
+                    filled.add(index)
+                    for tracker in trackers:
+                        tracker.record_record(ok=False)
+
         def update_liveness() -> None:
             """Fold claimed-cell counts and worker heartbeats into progress."""
             if not trackers:
@@ -249,23 +432,30 @@ class SpoolBackend(ExecutionBackend):
                 tracker.set_running(running)
                 tracker.set_workers(heartbeats)
 
-        reported_dead: Set[int] = set()
+        # NOTE: respawns append to the caller's list so execute()'s finally
+        # block joins replacements too, not just the first wave.
+        worker_slots = worker_slots if worker_slots is not None else []
+        respawns_left = self.max_respawns if worker_slots else 0
         started = time.time()
         while filled != expected:
+            inject("coordinator.poll")
             ingest_new_shards()
+            absorb_quarantined()
             update_liveness()
             if filled == expected:
                 break
             # Spawned workers only exit on the completion marker, which is
             # not set yet: any exit here is a crash.  Report each death as it
-            # is observed; with no survivors (and no external workers
-            # assumed) waiting longer is hopeless — but sweep once more
-            # first, in case the last worker died *after* writing the final
-            # shard.
-            for position, process in enumerate(worker_processes):
-                if position in reported_dead or process.poll() is None:
+            # is observed and — with respawn budget left — start a
+            # replacement at the next fault generation.  With every slot
+            # dead and no budget (and no external workers assumed), waiting
+            # longer is hopeless — but sweep once more first, in case the
+            # last worker died *after* writing the final shard.
+            for slot in worker_slots:
+                process = slot["process"]
+                if slot["reported"] or process.poll() is None:
                     continue
-                reported_dead.add(position)
+                slot["reported"] = True
                 logger.warning(
                     "spawned spool worker (pid %d) exited early with return "
                     "code %s before campaign completion",
@@ -276,13 +466,33 @@ class SpoolBackend(ExecutionBackend):
                     events.emit(
                         "worker_dead", pid=process.pid, returncode=process.returncode
                     )
-            if worker_processes and len(reported_dead) == len(worker_processes):
+                if respawns_left > 0:
+                    respawns_left -= 1
+                    generation = slot["generation"] + 1
+                    replacement = self._spawn_worker(generation)
+                    logger.warning(
+                        "respawned worker (pid %d, generation %d; %d respawn(s) left)",
+                        replacement.pid,
+                        generation,
+                        respawns_left,
+                    )
+                    if events is not None:
+                        events.emit(
+                            "worker_respawn",
+                            pid=replacement.pid,
+                            generation=generation,
+                        )
+                    worker_slots.append(
+                        {"process": replacement, "generation": generation, "reported": False}
+                    )
+            if worker_slots and all(slot["reported"] for slot in worker_slots):
                 ingest_new_shards()
+                absorb_quarantined()
                 if filled == expected:
                     break
-                codes = [process.returncode for process in worker_processes]
+                codes = [slot["process"].returncode for slot in worker_slots]
                 raise SpoolDispatchError(
-                    f"all {len(worker_processes)} spawned spool worker(s) "
+                    f"all {len(worker_slots)} spawned spool worker(s) "
                     f"exited (return codes {codes}) with "
                     f"{len(expected - filled)} cell(s) unfinished; check the "
                     "workers' stderr for import or startup errors"
@@ -331,7 +541,14 @@ def merge_spool_results(
     """
     spool = spool if isinstance(spool, Spool) else Spool(spool)
     by_index: Dict[int, RunRecord] = {}
-    for index, record in spool.iter_result_records():
+    try:
+        shard_records = list(spool.iter_result_records())
+    except TornShardError as exc:
+        raise SpoolDispatchError(
+            f"spool {spool.root} holds a torn result shard ({exc}); "
+            "re-run the campaign on this spool to re-execute it before merging"
+        ) from exc
+    for index, record in shard_records:
         existing = by_index.get(index)
         if existing is not None and existing.key != record.key:
             raise SpoolDispatchError(

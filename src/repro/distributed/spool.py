@@ -9,7 +9,9 @@ lock-free work queue::
       complete.marker      # written when every cell has a merged result
       tasks/task-00000.json    # pending tasks (one JSON file per task)
       claimed/task-00000.json  # claimed tasks; mtime is the lease heartbeat
-      results/task-00000.jsonl # result shards (one JSON line per cell)
+      results/task-00000.jsonl # result shards (records + sha256 trailer)
+      quarantine/task-00000.json # poison tasks retired after N failed claims
+      attempts.jsonl       # append-only reclaim/quarantine/reset ledger
 
 Claiming is a single ``os.rename(tasks/X, claimed/X)``: rename of an
 existing file is atomic on POSIX, so exactly one of any number of racing
@@ -17,14 +19,25 @@ workers wins and the losers get ``FileNotFoundError``.  A claimed task's
 lease is its file's mtime; workers touch it between cells, and any process
 may *reclaim* a claimed task whose lease expired (dead worker) by renaming
 it back into ``tasks/``.  Result shards are written to a temporary file
-and renamed into place, so a shard is either absent or complete — partial
-writes are never observed.  Because every cell is deterministic, a reclaim
-racing a slow-but-alive worker is harmless: both executions produce the
-same shard bytes.
+and renamed into place, so a shard is either absent or complete — and each
+shard additionally ends with a ``{"sha256": ...}`` trailer over its record
+lines, so a *torn* shard (a filesystem that lost the tail of a write, or a
+fault-injected partial write) is detected on read and re-executed rather
+than merged.  Because every cell is deterministic, a reclaim racing a
+slow-but-alive worker is harmless: both executions produce the same shard
+bytes.
+
+A task reclaimed ``max_task_attempts`` times without producing a shard is
+*poison* — it is moved to ``quarantine/`` instead of back into the queue,
+so a cell that crashes its executor cannot grind the campaign forever.
+The reclaim ledger (``attempts.jsonl``) is how racing reclaimers agree on
+the attempt count: the process that wins the reclaim rename appends one
+line.  ``quarantine list|retry`` on the CLI inspects and re-queues them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -34,6 +47,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import RunRecord
 from repro.experiments.spec import jsonable
+from repro.resilience.faults import inject
 
 # Canonical home is the observability layer (its progress files need the
 # same never-torn guarantee); re-exported here for the existing importers.
@@ -43,6 +57,17 @@ SPOOL_VERSION = 1
 
 #: Default seconds without a heartbeat after which a claim is reclaimable.
 DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: Default failed-claim count after which a task is quarantined as poison.
+DEFAULT_MAX_TASK_ATTEMPTS = 3
+
+
+class TornShardError(RuntimeError):
+    """A result shard failed sha256 verification (torn/partial write)."""
+
+    def __init__(self, task_id: str, detail: str):
+        super().__init__(f"result shard {task_id} failed verification: {detail}")
+        self.task_id = task_id
 
 
 @dataclass(frozen=True)
@@ -99,11 +124,15 @@ class Spool:
         self,
         root: Union[str, os.PathLike],
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
     ):
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
         self.root = Path(root)
         self.lease_timeout = float(lease_timeout)
+        self.max_task_attempts = int(max_task_attempts)
 
     # ------------------------------------------------------------------ layout
     @property
@@ -141,6 +170,16 @@ class Spool:
         """Per-worker heartbeat files (``workers/<worker_id>.json``)."""
         return self.root / "workers"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Poison tasks retired after ``max_task_attempts`` failed claims."""
+        return self.root / "quarantine"
+
+    @property
+    def attempts_path(self) -> Path:
+        """Append-only reclaim/quarantine/reset ledger (``attempts.jsonl``)."""
+        return self.root / "attempts.jsonl"
+
     def initialise(self, metadata: Optional[Dict[str, Any]] = None) -> None:
         """Create the spool directories and write the campaign metadata.
 
@@ -150,15 +189,36 @@ class Spool:
         ids restart at ``task-00000`` per campaign, so stale shards would
         otherwise be ingested as this campaign's results.
         """
-        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir, self.workers_dir):
+        for directory in (
+            self.tasks_dir,
+            self.claimed_dir,
+            self.results_dir,
+            self.workers_dir,
+            self.quarantine_dir,
+        ):
             directory.mkdir(parents=True, exist_ok=True)
             for entry in directory.iterdir():
                 if entry.is_file():
                     entry.unlink()
-        for stale in (self.complete_marker, self.events_path, self.progress_path):
+        for stale in (
+            self.complete_marker,
+            self.events_path,
+            self.progress_path,
+            self.attempts_path,
+        ):
             if stale.exists():
                 stale.unlink()
-        payload = {"version": SPOOL_VERSION, "lease_timeout": self.lease_timeout}
+        self.write_campaign_metadata(metadata)
+
+    def write_campaign_metadata(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """(Re)write ``campaign.json`` — also used by coordinator resume,
+        which must refresh the published lease/attempt policy without the
+        purge that :meth:`initialise` performs."""
+        payload = {
+            "version": SPOOL_VERSION,
+            "lease_timeout": self.lease_timeout,
+            "max_task_attempts": self.max_task_attempts,
+        }
         payload.update(metadata or {})
         self._atomic_write(self.campaign_path, json.dumps(payload, indent=2, sort_keys=True))
 
@@ -178,7 +238,19 @@ class Spool:
         worker's default — otherwise an idle worker with a shorter lease
         would re-queue (and duplicate) a live peer's long-running task.
         """
-        published = self.metadata().get("lease_timeout")
+        metadata = self.metadata()
+        attempts = metadata.get("max_task_attempts")
+        if attempts:
+            try:
+                cap = int(attempts)
+            except (TypeError, ValueError):
+                cap = 0
+            if cap > 0:
+                # Quarantine thresholds must also be campaign-wide: a worker
+                # with a lower default would quarantine a task its peers
+                # still consider retryable.
+                self.max_task_attempts = cap
+        published = metadata.get("lease_timeout")
         if published:
             try:
                 value = float(published)
@@ -243,6 +315,9 @@ class Spool:
 
     def heartbeat(self, claimed: ClaimedTask) -> None:
         """Refresh the lease on a claimed task (touch its mtime)."""
+        rule = inject("spool.lease_heartbeat", task=claimed.task_id)
+        if rule is not None and rule.kind == "stall":
+            return  # injected renewal failure: the lease silently ages out
         try:
             os.utime(claimed.claimed_path)
         except FileNotFoundError:
@@ -260,31 +335,125 @@ class Spool:
 
         Any process may call this; renaming the claim file back into
         ``tasks/`` is atomic, so concurrent reclaimers cannot duplicate a
-        task.  A claimed task whose shard already exists is settled instead
-        (the claim marker is removed).
+        task.  A claimed task whose *valid* shard already exists is settled
+        instead (the claim marker is removed); a torn shard is deleted so
+        the task re-executes.  A task on its ``max_task_attempts``-th
+        failed claim is quarantined rather than re-queued (not included in
+        the returned list — see :meth:`quarantined_task_ids`).
         """
         now = time.time() if now is None else now
         reclaimed: List[str] = []
         for task_id in self.claimed_task_ids():
             claim_path = self.claimed_dir / f"{task_id}.json"
-            if (self.results_dir / f"{task_id}.jsonl").exists():
+            shard_path = self.results_dir / f"{task_id}.jsonl"
+            if shard_path.exists():
+                if self.verify_shard(task_id):
+                    try:
+                        claim_path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                # Torn shard: drop it and treat the claim like any other
+                # (the lease decides whether the writer is dead yet).
                 try:
-                    claim_path.unlink()
+                    shard_path.unlink()
                 except FileNotFoundError:
                     pass
-                continue
             try:
                 age = now - claim_path.stat().st_mtime
             except FileNotFoundError:
                 continue
             if age < self.lease_timeout:
                 continue
-            try:
-                os.rename(claim_path, self.tasks_dir / f"{task_id}.json")
-            except (FileNotFoundError, OSError):
-                continue
-            reclaimed.append(task_id)
+            outcome = self._retire_claim(claim_path, task_id)
+            if outcome == "requeued":
+                reclaimed.append(task_id)
         return reclaimed
+
+    def requeue(self, claimed: ClaimedTask) -> Optional[str]:
+        """Voluntarily give up a claim (e.g. shard write keeps failing).
+
+        Counts as a failed attempt in the quarantine ledger, so a task
+        whose spool I/O always fails is eventually quarantined rather than
+        ping-ponging between this worker and the queue forever.  Returns
+        ``"requeued"``, ``"quarantined"``, or ``None`` when the claim was
+        already gone (a peer reclaimed it).
+        """
+        return self._retire_claim(claimed.claimed_path, claimed.task_id)
+
+    def _retire_claim(self, claim_path: Path, task_id: str) -> Optional[str]:
+        """Move a failed claim back to pending — or into quarantine at cap.
+
+        Only the process whose rename succeeds appends the ledger line, so
+        racing reclaimers agree on the attempt count without locks.
+        """
+        attempt = self.reclaim_count(task_id) + 1
+        if attempt >= self.max_task_attempts:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / f"{task_id}.json"
+            event, outcome = "quarantine", "quarantined"
+        else:
+            target = self.tasks_dir / f"{task_id}.json"
+            event, outcome = "reclaim", "requeued"
+        try:
+            os.rename(claim_path, target)
+        except OSError:
+            return None
+        self._append_attempt(task_id, event)
+        return outcome
+
+    # -------------------------------------------------------------- quarantine
+    def quarantined_task_ids(self) -> List[str]:
+        return self._task_ids(self.quarantine_dir, ".json")
+
+    def read_quarantined_task(self, task_id: str) -> SpoolTask:
+        path = self.quarantine_dir / f"{task_id}.json"
+        with path.open("r", encoding="utf-8") as handle:
+            return SpoolTask.from_json_dict(json.load(handle))
+
+    def quarantine_retry(self, task_id: str) -> bool:
+        """Re-queue one quarantined task with a reset attempt counter."""
+        source = self.quarantine_dir / f"{task_id}.json"
+        try:
+            os.rename(source, self.tasks_dir / f"{task_id}.json")
+        except OSError:
+            return False
+        self._append_attempt(task_id, "reset")
+        return True
+
+    def reclaim_count(self, task_id: str) -> int:
+        """Failed-claim count for a task since its last quarantine reset."""
+        count = 0
+        try:
+            with self.attempts_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn ledger tail; ignore the fragment
+                    if entry.get("task") != task_id:
+                        continue
+                    if entry.get("event") == "reset":
+                        count = 0
+                    elif entry.get("event") == "reclaim":
+                        count += 1
+        except OSError:
+            return count
+        return count
+
+    def _append_attempt(self, task_id: str, event: str) -> None:
+        line = json.dumps(
+            {"task": task_id, "event": event, "ts": round(time.time(), 6)},
+            sort_keys=True,
+        )
+        try:
+            with self.attempts_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # the ledger is advisory; losing a line only delays quarantine
 
     # -------------------------------------------------------------- heartbeats
     def write_worker_heartbeat(self, worker_id: str, payload: Dict[str, Any]) -> bool:
@@ -299,11 +468,19 @@ class Spool:
             return False
         stamped = {"worker_id": worker_id, "ts": round(time.time(), 6)}
         stamped.update(payload)
+        content = json.dumps(stamped, sort_keys=True)
+        path = self.workers_dir / f"{worker_id}.json"
         try:
-            self._atomic_write(
-                self.workers_dir / f"{worker_id}.json",
-                json.dumps(stamped, sort_keys=True),
-            )
+            rule = inject("spool.worker_heartbeat", worker=worker_id)
+            if rule is not None and rule.kind == "torn_write":
+                # Simulate the pre-atomic-write failure mode: a partial
+                # heartbeat landing at the final path.  Readers must skip
+                # it (invalid JSON) and the next stamp heals it.
+                keep = int(rule.args.get("keep_bytes", max(1, len(content) // 2)))
+                with path.open("w", encoding="utf-8") as handle:
+                    handle.write(content[:keep])
+                return True
+            self._atomic_write(path, content)
         except OSError:
             return False
         return True
@@ -334,31 +511,80 @@ class Spool:
     def write_result_shard(
         self, task_id: str, records: Sequence[Tuple[int, RunRecord]]
     ) -> Path:
-        """Atomically write one task's result shard (index-tagged records)."""
+        """Atomically write one task's result shard (index-tagged records).
+
+        The shard ends with a ``{"sha256": ...}`` trailer over the record
+        lines; :meth:`read_result_shard` verifies it, so even a filesystem
+        that tears the atomic rename's backing write (or an injected
+        ``torn_write`` fault) cannot slip half a shard into a merge.
+        """
         lines = [
             json.dumps({"index": index, "record": record.to_json_dict()}, sort_keys=True)
             for index, record in records
         ]
+        body = "".join(line + "\n" for line in lines)
+        trailer = json.dumps(
+            {"sha256": hashlib.sha256(body.encode("utf-8")).hexdigest()},
+            sort_keys=True,
+        )
+        content = body + trailer + "\n"
         path = self.results_dir / f"{task_id}.jsonl"
-        self._atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+        rule = inject("spool.write_shard", task=task_id)
+        if rule is not None and rule.kind == "torn_write":
+            # Write a truncated shard straight to the final path, bypassing
+            # tmp+rename — the failure the sha256 trailer exists to catch.
+            keep = int(rule.args.get("keep_bytes", max(1, len(content) // 2)))
+            with path.open("w", encoding="utf-8") as handle:
+                handle.write(content[:keep])
+            return path
+        self._atomic_write(path, content)
         return path
 
     def read_result_shard(self, task_id: str) -> List[Tuple[int, RunRecord]]:
+        """Read one verified shard; raises :class:`TornShardError` if torn."""
         path = self.results_dir / f"{task_id}.jsonl"
-        results: List[Tuple[int, RunRecord]] = []
         with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                payload = json.loads(line)
-                results.append(
-                    (int(payload["index"]), RunRecord.from_json_dict(payload["record"]))
-                )
+            text = handle.read()
+        if not text.endswith("\n"):
+            raise TornShardError(task_id, "does not end with a newline")
+        lines = text.splitlines()
+        if not lines:
+            raise TornShardError(task_id, "empty file")
+        try:
+            trailer = json.loads(lines[-1])
+        except ValueError as exc:
+            raise TornShardError(task_id, f"unparseable trailer: {exc}") from exc
+        if not isinstance(trailer, dict) or "sha256" not in trailer:
+            raise TornShardError(task_id, "missing sha256 trailer")
+        body = text[: len(text) - len(lines[-1]) - 1]
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if digest != trailer["sha256"]:
+            raise TornShardError(task_id, "sha256 mismatch")
+        results: List[Tuple[int, RunRecord]] = []
+        for line in body.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            results.append(
+                (int(payload["index"]), RunRecord.from_json_dict(payload["record"]))
+            )
         return results
 
+    def verify_shard(self, task_id: str) -> bool:
+        """True when the shard exists and passes sha256 verification."""
+        try:
+            self.read_result_shard(task_id)
+        except (TornShardError, OSError, ValueError, KeyError):
+            return False
+        return True
+
     def iter_result_records(self) -> Iterable[Tuple[int, RunRecord]]:
-        """Every shard's records, in shard order then shard-line order."""
+        """Every shard's records, in shard order then shard-line order.
+
+        Torn shards raise :class:`TornShardError` — merging half a task's
+        results would silently diverge from the serial store.
+        """
         for task_id in self.completed_task_ids():
             yield from self.read_result_shard(task_id)
 

@@ -39,9 +39,11 @@ from repro.experiments.registry import (
     UnknownScenarioError,
     load_builtin_scenarios,
 )
-from repro.experiments.runner import RunRecord, execute_run
+from repro.experiments.runner import RunRecord, execute_run_with_retry
 from repro.experiments.spec import RunSpec, content_cache_key
 from repro.observability.events import EventLog
+from repro.resilience.faults import inject
+from repro.resilience.retry import SPOOL_IO_RETRY_POLICY, CircuitBreaker, RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -60,7 +62,12 @@ class WorkerStats:
     #: Why the main loop returned: "complete" | "max_tasks" | "idle_timeout".
     exit_reason: str = ""
 
-    def heartbeat_payload(self, state: str, current_task: Optional[str] = None) -> Dict[str, Any]:
+    def heartbeat_payload(
+        self,
+        state: str,
+        current_task: Optional[str] = None,
+        events_dropped: int = 0,
+    ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "state": state,
             "tasks_completed": self.tasks_completed,
@@ -72,6 +79,8 @@ class WorkerStats:
         }
         if current_task is not None:
             payload["current_task"] = current_task
+        if events_dropped:
+            payload["events_dropped"] = events_dropped
         return payload
 
 
@@ -88,8 +97,17 @@ def execute_task(
     cache: Optional[CacheIndex] = None,
     stats: Optional[WorkerStats] = None,
     events: Optional[EventLog] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> List[Tuple[int, RunRecord]]:
-    """Run one claimed task's cells and write its result shard."""
+    """Run one claimed task's cells and write its result shard.
+
+    Cell execution goes through the shared retry policy (same one the
+    inline/process backends use, so attempt counts — and therefore failed
+    records — are byte-identical across backends).  The shard write itself
+    retries under the quick spool-I/O policy; if it still fails the
+    ``OSError`` propagates to the worker loop, which requeues the claim.
+    """
     task = claimed.task
     started = time.perf_counter()
     spec = None
@@ -102,6 +120,7 @@ def execute_task(
 
     results: List[Tuple[int, RunRecord]] = []
     for params, seed, index in task.cells:
+        inject("worker.cell", task=task.task_id, index=index, scenario=task.scenario)
         if spec is None:
             record = RunRecord(
                 scenario=task.scenario,
@@ -109,6 +128,7 @@ def execute_task(
                 seed=seed,
                 status="failed",
                 error=resolve_error,
+                error_class="ScenarioResolutionError",
             )
         else:
             cache_key = (
@@ -126,8 +146,11 @@ def execute_task(
             else:
                 if events is not None and cache is not None and cache_key is not None:
                     events.emit("cache_miss", task=task.task_id, index=index)
-                record = execute_run(
-                    spec, RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
+                record = execute_run_with_retry(
+                    spec,
+                    RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index),
+                    policy=retry_policy,
+                    breaker=breaker,
                 )
                 if cache is not None:
                     cache.put(cache_key, record)
@@ -137,7 +160,10 @@ def execute_task(
             stats.failures += 1
         results.append((index, record))
         spool.heartbeat(claimed)
-    spool.write_result_shard(task.task_id, results)
+    SPOOL_IO_RETRY_POLICY.call(
+        lambda: spool.write_result_shard(task.task_id, results),
+        key=f"shard|{task.task_id}",
+    )
     spool.release(claimed)
     elapsed = time.perf_counter() - started
     if stats is not None:
@@ -165,6 +191,7 @@ def run_worker(
     lease_timeout: Optional[float] = None,
     scenario_modules: Sequence[str] = (),
     worker_id: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> WorkerStats:
     """The worker main loop; returns once there is nothing left to do.
 
@@ -189,6 +216,8 @@ def run_worker(
     events = EventLog(spool.events_path, source=stats.worker_id)
     events.emit("worker_start", pid=os.getpid())
     spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("starting"))
+    breaker = CircuitBreaker()
+    announced_quarantine: set = set(spool.quarantined_task_ids())
     idle_since: Optional[float] = None
     was_idle = False
     warned_missing = False
@@ -228,6 +257,15 @@ def run_worker(
                     "%s: reclaimed expired lease on %s", stats.worker_id, task_id
                 )
                 events.emit("task_reclaimed", task=task_id)
+            for task_id in spool.quarantined_task_ids():
+                if task_id not in announced_quarantine:
+                    announced_quarantine.add(task_id)
+                    logger.error(
+                        "%s: task %s quarantined as poison after repeated failed claims",
+                        stats.worker_id,
+                        task_id,
+                    )
+                    events.emit("task_quarantined", task=task_id)
             now = time.time()
             if idle_since is None:
                 idle_since = now
@@ -238,7 +276,8 @@ def run_worker(
                 was_idle = True  # one event per idle stretch, not per poll
                 events.emit("worker_idle")
                 spool.write_worker_heartbeat(
-                    stats.worker_id, stats.heartbeat_payload("idle")
+                    stats.worker_id,
+                    stats.heartbeat_payload("idle", events_dropped=events.dropped),
                 )
             time.sleep(poll_interval)
             continue
@@ -247,10 +286,38 @@ def run_worker(
         events.emit("task_claimed", task=claimed.task_id, cells=len(claimed.task.cells))
         spool.write_worker_heartbeat(
             stats.worker_id,
-            stats.heartbeat_payload("running", current_task=claimed.task_id),
+            stats.heartbeat_payload(
+                "running", current_task=claimed.task_id, events_dropped=events.dropped
+            ),
         )
-        execute_task(claimed, spool, registry, cache=cache, stats=stats, events=events)
-        spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("running"))
+        try:
+            execute_task(
+                claimed,
+                spool,
+                registry,
+                cache=cache,
+                stats=stats,
+                events=events,
+                retry_policy=retry_policy,
+                breaker=breaker,
+            )
+        except OSError as exc:
+            # Spool I/O failed even after retries (disk full, NFS blip…).
+            # Give the claim back — a healthier peer, or this worker later,
+            # re-executes it; the quarantine ledger caps how often.
+            outcome = spool.requeue(claimed)
+            logger.error(
+                "%s: task %s failed on spool I/O (%s); %s",
+                stats.worker_id,
+                claimed.task_id,
+                exc,
+                outcome or "claim already gone",
+            )
+            time.sleep(poll_interval)
+        spool.write_worker_heartbeat(
+            stats.worker_id,
+            stats.heartbeat_payload("running", events_dropped=events.dropped),
+        )
     events.emit(
         "worker_exit",
         reason=stats.exit_reason,
@@ -260,7 +327,10 @@ def run_worker(
         failures=stats.failures,
         busy_s=round(stats.busy_s, 3),
     )
-    spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("exited"))
+    spool.write_worker_heartbeat(
+        stats.worker_id,
+        stats.heartbeat_payload("exited", events_dropped=events.dropped),
+    )
     if isinstance(cache, CacheIndex):
         cache.flush_stats()
     logger.info(

@@ -48,6 +48,7 @@ from repro.experiments.runner import (
     RunRecord,
     aggregate_records,
     execute_run,
+    execute_run_with_retry,
     grouped_rows,
 )
 from repro.experiments.store import ResultStore
@@ -77,6 +78,7 @@ __all__ = [
     "RunRecord",
     "aggregate_records",
     "execute_run",
+    "execute_run_with_retry",
     "grouped_rows",
     "ResultStore",
 ]

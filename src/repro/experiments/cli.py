@@ -22,6 +22,12 @@ Examples::
     python -m repro.experiments status /spool/platoon --watch
     python -m repro.experiments tail /spool/platoon --follow
     python -m repro.experiments run platoon/karyon --seeds 5 --profile
+
+    # Resilience: chaos-test a campaign, inspect/retry quarantined tasks
+    python -m repro.experiments run platoon/karyon --seeds 20 \\
+        --backend spool --spool /spool/chaos --faults plan.json --retries 3
+    python -m repro.experiments quarantine list /spool/chaos
+    python -m repro.experiments quarantine retry /spool/chaos
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import argparse
 import csv
 import json
 import logging
+import os
 import sys
 import time
 from pathlib import Path
@@ -147,6 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true", help="exit non-zero when any run failed"
     )
     run_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per cell before a transient failure is recorded as "
+        "failed (default 3; deterministic errors never retry)",
+    )
+    run_parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="arm this fault-injection plan for the campaign (chaos testing); "
+        "spool workers spawned by the coordinator inherit it via the "
+        "REPRO_FAULT_PLAN environment variable",
+    )
+    run_parser.add_argument(
+        "--max-respawns", type=int, default=None, metavar="N",
+        help="spool only: replace up to N coordinator-spawned workers that "
+        "die mid-campaign (default 0)",
+    )
+    run_parser.add_argument(
         "--profile", action="store_true",
         help="time each executed cell's build/sim/collect phases (inline "
         "execution only; enables telemetry for the duration of the run)",
@@ -195,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="import MODULE before working so its scenarios register (repeatable)",
     )
     worker_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per cell before a transient failure is recorded as "
+        "failed (default 3)",
+    )
+    worker_parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="arm this fault-injection plan in this worker process",
+    )
+    worker_parser.add_argument(
         "--quiet", action="store_true", help="suppress the exit summary"
     )
 
@@ -214,6 +246,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument("action", choices=("stats", "clear"))
     cache_parser.add_argument("dir", help="cache directory")
+
+    quarantine_parser = sub.add_parser(
+        "quarantine",
+        help="inspect or re-queue poison tasks parked by a spool campaign",
+        parents=[common],
+    )
+    quarantine_parser.add_argument("action", choices=("list", "retry"))
+    quarantine_parser.add_argument("spool", help="spool directory")
+    quarantine_parser.add_argument(
+        "tasks", nargs="*", metavar="TASK_ID",
+        help="retry only: specific task ids to re-queue "
+        "(default: every quarantined task)",
+    )
 
     status_parser = sub.add_parser(
         "status",
@@ -365,6 +410,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.timeout is not None and args.timeout <= 0:
             print("error: --timeout must be positive", file=sys.stderr)
             return 2
+        if args.max_respawns is not None and args.max_respawns < 0:
+            print("error: --max-respawns must be >= 0", file=sys.stderr)
+            return 2
     else:
         misapplied = [
             flag
@@ -374,6 +422,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ("--task-size", args.task_size),
                 ("--lease-timeout", args.lease_timeout),
                 ("--timeout", args.timeout),
+                ("--max-respawns", args.max_respawns),
             )
             if value is not None
         ]
@@ -383,6 +432,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    retry_policy = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=args.retries)
+    if args.faults and _arm_fault_plan(args.faults, export=spool_requested) != 0:
+        return 2
 
     backend = None
     if spool_requested:
@@ -395,15 +455,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             task_size=args.task_size if args.task_size is not None else 1,
             timeout=args.timeout,
             worker_cache_root=args.cache,
+            max_respawns=args.max_respawns if args.max_respawns is not None else 0,
+            worker_retries=args.retries,
         )
     elif args.backend == "inline" or args.profile:
         from repro.experiments.runner import InProcessBackend
 
-        backend = InProcessBackend(profile=args.profile)
+        backend = InProcessBackend(profile=args.profile, retry_policy=retry_policy)
     elif args.backend == "process":
         from repro.experiments.runner import MultiprocessingBackend
 
-        backend = MultiprocessingBackend(jobs=args.jobs, batch_size=args.batch_size)
+        backend = MultiprocessingBackend(
+            jobs=args.jobs, batch_size=args.batch_size, retry_policy=retry_policy
+        )
 
     cache = None
     if args.cache:
@@ -419,6 +483,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         backend=backend,
         cache=cache,
+        retry_policy=retry_policy,
     )
     if args.profile:
         from repro.observability.telemetry import telemetry_enabled
@@ -436,9 +501,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         session = cache.session_stats()
+        repair_part = (
+            f", {session['repairs']} repair(s)" if session.get("repairs") else ""
+        )
         print(
             f"cache: {session['hits']} hit(s), {session['misses']} miss(es), "
-            f"{session['puts']} put(s) this campaign"
+            f"{session['puts']} put(s){repair_part} this campaign"
         )
     print()
     print(format_table(result.aggregate_rows(), title=f"{spec.name}: aggregate metrics"))
@@ -478,6 +546,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(f"results stored in {args.store} (re-run to resume)")
     return 1 if (args.strict and result.failures) else 0
+
+
+def _arm_fault_plan(path: str, export: bool) -> int:
+    """Load and arm a fault plan; optionally export it to child processes.
+
+    With ``export`` the resolved path also lands in ``REPRO_FAULT_PLAN`` so
+    spool workers spawned by the coordinator arm the same plan at import
+    (their injection generation comes from ``REPRO_FAULT_GENERATION``,
+    which the coordinator sets per spawn).
+    """
+    from repro.resilience import PLAN_ENV, FaultPlan, arm
+
+    try:
+        plan = FaultPlan.load(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: could not load fault plan {path}: {exc}", file=sys.stderr)
+        return 2
+    arm(plan)
+    if export:
+        os.environ[PLAN_ENV] = str(Path(path).resolve())
+    logging.getLogger(__name__).warning(
+        "fault plan armed from %s (%d rule(s))", path, len(plan.rules)
+    )
+    return 0
 
 
 def _profile_document(result: Any) -> Dict[str, Any]:
@@ -607,6 +699,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
                     title=f"{name}: per-{','.join(group_by)} means",
                 )
             )
+        if failed:
+            failure_rows = [
+                {
+                    "seed": record.seed,
+                    "attempts": record.attempts,
+                    "error_class": record.error_class or "?",
+                    "error": (record.error or "")[:60],
+                    "params": json.dumps(record.params, sort_keys=True),
+                }
+                for record in scenario_records
+                if not record.ok
+            ]
+            print()
+            print(format_table(failure_rows, title=f"{name}: failed runs"))
         print()
     _print_profile_sidecar(args.store)
     return 0
@@ -642,6 +748,16 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     if args.lease_timeout is not None and args.lease_timeout <= 0:
         print("error: --lease-timeout must be positive", file=sys.stderr)
         return 2
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    retry_policy = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(max_attempts=args.retries)
+    if args.faults and _arm_fault_plan(args.faults, export=False) != 0:
+        return 2
     stats = run_worker(
         args.spool,
         cache=args.cache,
@@ -650,6 +766,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         lease_timeout=args.lease_timeout,
         scenario_modules=args.imports,
+        retry_policy=retry_policy,
     )
     if not args.quiet:
         print(
@@ -696,11 +813,65 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"{args.dir}: {stats['entries']} cached record(s), {stats['bytes']} bytes")
     lifetime = stats.get("lifetime", {})
     if any(lifetime.values()):
+        repair_part = (
+            f", {lifetime['repairs']} repair(s)" if lifetime.get("repairs") else ""
+        )
         print(
             f"lifetime: {lifetime.get('hits', 0)} hit(s), "
             f"{lifetime.get('misses', 0)} miss(es), {lifetime.get('puts', 0)} put(s)"
+            f"{repair_part}"
         )
     return 0
+
+
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    from repro.distributed import Spool
+
+    spool = Spool(args.spool)
+    if not spool.exists():
+        print(f"error: {args.spool} is not a campaign spool", file=sys.stderr)
+        return 2
+    quarantined = spool.quarantined_task_ids()
+    if args.action == "list":
+        if args.tasks:
+            print("error: `quarantine list` takes no task ids", file=sys.stderr)
+            return 2
+        if not quarantined:
+            print(f"{args.spool}: quarantine is empty")
+            return 0
+        rows: List[Dict[str, Any]] = []
+        for task_id in quarantined:
+            row: Dict[str, Any] = {
+                "task": task_id,
+                "failed_claims": spool.reclaim_count(task_id),
+            }
+            try:
+                task = spool.read_quarantined_task(task_id)
+            except (OSError, ValueError, KeyError):
+                row["scenario"] = "?"
+                row["cells"] = "?"
+            else:
+                row["scenario"] = task.scenario
+                row["cells"] = len(task.cells)
+            rows.append(row)
+        print(format_table(rows, title=f"{args.spool}: {len(rows)} quarantined task(s)"))
+        return 0
+    missing = sorted(set(args.tasks) - set(quarantined))
+    if missing:
+        print(f"error: not quarantined: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    wanted = args.tasks or quarantined
+    if not wanted:
+        print(f"{args.spool}: quarantine is empty; nothing to retry")
+        return 0
+    failures = 0
+    for task_id in wanted:
+        if spool.quarantine_retry(task_id):
+            print(f"{task_id}: re-queued (attempt ledger reset)")
+        else:
+            failures += 1
+            print(f"error: could not re-queue {task_id}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 # ---------------------------------------------------------------------------
@@ -751,6 +922,9 @@ def _format_worker(worker_id: str, heartbeat: Dict[str, Any]) -> str:
         f"{heartbeat.get('runs_executed', 0)} runs, "
         f"{heartbeat.get('cache_hits', 0)} cache hits"
     )
+    dropped = heartbeat.get("events_dropped", 0)
+    if isinstance(dropped, int) and dropped > 0:
+        bits.append(f", {dropped} dropped event(s)")
     age = heartbeat.get("age_s")
     suffix = f", heartbeat {age:.1f}s ago)" if isinstance(age, (int, float)) else ")"
     return " ".join(bits) + suffix
@@ -761,8 +935,18 @@ def _print_status(progress: CampaignProgress, as_json: bool) -> None:
         print(json.dumps(progress.to_json_dict(), indent=2, sort_keys=True))
         return
     print(_format_progress(progress))
+    dropped_total = 0
     for worker_id in sorted(progress.workers):
         print(_format_worker(worker_id, progress.workers[worker_id]))
+        dropped = progress.workers[worker_id].get("events_dropped", 0)
+        if isinstance(dropped, int) and dropped > 0:
+            dropped_total += dropped
+    if dropped_total:
+        print(
+            f"warning: {dropped_total} event(s) dropped from the event log "
+            "(events.jsonl unwritable?); counts above remain accurate",
+            file=sys.stderr,
+        )
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -862,6 +1046,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_merge(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "quarantine":
+        return _cmd_quarantine(args)
     if args.command == "status":
         return _cmd_status(args)
     if args.command == "tail":

@@ -35,6 +35,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.evaluation.metrics import summarize
 from repro.observability.progress import ProgressTracker
 from repro.observability.telemetry import TELEMETRY
+from repro.resilience.faults import inject
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, CircuitBreaker, RetryPolicy
 from repro.experiments.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
 from repro.experiments.spec import (
     ParameterGrid,
@@ -71,6 +73,17 @@ class RunRecord:
     #: ``run.collect``); populated only under ``run --profile`` and — like
     #: ``duration`` — transient, never serialised.
     phases: Optional[Dict[str, float]] = field(default=None, compare=False, repr=False)
+    #: How many execution attempts this record consumed (retry policy).
+    #: Serialised only for failed records: a successful record is the same
+    #: bytes whether it needed one attempt or three, which is what keeps
+    #: fault-injected campaigns byte-identical to fault-free ones.
+    attempts: int = field(default=1, compare=False)
+    #: Exception class name of the *final* failure (``None`` when ok).
+    error_class: Optional[str] = None
+    #: The live exception object of the final failure; transient — used for
+    #: transient-vs-deterministic retry classification, stripped before a
+    #: record crosses a process boundary or is returned to callers.
+    exception: Optional[BaseException] = field(default=None, compare=False, repr=False)
 
     @property
     def key(self) -> str:
@@ -91,6 +104,10 @@ class RunRecord:
         }
         if self.error is not None:
             payload["error"] = self.error
+        if self.status != "ok":
+            payload["attempts"] = self.attempts
+            if self.error_class is not None:
+                payload["error_class"] = self.error_class
         return payload
 
     @classmethod
@@ -102,6 +119,8 @@ class RunRecord:
             status=payload.get("status", "ok"),
             metrics=dict(payload.get("metrics", {})),
             error=payload.get("error"),
+            attempts=int(payload.get("attempts", 1)),
+            error_class=payload.get("error_class"),
         )
 
     def relabelled(self, scenario: str, params: Mapping[str, Any], seed: int) -> "RunRecord":
@@ -121,6 +140,8 @@ class RunRecord:
             status=self.status,
             metrics=dict(self.metrics),
             error=self.error,
+            attempts=self.attempts,
+            error_class=self.error_class,
         )
 
 
@@ -139,6 +160,7 @@ def execute_run(
     start = time.perf_counter()
     before = TELEMETRY.timer_totals() if profile else None
     try:
+        inject("run.cell", scenario=spec.name, seed=run_spec.seed)
         result = spec.build(run_spec.seed, run_spec.params)
         with TELEMETRY.timer("run.collect"):
             metrics = spec.extract_metrics(result)
@@ -157,6 +179,8 @@ def execute_run(
             seed=run_spec.seed,
             status="failed",
             error="".join(traceback.format_exception_only(type(exc), exc)).strip(),
+            error_class=type(exc).__name__,
+            exception=exc,
         )
     record.duration = time.perf_counter() - start
     if before is not None:
@@ -165,6 +189,54 @@ def execute_run(
             name: after.get(name, 0.0) - before.get(name, 0.0) for name in PROFILE_PHASES
         }
     return record
+
+
+def execute_run_with_retry(
+    spec: ScenarioSpec,
+    run_spec: RunSpec,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    keep_result: bool = False,
+    profile: bool = False,
+    sleep: Any = time.sleep,
+) -> RunRecord:
+    """Execute one run under a retry policy; always returns a record.
+
+    Transient failures (OSError/Timeout/Connection/``TransientError``)
+    are re-executed up to ``policy.max_attempts`` with deterministic
+    seeded backoff; deterministic failures return immediately — retrying
+    a ``ValueError`` from a buggy factory would only make attempt counts
+    depend on scheduling.  The final record carries ``attempts`` and the
+    last failure's ``error_class``.  The per-scenario ``breaker`` only
+    gates the backoff *sleep* (an open circuit retries without waiting);
+    it never changes attempt counts, so records stay byte-identical
+    whichever backend — or how congested a worker — executed them.
+    """
+    policy = DEFAULT_RETRY_POLICY if policy is None else policy
+    attempt = 1
+    while True:
+        record = execute_run(spec, run_spec, keep_result=keep_result, profile=profile)
+        record.attempts = attempt
+        if record.ok:
+            if breaker is not None:
+                breaker.record_success(spec.name)
+            return record
+        exc = record.exception
+        if breaker is not None and breaker.record_failure(spec.name):
+            logger.warning(
+                "circuit open for %r: repeated failures, retry backoff suppressed",
+                spec.name,
+            )
+        if exc is None or not policy.should_retry(exc, attempt):
+            record.exception = None  # never ship a live exception across processes
+            return record
+        delay = policy.delay(attempt, key=run_spec.key)
+        if breaker is not None:
+            delay = breaker.gate_delay(spec.name, delay)
+        if delay > 0.0:
+            sleep(delay)
+        attempt += 1
 
 
 def _resolve_payload(payload: Any) -> Tuple[Optional[ScenarioSpec], Optional[str]]:
@@ -177,8 +249,13 @@ def _resolve_payload(payload: Any) -> Tuple[Optional[ScenarioSpec], Optional[str
         return None, f"worker could not resolve scenario: {exc}"
 
 
+#: Per-pool-worker-process circuit breaker; persists across batches so a
+#: broken factory stops costing backoff stalls within each worker too.
+_BATCH_BREAKER: Optional[CircuitBreaker] = None
+
+
 def _execute_batch(
-    task: Tuple[Any, Sequence[Tuple[Dict[str, Any], int, int]]],
+    task: Tuple[Any, ...],
 ) -> List[Tuple[int, RunRecord]]:
     """Worker entry point: run one seed-chunk (possibly of size 1).
 
@@ -188,7 +265,11 @@ def _execute_batch(
     Records are tagged with their run-list index, so the parent re-assembles
     them in deterministic order no matter how chunks interleave.
     """
-    payload, cells = task
+    payload, cells = task[0], task[1]
+    policy: Optional[RetryPolicy] = task[2] if len(task) > 2 else None
+    global _BATCH_BREAKER
+    if _BATCH_BREAKER is None:
+        _BATCH_BREAKER = CircuitBreaker()
     spec, resolve_error = _resolve_payload(payload)
     results: List[Tuple[int, RunRecord]] = []
     for params, seed, index in cells:
@@ -199,10 +280,13 @@ def _execute_batch(
                 seed=seed,
                 status="failed",
                 error=resolve_error,
+                error_class="ScenarioResolutionError",
             )
         else:
             run_spec = RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index)
-            record = execute_run(spec, run_spec)
+            record = execute_run_with_retry(
+                spec, run_spec, policy=policy, breaker=_BATCH_BREAKER
+            )
         results.append((index, record))
     return results
 
@@ -256,8 +340,13 @@ class InProcessBackend(ExecutionBackend):
 
     name = "inline"
 
-    def __init__(self, profile: bool = False):
+    def __init__(
+        self,
+        profile: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.profile = profile
+        self.retry_policy = retry_policy
 
     def execute(
         self,
@@ -267,8 +356,16 @@ class InProcessBackend(ExecutionBackend):
         payload: Optional[Any] = None,
         progress: Optional[ProgressTracker] = None,
     ) -> None:
+        breaker = CircuitBreaker()
         for run_spec in pending:
-            record = execute_run(spec, run_spec, keep_result=True, profile=self.profile)
+            record = execute_run_with_retry(
+                spec,
+                run_spec,
+                policy=self.retry_policy,
+                breaker=breaker,
+                keep_result=True,
+                profile=self.profile,
+            )
             records[run_spec.index] = record
             if progress is not None:
                 progress.record_record(ok=record.ok)
@@ -290,10 +387,12 @@ class MultiprocessingBackend(ExecutionBackend):
         jobs: int = 2,
         mp_context: Optional[str] = None,
         batch_size: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.mp_context = mp_context
         self.batch_size = batch_size
+        self.retry_policy = retry_policy
 
     def execute(
         self,
@@ -312,6 +411,7 @@ class MultiprocessingBackend(ExecutionBackend):
                     (run_spec.params, run_spec.seed, run_spec.index)
                     for run_spec in pending[start : start + chunk]
                 ],
+                self.retry_policy,
             )
             for start in range(0, len(pending), chunk)
         ]
@@ -334,9 +434,16 @@ class MultiprocessingBackend(ExecutionBackend):
                 type(exc).__name__,
                 exc,
             )
+            breaker = CircuitBreaker()
             for run_spec in pending:
                 if records[run_spec.index] is None:
-                    record = execute_run(spec, run_spec, keep_result=True)
+                    record = execute_run_with_retry(
+                        spec,
+                        run_spec,
+                        policy=self.retry_policy,
+                        breaker=breaker,
+                        keep_result=True,
+                    )
                     records[run_spec.index] = record
                     if progress is not None:
                         progress.record_record(ok=record.ok)
@@ -474,7 +581,13 @@ class CampaignResult:
 
     def failure_rows(self) -> List[Dict[str, Any]]:
         return [
-            {"seed": record.seed, "error": record.error or "?", "params": record.params}
+            {
+                "seed": record.seed,
+                "attempts": record.attempts,
+                "error_class": record.error_class or "?",
+                "error": record.error or "?",
+                "params": record.params,
+            }
             for record in self.failed_records
         ]
 
@@ -510,6 +623,7 @@ class ParallelCampaignRunner:
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[Any] = None,
         progress_path: Optional[Any] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if batch_size is not None and int(batch_size) < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -521,6 +635,9 @@ class ParallelCampaignRunner:
         self.batch_size = int(batch_size) if batch_size is not None else None
         self.backend = backend
         self.cache = cache
+        #: Retry policy handed to the backends this runner constructs
+        #: (an explicitly-passed ``backend`` keeps its own policy).
+        self.retry_policy = retry_policy
         #: Where to maintain the campaign's ``progress.json``; defaults to a
         #: ``<store path>.progress.json`` sidecar when a store is attached.
         self.progress_path = progress_path
@@ -618,9 +735,12 @@ class ParallelCampaignRunner:
         if self.backend is not None:
             return self.backend
         if self.jobs == 1 or len(pending) <= 1:
-            return InProcessBackend()
+            return InProcessBackend(retry_policy=self.retry_policy)
         return MultiprocessingBackend(
-            jobs=self.jobs, mp_context=self.mp_context, batch_size=self.batch_size
+            jobs=self.jobs,
+            mp_context=self.mp_context,
+            batch_size=self.batch_size,
+            retry_policy=self.retry_policy,
         )
 
     def _payload_for(self, spec: ScenarioSpec) -> Any:

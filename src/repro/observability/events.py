@@ -22,8 +22,12 @@ kind                emitted when
 ``worker_idle``       a worker found nothing claimable (once per idle stretch)
 ``worker_exit``       a worker left its loop (reason: complete/max_tasks/idle)
 ``worker_dead``       the coordinator observed a spawned worker exit early
+``worker_respawn``    the coordinator started a replacement for a dead worker
 ``cache_hit``         a cell was served from the content-addressed cache
 ``cache_miss``        a cell was consulted against the cache and not found
+``campaign_resumed``  a restarted coordinator adopted an interrupted campaign
+``shard_torn``        a result shard failed sha256 verification (re-executed)
+``task_quarantined``  a poison task was retired after repeated failed claims
 =================== ========================================================
 
 Event timestamps are wall-clock and appear **only** here and in progress
@@ -40,6 +44,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
+from repro.resilience.faults import inject
+
 EVENT_KINDS = frozenset(
     {
         "campaign_start",
@@ -51,8 +57,12 @@ EVENT_KINDS = frozenset(
         "worker_idle",
         "worker_exit",
         "worker_dead",
+        "worker_respawn",
         "cache_hit",
         "cache_miss",
+        "campaign_resumed",
+        "shard_torn",
+        "task_quarantined",
     }
 )
 
@@ -84,6 +94,7 @@ class EventLog:
             event["source"] = self.source
         event.update(fields)
         try:
+            inject("events.emit", kind=kind)
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(event, sort_keys=True) + "\n")
         except OSError:

@@ -1,0 +1,52 @@
+"""Resilience layer: deterministic fault injection, retries, quarantine.
+
+See :mod:`repro.resilience.faults` for the injection-point map and
+:mod:`repro.resilience.retry` for backoff/classification semantics.
+Crash consistency itself (shard sha256 trailers, the quarantine dir,
+the coordinator recovery sweep) lives with the code it protects in
+:mod:`repro.distributed`.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    GENERATION_ENV,
+    PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    arm,
+    armed,
+    armed_plan,
+    current_generation,
+    disarm,
+    inject,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    SPOOL_IO_RETRY_POLICY,
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+    classify_error,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "GENERATION_ENV",
+    "PLAN_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "arm",
+    "armed",
+    "armed_plan",
+    "current_generation",
+    "disarm",
+    "inject",
+    "DEFAULT_RETRY_POLICY",
+    "SPOOL_IO_RETRY_POLICY",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "TransientError",
+    "classify_error",
+]

@@ -458,10 +458,10 @@ class TestCacheCounters:
         cache = CacheIndex(tmp_path / "cache")
         runner = ParallelCampaignRunner(cache=cache)
         runner.run("demo/random_walk", seeds=[1, 2])
-        assert cache.session_stats() == {"hits": 0, "misses": 2, "puts": 2}
+        assert cache.session_stats() == {"hits": 0, "misses": 2, "puts": 2, "repairs": 0}
         warm = CacheIndex(tmp_path / "cache")
         ParallelCampaignRunner(cache=warm).run("demo/random_walk", seeds=[1, 2])
-        assert warm.session_stats() == {"hits": 2, "misses": 0, "puts": 0}
+        assert warm.session_stats() == {"hits": 2, "misses": 0, "puts": 0, "repairs": 0}
 
     def test_flush_accumulates_lifetime_stats_across_instances(self, tmp_path):
         cache = CacheIndex(tmp_path / "cache")
@@ -471,7 +471,7 @@ class TestCacheCounters:
         fresh = CacheIndex(tmp_path / "cache")
         ParallelCampaignRunner(cache=fresh).run("demo/random_walk", seeds=[1])
         lifetime = CacheIndex(tmp_path / "cache").lifetime_stats()
-        assert lifetime == {"hits": 1, "misses": 1, "puts": 1}
+        assert lifetime == {"hits": 1, "misses": 1, "puts": 1, "repairs": 0}
         assert CacheIndex(tmp_path / "cache").stats()["lifetime"] == lifetime
 
     def test_telemetry_counters_mirror_cache_traffic(self, tmp_path):
