@@ -33,6 +33,7 @@ from repro.experiments.perf import (
     calibrate,
     load_bench,
     measure_workload,
+    record_baseline,
     record_current,
     save_bench,
 )
@@ -83,6 +84,11 @@ def test_perf_budget(key, calibration):
 
     if UPDATE:
         record_current(data, key, measured, calibration)
+        if workload.seeds and workload.backend:
+            # Batch workloads carry a live baseline: the same seed batch
+            # timed on the inline kernel, so `speedup` states what the
+            # vector backend buys on the refreshing machine.
+            record_baseline(data, key, measure_workload(workload, backend="inline"))
         save_bench(BENCH_PATH, data)
         return
 
@@ -99,4 +105,26 @@ def test_perf_budget(key, calibration):
         f"{key} regressed: {measured * 1000:.1f} ms > scaled budget "
         f"{budget * 1000:.1f} ms ({workload.description}); if intentional, "
         "refresh BENCH_kernel.json with PERF_UPDATE=1"
+    )
+
+
+def test_vector_batch_speedup_recorded():
+    """The 64-seed E2 batch must hold a recorded >=5x vector speedup.
+
+    This pins the point of the lockstep engine: if a change drags the
+    recorded ``e2_batch64`` speedup below 5x over the inline kernel, the
+    optimisation has regressed even if the absolute budget still passes.
+    """
+    if UPDATE:
+        pytest.skip("budgets are being refreshed")
+    data = load_bench(BENCH_PATH)
+    entry = data["workloads"].get("e2_batch64", {})
+    if "speedup" not in entry:
+        pytest.skip(
+            "no recorded e2_batch64 speedup; refresh with "
+            "PERF_UPDATE=1 pytest benchmarks/perf_budgets.py"
+        )
+    assert float(entry["speedup"]) >= 5.0, (
+        f"e2_batch64 vector speedup fell to {entry['speedup']}x (< 5x over the "
+        "inline kernel); the lockstep fast path has regressed"
     )

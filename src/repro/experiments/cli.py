@@ -116,8 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run every cell even when the store already has it",
     )
     run_parser.add_argument(
-        "--backend", choices=("inline", "process", "spool"), default=None,
-        help="execution backend (default: inline for --jobs 1, process otherwise)",
+        "--backend", choices=("inline", "process", "spool", "vector"), default=None,
+        help="execution backend (default: inline for --jobs 1, process "
+        "otherwise; vector runs homogeneous seed batches in lockstep, "
+        "byte-identical to inline)",
     )
     run_parser.add_argument(
         "--spool", default=None, metavar="DIR",
@@ -379,10 +381,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     spool_requested = bool(args.backend == "spool" or (args.backend is None and args.spool))
+    vector_requested = args.backend == "vector"
     if args.profile and (spool_requested or args.backend == "process" or args.jobs != 1):
         print(
-            "error: --profile requires inline execution (--jobs 1, no "
-            "--backend process/spool): phase timers are process-global",
+            "error: --profile requires in-process execution (--jobs 1, "
+            "--backend inline or vector): phase timers are process-global",
+            file=sys.stderr,
+        )
+        return 2
+    if vector_requested and (args.jobs != 1 or args.batch_size is not None):
+        print(
+            "error: --jobs/--batch-size do not apply to --backend vector "
+            "(seed batches are planned by the backend)",
             file=sys.stderr,
         )
         return 2
@@ -458,6 +468,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_respawns=args.max_respawns if args.max_respawns is not None else 0,
             worker_retries=args.retries,
         )
+    elif vector_requested:
+        from repro.vectorized import VectorBatchBackend
+
+        backend = VectorBatchBackend(profile=args.profile, retry_policy=retry_policy)
     elif args.backend == "inline" or args.profile:
         from repro.experiments.runner import InProcessBackend
 
@@ -499,6 +513,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({result.executed} executed, {result.reused} reused{cached_part}, "
         f"{result.failures} failed) backend={result.backend} jobs={result.jobs}"
     )
+    if result.backend_cells:
+        parts = ", ".join(
+            f"{label}={count}" for label, count in sorted(result.backend_cells.items())
+        )
+        print(f"cells by path: {parts}")
+    if vector_requested and backend is not None:
+        print(backend.stats.summary())
     if cache is not None:
         session = cache.session_stats()
         repair_part = (
@@ -526,6 +547,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table(result.failure_rows(), title="failed runs"))
     if args.profile:
         profile = _profile_document(result)
+        if vector_requested and backend is not None:
+            # Fast-path cells have no per-phase timers (they never ran the
+            # scalar kernel); the batch occupancy stats are the vector
+            # backend's profile contribution.
+            profile["vector"] = backend.stats.to_json_dict()
         if profile["cells"]:
             print()
             print(
@@ -714,8 +740,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
             print(format_table(failure_rows, title=f"{name}: failed runs"))
         print()
+    _print_campaign_sidecar(args.store)
     _print_profile_sidecar(args.store)
     return 0
+
+
+def _print_campaign_sidecar(store_path: str) -> None:
+    """Surface the last campaign's backend and per-path cell provenance.
+
+    Reads the `<store>.progress.json` sidecar the runner maintains; shows
+    which execution path (vector/scalar/store/cache/...) settled each cell.
+    """
+    from repro.observability.progress import read_progress
+
+    progress = read_progress(Path(f"{store_path}.progress.json"))
+    if progress is None:
+        return
+    line = f"last campaign: backend={progress.backend}"
+    if progress.backend_cells:
+        parts = ", ".join(
+            f"{label}={count}" for label, count in sorted(progress.backend_cells.items())
+        )
+        line += f", cells by path: {parts}"
+    print(line)
+    print()
 
 
 def _print_profile_sidecar(store_path: str) -> None:
@@ -908,6 +956,11 @@ def _format_progress(progress: CampaignProgress) -> str:
             parts.append(f"| {progress.throughput_rps:.2f} cells/s")
         if progress.eta_s is not None:
             parts.append(f"eta {progress.eta_s:.0f}s")
+    if progress.backend_cells:
+        cells = ", ".join(
+            f"{label}={count}" for label, count in sorted(progress.backend_cells.items())
+        )
+        parts.append(f"| cells: {cells}")
     return " ".join(parts)
 
 

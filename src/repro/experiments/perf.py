@@ -1,8 +1,13 @@
 """Per-scenario performance budgets (ROADMAP "Per-scenario perf budgets").
 
 A *perf workload* is a pinned ``(scenario, seed, params)`` cell measured by
-wall time (best of N repeats of ``spec.build``).  Budgets live in a JSON
-document (``BENCH_kernel.json`` at the repo root) with, per workload:
+wall time (best of N repeats of ``spec.build``).  Workloads that pin a
+``seeds`` tuple are *batch* workloads instead: the whole seed list is run
+as one campaign through a named execution backend (``backend="vector"``
+times the lockstep engine; the inline kernel provides its ``baseline_s``),
+so the budget gates end-to-end batch throughput rather than one cell.
+Budgets live in a JSON document (``BENCH_kernel.json`` at the repo root)
+with, per workload:
 
 ``baseline_s``
     Wall time of the pre-optimisation (PR 1) simulation core, kept as the
@@ -26,7 +31,7 @@ import json
 import timeit
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +48,14 @@ ABSOLUTE_GRACE_S = 0.005
 
 @dataclass(frozen=True)
 class PerfWorkload:
-    """A pinned scenario cell whose wall time is budgeted."""
+    """A pinned scenario cell (or seed batch) whose wall time is budgeted.
+
+    A non-empty ``seeds`` tuple turns the workload into a batch: it is
+    measured as one full campaign over those seeds through the execution
+    backend named by ``backend`` (``""``/``"inline"`` = the serial
+    in-process kernel, ``"vector"`` = the lockstep vectorized engine),
+    and ``seed`` is ignored.
+    """
 
     key: str
     scenario: str
@@ -51,6 +63,8 @@ class PerfWorkload:
     params: Dict[str, Any] = field(default_factory=dict)
     repeats: int = 5
     description: str = ""
+    seeds: Tuple[int, ...] = ()
+    backend: str = ""
 
 
 #: The budgeted workloads: the E1/E3/E4 acceptance scenarios plus the other
@@ -129,19 +143,75 @@ PERF_WORKLOADS: Dict[str, PerfWorkload] = {
             repeats=3,
             description="Mixed airspace: RPV ADS-B over 8-node ground V2V load, 200 s",
         ),
+        PerfWorkload(
+            key="e2_batch64",
+            scenario="sensor_validity",
+            seed=0,
+            params={"fault_class": "stuck_at"},
+            repeats=3,
+            description="E2 batch: 64 stuck-at seeds through the lockstep vector backend",
+            seeds=tuple(range(64)),
+            backend="vector",
+        ),
+        PerfWorkload(
+            key="e4_batch64",
+            scenario="tdma_convergence",
+            seed=1,
+            params={"rows": 12, "cols": 12, "slots": 60},
+            repeats=3,
+            description="E4 batch: 64 TDMA 12x12 grid seeds through the lockstep vector backend",
+            seeds=tuple(range(1, 65)),
+            backend="vector",
+        ),
     )
 }
 
 
-def measure_workload(workload: Union[str, PerfWorkload], repeats: Optional[int] = None) -> float:
-    """Best-of-``repeats`` wall time (seconds) of one workload, after a warm-up run."""
+def measure_workload(
+    workload: Union[str, PerfWorkload],
+    repeats: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> float:
+    """Best-of-``repeats`` wall time (seconds) of one workload, after a warm-up run.
+
+    ``backend`` overrides a batch workload's pinned backend; the refresh
+    path uses that to time the same seed batch on the inline kernel when
+    recording a vector workload's ``baseline_s``.
+    """
     if isinstance(workload, str):
         workload = PERF_WORKLOADS[workload]
-    spec = load_builtin_scenarios().get(workload.scenario)
     repeats = workload.repeats if repeats is None else repeats
+    if workload.seeds:
+        return _measure_campaign(workload, repeats, backend or workload.backend)
+    spec = load_builtin_scenarios().get(workload.scenario)
 
     def run() -> None:
         spec.build(workload.seed, dict(workload.params))
+
+    run()  # warm-up: imports, numpy first-call costs
+    return min(timeit.repeat(run, number=1, repeat=max(1, repeats)))
+
+
+def _measure_campaign(workload: PerfWorkload, repeats: int, backend_name: str) -> float:
+    """Wall time of the full ``workload.seeds`` campaign through one backend."""
+    from repro.experiments.runner import InProcessBackend, ParallelCampaignRunner
+
+    registry = load_builtin_scenarios()
+
+    def make_backend():
+        if backend_name == "vector":
+            from repro.vectorized import VectorBatchBackend
+
+            return VectorBatchBackend()
+        return InProcessBackend()
+
+    def run() -> None:
+        runner = ParallelCampaignRunner(jobs=1, registry=registry, backend=make_backend())
+        runner.run(
+            workload.scenario,
+            params=dict(workload.params),
+            seeds=list(workload.seeds),
+        )
 
     run()  # warm-up: imports, numpy first-call costs
     return min(timeit.repeat(run, number=1, repeat=max(1, repeats)))
@@ -205,6 +275,19 @@ def record_current(
         entry["speedup"] = round(baseline / measured_s, 2)
     data["meta"]["calibration_s"] = round(calibration_s, 5)
     data["meta"].setdefault("tolerance", DEFAULT_TOLERANCE)
+
+
+def record_baseline(data: Dict[str, Any], key: str, measured_s: float) -> None:
+    """Refresh one workload's ``baseline_s`` (and speedup) in the document.
+
+    Used for batch workloads, whose baseline is the same seed batch timed
+    on the inline kernel rather than a frozen pre-optimisation number.
+    """
+    entry = data["workloads"].setdefault(key, {})
+    entry["baseline_s"] = round(measured_s, 5)
+    current = entry.get("current_s")
+    if current:
+        entry["speedup"] = round(entry["baseline_s"] / float(current), 2)
 
 
 def budget_for(

@@ -84,6 +84,10 @@ class RunRecord:
     #: transient-vs-deterministic retry classification, stripped before a
     #: record crosses a process boundary or is returned to callers.
     exception: Optional[BaseException] = field(default=None, compare=False, repr=False)
+    #: Which execution path settled this cell ("vector", "scalar", "store",
+    #: "cache", or a backend name); provenance only — transient and never
+    #: serialised, so stores stay byte-identical across backends.
+    executed_by: Optional[str] = field(default=None, compare=False, repr=False)
 
     @property
     def key(self) -> str:
@@ -543,6 +547,9 @@ class CampaignResult:
     #: Runs reused from the shared content-addressed cache.
     cached: int = 0
     backend: str = ""
+    #: Per-execution-path cell counts ("vector"/"scalar"/"store"/"cache"/
+    #: backend name -> count); surfaced by ``run`` and ``report``.
+    backend_cells: Dict[str, int] = field(default_factory=dict)
 
     @property
     def run_count(self) -> int:
@@ -661,6 +668,7 @@ class ParallelCampaignRunner:
             for run_spec in run_specs:
                 stored = self.store.get(run_spec.key)
                 if stored is not None and stored.ok:
+                    stored.executed_by = "store"
                     records[run_spec.index] = stored
                     reused += 1
                 else:
@@ -679,10 +687,21 @@ class ParallelCampaignRunner:
             backend.execute(
                 spec, pending, records, payload=self._payload_for(spec), progress=tracker
             )
+            # Backends that distinguish execution paths (vector/scalar) label
+            # records themselves; everything else is attributed to the backend.
+            for run_spec in pending:
+                record = records[run_spec.index]
+                if record is not None and record.executed_by is None:
+                    record.executed_by = backend.name
             self._publish_to_cache(pending, cache_keys, records)
         backend.finalize(spec)
+        backend_cells: Dict[str, int] = {}
+        for record in records:
+            if record is not None:
+                label = record.executed_by or backend.name
+                backend_cells[label] = backend_cells.get(label, 0) + 1
         if tracker is not None:
-            tracker.finish()
+            tracker.finish(backend_cells=backend_cells)
         flush_stats = getattr(self.cache, "flush_stats", None)
         if flush_stats is not None:
             flush_stats()
@@ -710,6 +729,7 @@ class ParallelCampaignRunner:
             jobs=self.jobs,
             cached=cached,
             backend=backend.name,
+            backend_cells=backend_cells,
         )
 
     # ---------------------------------------------------------------- internal
@@ -777,9 +797,9 @@ class ParallelCampaignRunner:
             key = content_cache_key(source_fingerprint, run_spec.params, run_spec.seed)
             record = self.cache.get(key)
             if record is not None and record.ok:
-                records[run_spec.index] = record.relabelled(
-                    run_spec.scenario, run_spec.params, run_spec.seed
-                )
+                hit = record.relabelled(run_spec.scenario, run_spec.params, run_spec.seed)
+                hit.executed_by = "cache"
+                records[run_spec.index] = hit
                 cache_keys[run_spec.index] = key
                 cached += 1
             else:

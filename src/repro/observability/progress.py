@@ -71,6 +71,9 @@ class CampaignProgress:
     throughput_rps: Optional[float] = None
     eta_s: Optional[float] = None
     workers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Per-execution-path cell counts ("vector"/"scalar"/"store"/"cache"/
+    #: backend name -> count); populated when the campaign closes.
+    backend_cells: Dict[str, int] = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -90,6 +93,7 @@ class CampaignProgress:
             "throughput_rps": self.throughput_rps,
             "eta_s": self.eta_s,
             "workers": self.workers,
+            "backend_cells": self.backend_cells,
         }
 
     @classmethod
@@ -110,6 +114,10 @@ class CampaignProgress:
             throughput_rps=payload.get("throughput_rps"),
             eta_s=payload.get("eta_s"),
             workers=dict(payload.get("workers") or {}),
+            backend_cells={
+                str(name): int(count)
+                for name, count in (payload.get("backend_cells") or {}).items()
+            },
         )
 
 
@@ -164,6 +172,7 @@ class ProgressTracker:
         self._reused = 0
         self._running = 0
         self._workers: Dict[str, Dict[str, Any]] = {}
+        self._backend_cells: Dict[str, int] = {}
         self._complete = False
         self._started_at = 0.0
         self._fresh_done = 0  # executed this session; drives throughput/ETA
@@ -205,11 +214,20 @@ class ProgressTracker:
             self._workers = dict(workers)
             self._write_locked()
 
-    def finish(self, complete: bool = True) -> None:
-        """Close the campaign and force a final snapshot."""
+    def finish(
+        self, complete: bool = True, backend_cells: Optional[Dict[str, int]] = None
+    ) -> None:
+        """Close the campaign and force a final snapshot.
+
+        ``backend_cells`` records which execution path settled each cell
+        (vector/scalar/store/cache/...); the runner passes its final
+        provenance counts so ``report`` and ``status`` can surface them.
+        """
         with self._lock:
             self._complete = bool(complete)
             self._running = 0
+            if backend_cells is not None:
+                self._backend_cells = dict(backend_cells)
             self._write_locked(force=True)
 
     # --------------------------------------------------------------- snapshot
@@ -243,6 +261,7 @@ class ProgressTracker:
             throughput_rps=throughput,
             eta_s=eta,
             workers=dict(self._workers),
+            backend_cells=dict(self._backend_cells),
         )
 
     def _write_locked(self, force: bool = False) -> None:

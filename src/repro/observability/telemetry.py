@@ -22,6 +22,13 @@ The process-global default instance (:func:`get_telemetry`) is what the
 simulator kernel, scenario harness, runner and cache report into; enable
 it with ``REPRO_TELEMETRY=1``, :func:`set_telemetry_enabled` or the
 :func:`telemetry_enabled` context manager (used by ``run --profile``).
+
+The vectorized backend (:mod:`repro.vectorized`) reports
+``vector.batch`` (verified lockstep batches) and ``vector.evict``
+(seeds evicted to the scalar kernel) counters plus a
+``vector.occupancy`` gauge (fast-path fraction of backend-executed
+cells); its always-on :class:`~repro.vectorized.engine.VectorStats`
+carries the same numbers when telemetry is disabled.
 """
 
 from __future__ import annotations

@@ -22,6 +22,10 @@ point                    where
 ``cache.put``            cache publish
 ``events.emit``          events.jsonl append
 ``coordinator.poll``     coordinator collect loop, once per poll
+``vector.evict``         vector backend, per cell while planning a
+                         lockstep batch — *any* planned fault here
+                         (directive or raised) evicts the seed to
+                         the scalar kernel
 ======================== ==========================================
 
 Fault kinds:

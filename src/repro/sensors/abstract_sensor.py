@@ -28,6 +28,7 @@ from repro.sensors.fusion import (
 from repro.sensors.injector import FaultInjector
 from repro.sensors.readings import ReadingAttributes, SensorReading
 from repro.sensors.validity import FaultManagementUnit, ValidityPolicy
+from repro.sim.rng import ChunkedNormals
 
 
 #: Noise values pre-drawn per RNG call while no fault can touch the stream.
@@ -71,8 +72,7 @@ class PhysicalSensor:
         self.injector = FaultInjector(rng=self.rng)
         self.samples_taken = 0
         self._sequence = 0
-        self._noise_buffer = np.empty(0)
-        self._noise_index = 0
+        self._noise = ChunkedNormals(self.rng, chunk=_NOISE_CHUNK)
 
     def sample(self, now: float) -> Optional[SensorReading]:
         """Take one sample at simulated time ``now``.
@@ -83,14 +83,7 @@ class PhysicalSensor:
         true_value = self.truth_fn(now)
         sigma = self.noise_sigma
         if sigma > 0:
-            index = self._noise_index
-            buffer = self._noise_buffer
-            if index >= buffer.shape[0]:
-                chunk = 1 if self.injector.may_draw_rng else _NOISE_CHUNK
-                buffer = self._noise_buffer = self.rng.standard_normal(chunk)
-                index = 0
-            noise = sigma * buffer[index]
-            self._noise_index = index + 1
+            noise = sigma * self._noise.next(chunk=1 if self.injector.may_draw_rng else None)
         else:
             noise = 0.0
         self._sequence += 1

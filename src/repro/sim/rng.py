@@ -14,6 +14,58 @@ from typing import Dict
 import numpy as np
 
 
+class ChunkedNormals:
+    """Standard-normal draws pre-fetched in chunks on a scalar-identical stream.
+
+    ``standard_normal(n)`` consumes the generator exactly like ``n``
+    successive scalar draws, so refilling an internal buffer in chunks
+    yields the same per-sample values as never batching — this is the
+    refill schedule :class:`~repro.sensors.abstract_sensor.PhysicalSensor`
+    uses for measurement noise, extracted here so the lockstep vector
+    programs (:mod:`repro.vectorized`) can reproduce it verbatim.
+
+    ``next(chunk=1)`` degrades to one draw per call for consumers whose
+    RNG is shared with another draw site (e.g. an RNG-drawing fault) and
+    must interleave exactly as unbatched.
+    """
+
+    def __init__(self, rng: np.random.Generator, chunk: int = 128):
+        if int(chunk) < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.rng = rng
+        self.chunk = int(chunk)
+        self._buffer = np.empty(0)
+        self._index = 0
+
+    def next(self, chunk: int | None = None) -> float:
+        """The next standard-normal value; refills by ``chunk`` (default
+        the instance chunk) when the buffer is exhausted."""
+        index = self._index
+        buffer = self._buffer
+        if index >= buffer.shape[0]:
+            size = self.chunk if chunk is None else int(chunk)
+            buffer = self._buffer = self.rng.standard_normal(size)
+            index = 0
+        self._index = index + 1
+        return buffer[index]
+
+    def predraw(self, count: int) -> np.ndarray:
+        """The next ``count`` values as one array, drawn chunk-by-chunk.
+
+        Bitwise identical to calling :meth:`next` ``count`` times from a
+        fresh instance — the batch form the vector programs use to build a
+        whole noise row in one go.
+        """
+        chunks = []
+        drawn = 0
+        while drawn < count:
+            chunks.append(self.rng.standard_normal(self.chunk))
+            drawn += self.chunk
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)[:count]
+
+
 class RandomStreams:
     """Factory of independent, reproducible ``numpy`` generators."""
 

@@ -594,7 +594,7 @@ class TestProfileCli:
     def test_profile_rejects_parallel_backends(self, tmp_path, capsys):
         rc = cli_main(["run", "demo/random_walk", "--seeds", "2", "--jobs", "2", "--profile"])
         assert rc == 2
-        assert "--profile requires inline execution" in capsys.readouterr().err
+        assert "--profile requires in-process execution" in capsys.readouterr().err
 
     def test_cache_counters_in_run_output(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")

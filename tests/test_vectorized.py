@@ -1,0 +1,379 @@
+"""Lockstep vectorized backend (``repro.vectorized`` / ``--backend vector``).
+
+The contract under test: a vector campaign's store is **byte-identical**
+to the inline kernel's for every seed, whatever mix of fast path, probe,
+eviction and fallback produced it.  Everything else (occupancy stats,
+provenance surfaces, CLI guards) hangs off that.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ParallelCampaignRunner, ResultStore
+from repro.experiments.cli import main as cli_main
+from repro.experiments.registry import load_builtin_scenarios
+from repro.observability.progress import read_progress
+from repro.observability.telemetry import telemetry_enabled
+from repro.resilience import FaultPlan, FaultRule, armed
+from repro.scenario.harness import ScenarioHarness
+from repro.vectorized import (
+    PROGRAMS,
+    LockstepBatch,
+    VectorBatchBackend,
+    VectorStats,
+    factory_source_hash,
+    program_for,
+)
+
+REGISTRY = load_builtin_scenarios()
+
+
+def run_store(tmp_path, name, scenario, seeds, params=None, backend=None):
+    """Run one campaign into ``tmp_path/name`` and return the store path."""
+    path = tmp_path / name
+    ParallelCampaignRunner(
+        jobs=1, registry=REGISTRY, store=ResultStore(path), backend=backend
+    ).run(scenario, params=params, seeds=list(seeds))
+    return path
+
+
+def run_pair(tmp_path, scenario, seeds, params=None, backend=None):
+    """Inline and vector stores for the same campaign, plus the backend used."""
+    inline = run_store(tmp_path, "inline.jsonl", scenario, seeds, params)
+    backend = backend or VectorBatchBackend()
+    vector = run_store(tmp_path, "vector.jsonl", scenario, seeds, params, backend=backend)
+    return inline.read_bytes(), vector.read_bytes(), backend
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "scenario, params, n_seeds",
+        [
+            ("sensor_validity", {"fault_class": "stuck_at"}, 16),
+            ("sensor_validity", {"fault_class": "permanent_offset", "samples": 250}, 8),
+            ("sensor_validity", {"fault_class": "delay", "samples": 150}, 8),
+            ("tdma_convergence", None, 12),
+            ("tdma_convergence", {"rows": 5, "cols": 5, "slots": 30}, 8),
+            ("demo/random_walk", None, 16),
+        ],
+        ids=["e2-stuck", "e2-offset", "e2-delay", "e4-default", "e4-5x5", "walk"],
+    )
+    def test_vector_store_matches_inline(self, tmp_path, scenario, params, n_seeds):
+        inline, vector, backend = run_pair(tmp_path, scenario, range(n_seeds), params)
+        assert vector == inline
+        assert backend.stats.batches == 1
+        # One scalar probe per batch; everything else rides the fast path.
+        assert backend.stats.probe_cells == 1
+        assert backend.stats.fast_cells == n_seeds - 1
+        assert backend.stats.probe_mismatches == 0
+        assert 0.0 < backend.stats.occupancy < 1.0
+
+    def test_sweep_plans_one_batch_per_param_point(self, tmp_path):
+        inline_path = tmp_path / "inline.jsonl"
+        vector_path = tmp_path / "vector.jsonl"
+        sweep = [{"fault_class": "stuck_at"}, {"fault_class": "permanent_offset"}]
+        seeds = list(range(6))
+        ParallelCampaignRunner(jobs=1, registry=REGISTRY, store=ResultStore(inline_path)).run(
+            "sensor_validity", sweep=sweep, seeds=seeds
+        )
+        backend = VectorBatchBackend()
+        ParallelCampaignRunner(registry=REGISTRY, store=ResultStore(vector_path), backend=backend).run(
+            "sensor_validity", sweep=sweep, seeds=seeds
+        )
+        assert vector_path.read_bytes() == inline_path.read_bytes()
+        assert backend.stats.groups == 2
+        assert backend.stats.batches == 2
+
+
+class TestFallbacks:
+    def test_rng_drawing_fault_class_falls_back_whole(self, tmp_path):
+        inline, vector, backend = run_pair(
+            tmp_path, "sensor_validity", range(6), {"fault_class": "sporadic_offset"}
+        )
+        assert vector == inline
+        assert backend.stats.batches == 0
+        assert backend.stats.ineligible_groups == 1
+        assert backend.stats.fallback_cells == 6
+        assert backend.stats.occupancy == 0.0
+
+    def test_tdma_churn_falls_back_whole(self, tmp_path):
+        inline, vector, backend = run_pair(
+            tmp_path, "tdma_convergence", range(4), {"churn": True}
+        )
+        assert vector == inline
+        assert backend.stats.batches == 0
+        assert backend.stats.ineligible_groups == 1
+
+    def test_unprogrammed_scenario_falls_back_whole(self, tmp_path):
+        inline, vector, backend = run_pair(tmp_path, "event_channels", range(3))
+        assert vector == inline
+        assert backend.stats.batches == 0
+        assert backend.stats.fallback_cells == 3
+
+    def test_single_seed_group_is_not_batched(self, tmp_path):
+        inline, vector, backend = run_pair(
+            tmp_path, "demo/random_walk", [7]
+        )
+        assert vector == inline
+        assert backend.stats.batches == 0
+        assert backend.stats.fallback_cells == 1
+
+    def test_program_error_falls_back_whole(self, tmp_path, monkeypatch):
+        real = program_for
+
+        class ExplodingProgram:
+            def run(self, spec, batch):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            "repro.vectorized.backend.program_for",
+            lambda spec, params: ExplodingProgram() if real(spec, params) else None,
+        )
+        inline, vector, backend = run_pair(tmp_path, "demo/random_walk", range(6))
+        assert vector == inline
+        assert backend.stats.program_errors == 1
+        assert backend.stats.batches == 0
+        assert backend.stats.fallback_cells == 6
+
+
+class TestEviction:
+    @pytest.mark.parametrize("kind", ["stall", "io_error"])
+    def test_fault_plan_evicts_seed_to_scalar(self, tmp_path, kind):
+        inline = run_store(tmp_path, "inline.jsonl", "demo/random_walk", range(8))
+        backend = VectorBatchBackend()
+        plan = FaultPlan(
+            [FaultRule(point="vector.evict", kind=kind, match={"seed": 5})]
+        )
+        with armed(plan):
+            vector = run_store(
+                tmp_path, "vector.jsonl", "demo/random_walk", range(8), backend=backend
+            )
+        assert vector.read_bytes() == inline.read_bytes()
+        assert backend.stats.evicted_cells == 1
+        assert backend.stats.eviction_reasons == {"fault-plan": 1}
+        assert backend.stats.fast_cells == 6  # 8 - probe - evicted
+
+    def test_mid_batch_eviction_finishes_scalar(self, tmp_path, monkeypatch):
+        real = program_for
+
+        class EvictingProgram:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def run(self, spec, batch):
+                batch.evict(3, reason="test-divergence")
+                return self.inner.run(spec, batch)
+
+        monkeypatch.setattr(
+            "repro.vectorized.backend.program_for",
+            lambda spec, params: (
+                EvictingProgram(real(spec, params)) if real(spec, params) else None
+            ),
+        )
+        inline, vector, backend = run_pair(tmp_path, "demo/random_walk", range(8))
+        assert vector == inline
+        assert backend.stats.evicted_cells == 1
+        assert backend.stats.eviction_reasons == {"test-divergence": 1}
+        assert backend.stats.batches == 1
+
+    def test_probe_mismatch_reruns_group_scalar(self, tmp_path, monkeypatch):
+        real = program_for
+
+        class LyingProgram:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def run(self, spec, batch):
+                outputs = self.inner.run(spec, batch)
+                probe_seed = batch.active_seeds()[0]
+                outputs[probe_seed] = dict(outputs[probe_seed])
+                outputs[probe_seed]["final_position"] = 1e9
+                return outputs
+
+        monkeypatch.setattr(
+            "repro.vectorized.backend.program_for",
+            lambda spec, params: (
+                LyingProgram(real(spec, params)) if real(spec, params) else None
+            ),
+        )
+        inline, vector, backend = run_pair(tmp_path, "demo/random_walk", range(6))
+        assert vector == inline
+        assert backend.stats.probe_mismatches == 1
+        assert backend.stats.batches == 0
+        assert backend.stats.fast_cells == 0
+
+
+class TestEligibilityGates:
+    def test_program_hashes_pin_current_factory_sources(self):
+        """Every registered program's hash must match its live factory source.
+
+        If this fails, a scalar factory was edited without re-verifying the
+        lockstep program: update the program's math *and* its pinned hash.
+        """
+        for name, program in PROGRAMS.items():
+            spec = REGISTRY.get(name)
+            assert spec is not None, f"program registered for unknown scenario {name!r}"
+            assert factory_source_hash(spec) == program.source_sha256, name
+
+    def test_source_hash_mismatch_disables_program(self, monkeypatch):
+        spec = REGISTRY.get("demo/random_walk")
+        params = spec.coerce_params({})
+        assert program_for(spec, params) is not None
+        monkeypatch.setattr(PROGRAMS["demo/random_walk"], "source_sha256", "0" * 64)
+        assert program_for(spec, params) is None
+
+    def test_sensor_rig_lockstep_safe(self):
+        from repro.scenario import SensorRig
+        from repro.sensors.detectors import RangeDetector, StuckAtDetector
+
+        safe = SensorRig(
+            name="r",
+            quantity="range",
+            noise_sigma=0.1,
+            detectors=lambda: [RangeDetector(low=0.0, high=1.0)],
+        )
+        assert safe.lockstep_safe()
+
+        class CustomDetector(StuckAtDetector):
+            pass
+
+        unsafe = SensorRig(
+            name="r",
+            quantity="range",
+            noise_sigma=0.1,
+            detectors=lambda: [CustomDetector(window=10, min_run=4)],
+        )
+        assert not unsafe.lockstep_safe()
+        broken = SensorRig(
+            name="r",
+            quantity="range",
+            noise_sigma=0.1,
+            detectors=lambda: (_ for _ in ()).throw(RuntimeError("no stack")),
+        )
+        assert not broken.lockstep_safe()
+
+    def test_harness_lockstep_eligibility(self):
+        harness = ScenarioHarness(seed=0)
+        assert harness.lockstep_eligible
+        from repro.scenario import RadioPreset
+
+        with_radio = ScenarioHarness(seed=0, radio=RadioPreset())
+        assert not with_radio.lockstep_eligible
+
+
+class TestEngineUnits:
+    def test_lockstep_batch_eviction_bookkeeping(self):
+        batch = LockstepBatch("s", {}, [3, 1, 2])
+        assert len(batch) == 3
+        assert batch.active_seeds() == [3, 1, 2]
+        batch.evict(1, reason="why")
+        assert batch.active_seeds() == [3, 2]
+        assert batch.evicted == {1: "why"}
+        with pytest.raises(KeyError):
+            batch.evict(99)
+
+    def test_vector_stats_occupancy_and_summary(self):
+        stats = VectorStats()
+        assert stats.occupancy == 0.0
+        stats.batches = 1
+        stats.fast_cells = 7
+        stats.probe_cells = 1
+        stats.record_eviction("fault-plan")
+        stats.record_eviction("fault-plan")
+        assert stats.evicted_cells == 2
+        assert stats.total_cells == 10
+        assert stats.occupancy == pytest.approx(0.7)
+        summary = stats.summary()
+        assert "7/10" in summary and "70%" in summary
+        doc = stats.to_json_dict()
+        assert doc["occupancy"] == 0.7
+        assert doc["eviction_reasons"] == {"fault-plan": 2}
+
+
+class TestCliAndProvenance:
+    def test_vector_rejects_parallel_and_batch_flags(self, capsys):
+        args = ["run", "demo/random_walk", "--seeds", "4", "--backend", "vector"]
+        assert cli_main(args + ["--jobs", "2"]) == 2
+        assert "--jobs/--batch-size" in capsys.readouterr().err
+        assert cli_main(args + ["--batch-size", "2"]) == 2
+        assert "--jobs/--batch-size" in capsys.readouterr().err
+
+    def test_vector_run_report_status_surfaces(self, tmp_path, capsys):
+        store = tmp_path / "vector.jsonl"
+        rc = cli_main(
+            [
+                "run",
+                "demo/random_walk",
+                "--seeds",
+                "8",
+                "--backend",
+                "vector",
+                "--store",
+                str(store),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=vector" in out
+        assert "cells by path: scalar=1, vector=7" in out
+        assert "occupancy" in out
+
+        inline = tmp_path / "inline.jsonl"
+        assert (
+            cli_main(
+                ["run", "demo/random_walk", "--seeds", "8", "--store", str(inline)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert store.read_bytes() == inline.read_bytes()
+
+        progress = read_progress(tmp_path / "vector.jsonl.progress.json")
+        assert progress.backend == "vector"
+        assert progress.backend_cells == {"scalar": 1, "vector": 7}
+
+        assert cli_main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "backend=vector" in out
+        assert "scalar=1, vector=7" in out
+
+        assert cli_main(["status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "[vector]" in out
+        assert "cells: scalar=1, vector=7" in out
+
+    def test_vector_profile_reports_batch_stats(self, tmp_path, capsys):
+        store = tmp_path / "vector.jsonl"
+        rc = cli_main(
+            [
+                "run",
+                "demo/random_walk",
+                "--seeds",
+                "6",
+                "--backend",
+                "vector",
+                "--profile",
+                "--store",
+                str(store),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        sidecar = tmp_path / "vector.jsonl.profile.json"
+        profile = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert profile["vector"]["batches"] == 1
+        assert profile["vector"]["fast_cells"] == 5
+
+    def test_vector_telemetry_counters(self):
+        with telemetry_enabled() as registry:
+            registry.reset()
+            backend = VectorBatchBackend()
+            ParallelCampaignRunner(registry=REGISTRY, backend=backend).run(
+                "demo/random_walk", seeds=list(range(8))
+            )
+            counters = registry.counters()
+            gauges = registry.gauges()
+        assert counters.get("vector.batch") == 1
+        assert "vector.evict" not in counters
+        assert 0.0 < gauges["vector.occupancy"] < 1.0
