@@ -74,6 +74,15 @@ def test_telemetry_is_disabled_and_costless_for_budget_runs():
     # shared no-op span object — far below anything a wall-time budget can
     # even resolve; assert the mechanism rather than a brittle timing.
     assert registry.timer("scenario.sim") is registry.timer("run.collect")
+    # Same discipline for span tracing: off (nobody exported
+    # REPRO_TRACE_DIR into the gate) and a shared no-op span while off.
+    from repro.observability.trace import TRACER
+
+    assert not TRACER.enabled, (
+        "tracing is enabled (REPRO_TRACE_DIR?); perf budgets must be "
+        "measured with it off"
+    )
+    assert TRACER.span("cell", cat="cell") is TRACER.span("task", cat="task")
 
 
 @pytest.mark.parametrize("key", sorted(PERF_WORKLOADS))

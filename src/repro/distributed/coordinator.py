@@ -30,6 +30,7 @@ import os
 import subprocess
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -46,6 +47,7 @@ from repro.experiments.spec import RunSpec, ScenarioSpec, jsonable
 from repro.experiments.store import ResultStore
 from repro.observability.events import EventLog
 from repro.observability.progress import ProgressTracker
+from repro.observability.trace import TRACER
 from repro.resilience.faults import GENERATION_ENV, inject
 
 logger = logging.getLogger(__name__)
@@ -122,6 +124,7 @@ class SpoolBackend(ExecutionBackend):
         records: List[Optional[RunRecord]],
         payload: Optional[object] = None,
         progress: Optional[ProgressTracker] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if not isinstance(payload, str):
             raise SpoolDispatchError(
@@ -140,11 +143,13 @@ class SpoolBackend(ExecutionBackend):
             "task_size": self.task_size,
             "campaign_id": campaign_id,
         }
+        if TRACER.enabled:
+            metadata["trace_id"] = TRACER.trace_id
         recovery = self._try_resume(campaign_id, tasks, metadata)
         if recovery is None:
             self.spool.initialise(metadata=metadata)
             for task in tasks:
-                self.spool.publish_task(task)
+                self._publish(task)
 
         # The coordinator's own progress file lives inside the spool, where
         # `status <spool>` (and workers on other hosts) can see it; the
@@ -213,6 +218,32 @@ class SpoolBackend(ExecutionBackend):
         self.spool.mark_complete()
 
     # --------------------------------------------------------------- internals
+    def _publish(self, task: SpoolTask) -> None:
+        """Publish one task, embedding trace context when tracing is on.
+
+        The publish span's own id rides the task file as the worker-side
+        parent — this is the cross-process stitch: whichever worker claims
+        the task (spawned here or started by hand on another host) parents
+        its task span to this publish span, and the publish timestamp lets
+        its ledger row charge the task's queue wait.
+        """
+        if not TRACER.enabled:
+            self.spool.publish_task(task)
+            return
+        with TRACER.span(
+            "publish", cat="publish", task=task.task_id, cells=len(task.cells)
+        ) as span:
+            self.spool.publish_task(
+                replace(
+                    task,
+                    trace={
+                        "id": TRACER.trace_id,
+                        "parent": span.span_id,
+                        "ts": round(time.time(), 6),
+                    },
+                )
+            )
+
     def _try_resume(
         self,
         campaign_id: str,
@@ -255,7 +286,7 @@ class SpoolBackend(ExecutionBackend):
         republished = 0
         for task in tasks:
             if task.task_id not in present:
-                self.spool.publish_task(task)
+                self._publish(task)
                 republished += 1
         # Refresh the published lease/attempt policy for this coordinator.
         self.spool.write_campaign_metadata(metadata)
@@ -330,7 +361,8 @@ class SpoolBackend(ExecutionBackend):
                 if stale_shard_mtime.get(task_id) == mtime:
                     continue
                 try:
-                    shard_records = self.spool.read_result_shard(task_id)
+                    with TRACER.span("ingest", cat="ingest", task=task_id):
+                        shard_records = self.spool.read_result_shard(task_id)
                 except TornShardError:
                     # A partial write slipped to the final path (fault
                     # injection, or a filesystem that tore the rename's
@@ -354,7 +386,7 @@ class SpoolBackend(ExecutionBackend):
                         or (self.spool.claimed_dir / f"{task_id}.json").exists()
                         or (self.spool.quarantine_dir / f"{task_id}.json").exists()
                     ):
-                        self.spool.publish_task(task)
+                        self._publish(task)
                     continue
                 except FileNotFoundError:
                     continue

@@ -78,13 +78,22 @@ class SpoolTask:
     scenario: str
     #: ``(params, seed, run-list index)`` per cell.
     cells: Tuple[Tuple[Dict[str, Any], int, int], ...]
+    #: Optional tracing context riding the task file: ``{"id": trace id,
+    #: "parent": the coordinator's publish span id, "ts": publish
+    #: wall-clock}``.  This is how trace ids propagate to *external*
+    #: workers with zero environment plumbing — any worker that claims the
+    #: task adopts the trace and parents its spans to the publish span;
+    #: ``ts`` lets the worker's ledger row charge queue wait precisely.
+    #: ``None`` (tracing off) serializes to nothing, keeping task files
+    #: byte-identical to PR 7's when tracing is disabled.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         # Params go through the same jsonable() reduction as store keys and
         # records, so enum/numpy-valued params survive the spool round-trip
         # instead of crashing json.dumps.  (Factories see the JSON shape —
         # e.g. tuples as lists — which canonical keys already equate.)
-        return {
+        payload: Dict[str, Any] = {
             "task_id": self.task_id,
             "scenario": self.scenario,
             "cells": [
@@ -92,9 +101,13 @@ class SpoolTask:
                 for params, seed, index in self.cells
             ],
         }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: Dict[str, Any]) -> "SpoolTask":
+        trace = payload.get("trace")
         return cls(
             task_id=payload["task_id"],
             scenario=payload["scenario"],
@@ -102,6 +115,7 @@ class SpoolTask:
                 (dict(cell["params"]), int(cell["seed"]), int(cell["index"]))
                 for cell in payload["cells"]
             ),
+            trace=dict(trace) if isinstance(trace, dict) else None,
         )
 
 
@@ -180,6 +194,11 @@ class Spool:
         """Append-only reclaim/quarantine/reset ledger (``attempts.jsonl``)."""
         return self.root / "attempts.jsonl"
 
+    @property
+    def ledger_path(self) -> Path:
+        """Per-cell run ledger (``ledger.jsonl``), written when tracing is on."""
+        return self.root / "ledger.jsonl"
+
     def initialise(self, metadata: Optional[Dict[str, Any]] = None) -> None:
         """Create the spool directories and write the campaign metadata.
 
@@ -205,9 +224,15 @@ class Spool:
             self.events_path,
             self.progress_path,
             self.attempts_path,
+            self.ledger_path,
         ):
             if stale.exists():
                 stale.unlink()
+        # Trace span files are per-pid, so a fresh campaign must purge the
+        # previous one's — a recycled pid would otherwise append to (and a
+        # merge would interleave with) a stale campaign's spans.
+        for stale in self.root.glob("trace-*.jsonl"):
+            stale.unlink()
         self.write_campaign_metadata(metadata)
 
     def write_campaign_metadata(self, metadata: Optional[Dict[str, Any]] = None) -> None:

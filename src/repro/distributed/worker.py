@@ -42,6 +42,8 @@ from repro.experiments.registry import (
 from repro.experiments.runner import RunRecord, execute_run_with_retry
 from repro.experiments.spec import RunSpec, content_cache_key
 from repro.observability.events import EventLog
+from repro.observability.ledger import RunLedger
+from repro.observability.trace import TRACER
 from repro.resilience.faults import inject
 from repro.resilience.retry import SPOOL_IO_RETRY_POLICY, CircuitBreaker, RetryPolicy
 
@@ -107,9 +109,29 @@ def execute_task(
     records — are byte-identical across backends).  The shard write itself
     retries under the quick spool-I/O policy; if it still fails the
     ``OSError`` propagates to the worker loop, which requeues the claim.
+
+    Tracing: a task file published by a tracing coordinator carries the
+    trace context (``task.trace``), which this worker *adopts* — it
+    configures its own tracer into the spool directory and parents its
+    task span to the coordinator's publish span — so external workers join
+    the trace with no environment plumbing.  Each traced task also appends
+    one run-ledger row per cell, charging the task's queue wait (claim
+    time minus publish time, the only place it can be measured) to its
+    cells.
     """
     task = claimed.task
     started = time.perf_counter()
+    trace_info = task.trace
+    worker_label = stats.worker_id if stats is not None else None
+    if trace_info is not None and not TRACER.enabled:
+        TRACER.configure(spool.root, trace_id=trace_info.get("id"), source=worker_label)
+    traced = trace_info is not None or TRACER.enabled
+    ledger = RunLedger(spool.ledger_path if traced else None, worker=worker_label)
+    queue_wait: Optional[float] = None
+    publish_ts = (trace_info or {}).get("ts")
+    if isinstance(publish_ts, (int, float)):
+        queue_wait = max(0.0, time.time() - float(publish_ts))
+    publish_span = (trace_info or {}).get("parent")
     spec = None
     resolve_error: Optional[str] = None
     try:
@@ -119,52 +141,82 @@ def execute_task(
     source_fingerprint = spec.source_fingerprint() if spec is not None else None
 
     results: List[Tuple[int, RunRecord]] = []
-    for params, seed, index in task.cells:
-        inject("worker.cell", task=task.task_id, index=index, scenario=task.scenario)
-        if spec is None:
-            record = RunRecord(
+    task_span = TRACER.span(
+        "task",
+        cat="task",
+        parent=publish_span if trace_info is not None else ...,
+        task=task.task_id,
+        scenario=task.scenario,
+        cells=len(task.cells),
+        **({"queue_wait_s": round(queue_wait, 6)} if queue_wait is not None else {}),
+    )
+    with task_span:
+        for params, seed, index in task.cells:
+            inject("worker.cell", task=task.task_id, index=index, scenario=task.scenario)
+            executed_by = "spool"
+            if spec is None:
+                record = RunRecord(
+                    scenario=task.scenario,
+                    params=dict(params),
+                    seed=seed,
+                    status="failed",
+                    error=resolve_error,
+                    error_class="ScenarioResolutionError",
+                )
+            else:
+                cache_key = (
+                    content_cache_key(source_fingerprint, params, seed)
+                    if cache is not None and source_fingerprint is not None
+                    else None
+                )
+                if cache is not None:
+                    with TRACER.span("cache.get", cat="cache", seed=seed):
+                        record = cache.get(cache_key)
+                else:
+                    record = None
+                if record is not None:
+                    record = record.relabelled(spec.name, dict(params), seed)
+                    executed_by = "cache"
+                    if stats is not None:
+                        stats.cache_hits += 1
+                    if events is not None:
+                        events.emit("cache_hit", task=task.task_id, index=index)
+                else:
+                    if events is not None and cache is not None and cache_key is not None:
+                        events.emit("cache_miss", task=task.task_id, index=index)
+                    record = execute_run_with_retry(
+                        spec,
+                        RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index),
+                        policy=retry_policy,
+                        breaker=breaker,
+                    )
+                    if cache is not None:
+                        with TRACER.span("cache.put", cat="cache", seed=seed):
+                            cache.put(cache_key, record)
+                    if stats is not None:
+                        stats.runs_executed += 1
+            if stats is not None and not record.ok:
+                stats.failures += 1
+            ledger.record(
                 scenario=task.scenario,
                 params=dict(params),
                 seed=seed,
-                status="failed",
-                error=resolve_error,
-                error_class="ScenarioResolutionError",
+                status=record.status,
+                executed_by=executed_by,
+                run_s=record.duration,
+                queue_wait_s=queue_wait,
+                attempts=record.attempts,
+                trace=(trace_info or {}).get("id") or TRACER.trace_id,
+                span=getattr(task_span, "span_id", None),
             )
-        else:
-            cache_key = (
-                content_cache_key(source_fingerprint, params, seed)
-                if cache is not None and source_fingerprint is not None
-                else None
+            results.append((index, record))
+            spool.heartbeat(claimed)
+        with TRACER.span("shard.write", cat="io", task=task.task_id):
+            SPOOL_IO_RETRY_POLICY.call(
+                lambda: spool.write_result_shard(task.task_id, results),
+                key=f"shard|{task.task_id}",
             )
-            record = cache.get(cache_key) if cache is not None else None
-            if record is not None:
-                record = record.relabelled(spec.name, dict(params), seed)
-                if stats is not None:
-                    stats.cache_hits += 1
-                if events is not None:
-                    events.emit("cache_hit", task=task.task_id, index=index)
-            else:
-                if events is not None and cache is not None and cache_key is not None:
-                    events.emit("cache_miss", task=task.task_id, index=index)
-                record = execute_run_with_retry(
-                    spec,
-                    RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index),
-                    policy=retry_policy,
-                    breaker=breaker,
-                )
-                if cache is not None:
-                    cache.put(cache_key, record)
-                if stats is not None:
-                    stats.runs_executed += 1
-        if stats is not None and not record.ok:
-            stats.failures += 1
-        results.append((index, record))
-        spool.heartbeat(claimed)
-    SPOOL_IO_RETRY_POLICY.call(
-        lambda: spool.write_result_shard(task.task_id, results),
-        key=f"shard|{task.task_id}",
-    )
-    spool.release(claimed)
+        spool.release(claimed)
     elapsed = time.perf_counter() - started
     if stats is not None:
         stats.tasks_completed += 1
@@ -213,6 +265,10 @@ def run_worker(
         else Spool(spool_root, lease_timeout=lease_timeout)
     )
     stats = WorkerStats(worker_id=worker_id or f"worker-{os.getpid()}")
+    if TRACER.enabled:
+        # Env-configured tracing (spawned workers): label this process's
+        # trace lane with the worker id instead of a bare pid.
+        TRACER.source = stats.worker_id
     events = EventLog(spool.events_path, source=stats.worker_id)
     events.emit("worker_start", pid=os.getpid())
     spool.write_worker_heartbeat(stats.worker_id, stats.heartbeat_payload("starting"))

@@ -23,6 +23,13 @@ Examples::
     python -m repro.experiments tail /spool/platoon --follow
     python -m repro.experiments run platoon/karyon --seeds 5 --profile
 
+    # Tracing: where did the campaign's wall-clock actually go?
+    python -m repro.experiments run platoon/karyon --seeds 50 \\
+        --backend spool --spool /spool/platoon --trace
+    python -m repro.experiments trace summary /spool/platoon
+    python -m repro.experiments trace critical-path /spool/platoon
+    python -m repro.experiments trace export /spool/platoon -o trace.json
+
     # Resilience: chaos-test a campaign, inspect/retry quarantined tasks
     python -m repro.experiments run platoon/karyon --seeds 20 \\
         --backend spool --spool /spool/chaos --faults plan.json --retries 3
@@ -57,6 +64,14 @@ from repro.observability.progress import (
     CampaignProgress,
     atomic_write_text,
     read_progress,
+)
+from repro.observability.trace import (
+    critical_path,
+    enable_tracing,
+    export_chrome_trace,
+    merge_trace_files,
+    resolve_trace_dir,
+    summarize_trace,
 )
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -175,6 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time each executed cell's build/sim/collect phases (inline "
         "execution only; enables telemetry for the duration of the run)",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record a distributed span trace and per-cell run ledger "
+        "(spool campaigns trace into the spool directory, others into "
+        "--trace-dir or <store>.trace/); explore with the `trace` subcommand",
+    )
+    run_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace directory for non-spool campaigns (implies --trace; "
+        "default <store>.trace)",
     )
 
     report_parser = sub.add_parser("report", help="aggregate a JSONL results store", parents=[common])
@@ -300,6 +326,39 @@ def build_parser() -> argparse.ArgumentParser:
     tail_parser.add_argument(
         "--kind", action="append", default=[], metavar="KIND",
         help=f"only these event kinds (repeatable; known: {', '.join(sorted(EVENT_KINDS))})",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="explore a campaign trace recorded with `run --trace`",
+        parents=[common],
+    )
+    trace_parser.add_argument(
+        "action", choices=("export", "summary", "critical-path"),
+        help="export: Chrome trace-event JSON (chrome://tracing, "
+        "ui.perfetto.dev); summary: per-phase totals, slowest cells, "
+        "stragglers; critical-path: the span chain bounding wall-clock "
+        "with idle-gap attribution",
+    )
+    trace_parser.add_argument(
+        "target", help="trace directory, spool directory, or store path"
+    )
+    trace_parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="export only: output path (default <trace dir>/trace.json)",
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="summary only: slowest cells to list (default 5)",
+    )
+    trace_parser.add_argument(
+        "--straggler-k", type=float, default=3.0, metavar="K",
+        help="summary only: flag cells slower than K times the median "
+        "cell (default 3.0)",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="summary/critical-path: print the full JSON document",
     )
     return parser
 
@@ -443,6 +502,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
 
+    trace_requested = bool(args.trace or args.trace_dir)
+    trace_dir: Optional[Path] = None
+    if trace_requested:
+        if spool_requested:
+            if args.trace_dir:
+                print(
+                    "error: spool campaigns always trace into the spool "
+                    "directory (workers append there); drop --trace-dir",
+                    file=sys.stderr,
+                )
+                return 2
+            trace_dir = Path(args.spool)
+        elif args.trace_dir:
+            trace_dir = Path(args.trace_dir)
+        elif args.store:
+            trace_dir = Path(f"{args.store}.trace")
+        else:
+            print(
+                "error: --trace needs somewhere to write: add --store, "
+                "--trace-dir, or run a spool campaign",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.retries is not None and args.retries < 1:
         print("error: --retries must be >= 1", file=sys.stderr)
         return 2
@@ -488,6 +571,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.distributed import CacheIndex
 
         cache = CacheIndex(args.cache)
+
+    trace_id = None
+    if trace_requested and trace_dir is not None:
+        trace_id = enable_tracing(
+            trace_dir, source="coordinator" if spool_requested else "runner"
+        )
 
     store = ResultStore(args.store) if args.store else None
     runner = ParallelCampaignRunner(
@@ -564,10 +653,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print()
             print("profile: no cells executed (all reused or cached)")
+        if profile.get("timers"):
+            print()
+            print(
+                format_table(
+                    profile["timers"],
+                    title=f"{spec.name}: timer percentiles "
+                    "(reservoir-estimated p50/p95)",
+                )
+            )
         if args.store:
             sidecar = Path(f"{args.store}.profile.json")
             atomic_write_text(sidecar, json.dumps(profile, indent=2, sort_keys=True) + "\n")
             print(f"phase profile stored in {sidecar}")
+    if trace_requested and trace_dir is not None:
+        print()
+        print(
+            f"trace {trace_id} recorded in {trace_dir} "
+            f"(trace-*.jsonl + ledger.jsonl); inspect with "
+            f"`trace summary {trace_dir}` / `trace export {trace_dir}`"
+        )
     if args.store:
         print()
         print(f"results stored in {args.store} (re-run to resume)")
@@ -599,7 +704,8 @@ def _arm_fault_plan(path: str, export: bool) -> int:
 
 
 def _profile_document(result: Any) -> Dict[str, Any]:
-    """Per-cell phase timings plus a per-phase summary, JSON-ready."""
+    """Per-cell phase timings, a per-phase summary, and the telemetry
+    registry's timer aggregates (with reservoir p50/p95), JSON-ready."""
     cells: List[Dict[str, Any]] = []
     for record in result.records:
         if record.phases is None:
@@ -626,7 +732,25 @@ def _profile_document(result: Any) -> Dict[str, Any]:
                 "max_s": round(max(values), 4),
             }
         )
-    return {"scenario": result.scenario, "cells": cells, "summary": summary}
+    from repro.observability.telemetry import TELEMETRY
+
+    timers = [
+        {
+            "timer": name,
+            "count": stats["count"],
+            "mean_s": round(stats["mean_s"], 6),
+            "p50_s": round(stats["p50_s"], 6),
+            "p95_s": round(stats["p95_s"], 6),
+            "max_s": round(stats["max_s"], 6),
+        }
+        for name, stats in sorted(TELEMETRY.timers().items())
+    ]
+    return {
+        "scenario": result.scenario,
+        "cells": cells,
+        "summary": summary,
+        "timers": timers,
+    }
 
 
 def _report_rows(
@@ -953,9 +1077,15 @@ def _format_progress(progress: CampaignProgress) -> str:
     if not progress.complete:
         parts.append(f"{progress.running} running, {progress.pending} pending")
         if progress.throughput_rps:
-            parts.append(f"| {progress.throughput_rps:.2f} cells/s")
+            rate = f"| {progress.throughput_rps:.2f} cells/s"
+            if progress.throughput_ewma_rps:
+                rate += f" (ewma {progress.throughput_ewma_rps:.2f})"
+            parts.append(rate)
         if progress.eta_s is not None:
-            parts.append(f"eta {progress.eta_s:.0f}s")
+            eta = f"eta {progress.eta_s:.0f}s"
+            if progress.eta_smoothed_s is not None:
+                eta += f" (ewma {progress.eta_smoothed_s:.0f}s)"
+            parts.append(eta)
     if progress.backend_cells:
         cells = ", ".join(
             f"{label}={count}" for label, count in sorted(progress.backend_cells.items())
@@ -1049,6 +1179,9 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     path = Path(args.target)
     if path.is_dir():
         path = path / "events.jsonl"
+    elif not path.name.endswith("events.jsonl"):
+        # A store path: the runner's event sidecar lives next to it.
+        path = Path(f"{args.target}.events.jsonl")
     unknown = sorted(set(args.kind) - EVENT_KINDS)
     if unknown:
         print(
@@ -1079,6 +1212,110 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace_dir = resolve_trace_dir(args.target)
+    spans = merge_trace_files(trace_dir)
+    if not spans:
+        print(
+            f"no trace files (trace-*.jsonl) in {trace_dir} "
+            "(was the campaign run with --trace?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.action == "export":
+        document = export_chrome_trace(spans)
+        output = Path(args.output) if args.output else trace_dir / "trace.json"
+        output.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        print(
+            f"{output}: {len(document['traceEvents'])} trace event(s) "
+            "(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+        return 0
+
+    if args.action == "summary":
+        summary = summarize_trace(spans, top=args.top, straggler_k=args.straggler_k)
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{trace_dir}: {summary['spans']} span(s) from "
+            f"{summary['processes']} process(es), {summary['cells']} cell(s), "
+            f"median cell {summary['median_cell_s']:.3f}s"
+        )
+        phase_rows = [
+            {
+                "cat": row["cat"],
+                "name": row["name"],
+                "count": row["count"],
+                "total_s": round(row["total_s"], 4),
+                "max_s": round(row["max_s"], 4),
+            }
+            for row in summary["phases"]
+        ]
+        print()
+        print(format_table(phase_rows, title="per-phase wall seconds"))
+        if summary["slowest_cells"]:
+            print()
+            print(
+                format_table(
+                    summary["slowest_cells"],
+                    title=f"slowest {len(summary['slowest_cells'])} cell(s)",
+                )
+            )
+        print()
+        if summary["stragglers"]:
+            print(
+                format_table(
+                    summary["stragglers"],
+                    title=f"stragglers (> {args.straggler_k:g} x median = "
+                    f"{summary['straggler_threshold_s']:.3f}s)",
+                )
+            )
+        else:
+            print(f"no stragglers (> {args.straggler_k:g} x median)")
+        return 0
+
+    path = critical_path(spans)
+    if args.as_json:
+        print(json.dumps(path, indent=2, sort_keys=True))
+        return 0
+    if not path["chain"] and not path["gaps"]:
+        print("no work spans (cell/task/batch) in the trace", file=sys.stderr)
+        return 1
+    print(
+        f"wall-clock {path['wall_clock_s']:.3f}s = "
+        f"{path['covered_s']:.3f}s on the critical chain "
+        f"+ {path['idle_s']:.3f}s idle"
+    )
+    print()
+    chain_rows = [
+        {
+            "start_s": entry["start_s"],
+            "dur_s": entry["dur_s"],
+            "cat": entry["cat"],
+            "span": entry["name"],
+            "worker": entry["worker"],
+        }
+        for entry in path["chain"]
+    ]
+    print(format_table(chain_rows, title=f"critical chain ({len(chain_rows)} span(s))"))
+    if path["gaps"]:
+        print()
+        print(
+            format_table(
+                path["gaps"],
+                title=f"idle gaps ({len(path['gaps'])}, {path['idle_s']:.3f}s total)",
+            )
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     logging.basicConfig(
@@ -1105,4 +1342,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_status(args)
     if args.command == "tail":
         return _cmd_tail(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2

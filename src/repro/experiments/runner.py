@@ -33,8 +33,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.evaluation.metrics import summarize
+from repro.observability.events import EventLog
+from repro.observability.ledger import RunLedger
 from repro.observability.progress import ProgressTracker
 from repro.observability.telemetry import TELEMETRY
+from repro.observability.trace import TRACER
 from repro.resilience.faults import inject
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, CircuitBreaker, RetryPolicy
 from repro.experiments.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
@@ -219,28 +222,42 @@ def execute_run_with_retry(
     """
     policy = DEFAULT_RETRY_POLICY if policy is None else policy
     attempt = 1
-    while True:
-        record = execute_run(spec, run_spec, keep_result=keep_result, profile=profile)
-        record.attempts = attempt
-        if record.ok:
+    # Every execution path — inline, pool child, spool worker, vector scalar
+    # probe/fallback — funnels through here, so the per-cell trace span (and
+    # its per-attempt children) is emitted in exactly one place.  The null
+    # span while tracing is disabled keeps this one attribute check + empty
+    # ``with`` on the hot path.
+    with TRACER.span(
+        "cell", cat="cell", scenario=spec.name, seed=run_spec.seed
+    ) as cell_span:
+        while True:
+            with TRACER.span("attempt", cat="attempt", n=attempt) as attempt_span:
+                record = execute_run(spec, run_spec, keep_result=keep_result, profile=profile)
+                if not record.ok:
+                    attempt_span.set(failed=record.error_class)
+            record.attempts = attempt
+            if record.ok:
+                if breaker is not None:
+                    breaker.record_success(spec.name)
+                break
+            exc = record.exception
+            if breaker is not None and breaker.record_failure(spec.name):
+                logger.warning(
+                    "circuit open for %r: repeated failures, retry backoff suppressed",
+                    spec.name,
+                )
+            if exc is None or not policy.should_retry(exc, attempt):
+                record.exception = None  # never ship a live exception across processes
+                break
+            delay = policy.delay(attempt, key=run_spec.key)
             if breaker is not None:
-                breaker.record_success(spec.name)
-            return record
-        exc = record.exception
-        if breaker is not None and breaker.record_failure(spec.name):
-            logger.warning(
-                "circuit open for %r: repeated failures, retry backoff suppressed",
-                spec.name,
-            )
-        if exc is None or not policy.should_retry(exc, attempt):
-            record.exception = None  # never ship a live exception across processes
-            return record
-        delay = policy.delay(attempt, key=run_spec.key)
-        if breaker is not None:
-            delay = breaker.gate_delay(spec.name, delay)
-        if delay > 0.0:
-            sleep(delay)
-        attempt += 1
+                delay = breaker.gate_delay(spec.name, delay)
+            if delay > 0.0:
+                sleep(delay)
+            attempt += 1
+        if attempt > 1 or not record.ok:
+            cell_span.set(attempts=attempt, status=record.status)
+    return record
 
 
 def _resolve_payload(payload: Any) -> Tuple[Optional[ScenarioSpec], Optional[str]]:
@@ -268,14 +285,31 @@ def _execute_batch(
     registry resolution) is amortised over the chunk instead of paid per run.
     Records are tagged with their run-list index, so the parent re-assembles
     them in deterministic order no matter how chunks interleave.
+
+    ``task`` may carry a fourth element — ``{"dir", "id", "parent"}`` trace
+    config — when the parent campaign is being traced: the pool child
+    configures its own tracer from it (each child appends to its own
+    ``trace-<pid>.jsonl``) and parents this chunk's spans to the parent's
+    campaign span.  Absent (the default), tracing stays disabled in the
+    child and the task tuples are identical to PR 7's.
     """
     payload, cells = task[0], task[1]
     policy: Optional[RetryPolicy] = task[2] if len(task) > 2 else None
+    trace_cfg: Optional[Dict[str, Any]] = task[3] if len(task) > 3 else None
     global _BATCH_BREAKER
     if _BATCH_BREAKER is None:
         _BATCH_BREAKER = CircuitBreaker()
+    if trace_cfg is not None and not TRACER.enabled:
+        TRACER.configure(trace_cfg["dir"], trace_id=trace_cfg.get("id"))
+    parent_scope = (
+        TRACER.parent_scope(trace_cfg.get("parent"))
+        if trace_cfg is not None and TRACER.enabled
+        else None
+    )
     spec, resolve_error = _resolve_payload(payload)
     results: List[Tuple[int, RunRecord]] = []
+    if parent_scope is not None:
+        parent_scope.__enter__()
     for params, seed, index in cells:
         if spec is None:
             record = RunRecord(
@@ -292,6 +326,8 @@ def _execute_batch(
                 spec, run_spec, policy=policy, breaker=_BATCH_BREAKER
             )
         results.append((index, record))
+    if parent_scope is not None:
+        parent_scope.__exit__(None, None, None)
     return results
 
 
@@ -311,7 +347,10 @@ class ExecutionBackend:
     otherwise.  ``progress`` is an optional
     :class:`~repro.observability.progress.ProgressTracker` the backend
     feeds one :meth:`record_record` per settled cell — purely advisory, so
-    a backend that ignores it is still correct.
+    a backend that ignores it is still correct.  ``events`` is an optional
+    :class:`~repro.observability.events.EventLog` for backends with
+    taxonomy events to report (the vector backend's batch/evict activity);
+    like ``progress`` it is advisory and safely ignorable.
     """
 
     name = "backend"
@@ -323,6 +362,7 @@ class ExecutionBackend:
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
         progress: Optional[ProgressTracker] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         raise NotImplementedError
 
@@ -359,6 +399,7 @@ class InProcessBackend(ExecutionBackend):
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
         progress: Optional[ProgressTracker] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         breaker = CircuitBreaker()
         for run_spec in pending:
@@ -405,9 +446,17 @@ class MultiprocessingBackend(ExecutionBackend):
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
         progress: Optional[ProgressTracker] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         payload = spec if payload is None else payload
         chunk = self.batch_size if self.batch_size is not None else 1
+        trace_cfg: Optional[Dict[str, Any]] = None
+        if TRACER.enabled:
+            trace_cfg = {
+                "dir": str(TRACER.directory),
+                "id": TRACER.trace_id,
+                "parent": TRACER.current_parent,
+            }
         tasks = [
             (
                 payload,
@@ -416,6 +465,7 @@ class MultiprocessingBackend(ExecutionBackend):
                     for run_spec in pending[start : start + chunk]
                 ],
                 self.retry_policy,
+                trace_cfg,
             )
             for start in range(0, len(pending), chunk)
         ]
@@ -659,6 +709,20 @@ class ParallelCampaignRunner:
         seeds: Optional[Sequence[int]] = None,
     ) -> CampaignResult:
         spec = self._resolve(scenario)
+        # The campaign root span: every other span in the trace — cells,
+        # attempts, publishes, worker tasks — descends from it, and the
+        # critical-path walk uses its bounds as the measured wall-clock.
+        with TRACER.span("campaign", cat="campaign", parent=None, scenario=spec.name):
+            return self._run(spec, params=params, sweep=sweep, seeds=seeds)
+
+    def _run(
+        self,
+        spec: ScenarioSpec,
+        *,
+        params: Optional[Mapping[str, Any]] = None,
+        sweep: Optional[Iterable[Mapping[str, Any]]] = None,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> CampaignResult:
         run_specs = spec.runs(params=params, sweep=sweep, seeds=seeds)
         records: List[Optional[RunRecord]] = [None] * len(run_specs)
 
@@ -685,7 +749,12 @@ class ParallelCampaignRunner:
             tracker.set_running(len(pending))
         if pending:
             backend.execute(
-                spec, pending, records, payload=self._payload_for(spec), progress=tracker
+                spec,
+                pending,
+                records,
+                payload=self._payload_for(spec),
+                progress=tracker,
+                events=self._event_log(backend),
             )
             # Backends that distinguish execution paths (vector/scalar) label
             # records themselves; everything else is attributed to the backend.
@@ -702,6 +771,7 @@ class ParallelCampaignRunner:
                 backend_cells[label] = backend_cells.get(label, 0) + 1
         if tracker is not None:
             tracker.finish(backend_cells=backend_cells)
+        self._write_ledger(backend, run_specs, records)
         flush_stats = getattr(self.cache, "flush_stats", None)
         if flush_stats is not None:
             flush_stats()
@@ -750,6 +820,54 @@ class ParallelCampaignRunner:
                 return None
             path = Path(f"{store_path}.progress.json")
         return ProgressTracker(path, scenario=spec.name, backend=backend.name)
+
+    def _event_log(self, backend: ExecutionBackend) -> Optional[EventLog]:
+        """A ``<store>.events.jsonl`` sidecar for backend taxonomy events.
+
+        Spool campaigns keep their event log inside the spool (the backend
+        owns it and ignores this one); store-backed campaigns get a sidecar
+        next to the store so ``tail <store>`` can surface e.g. the vector
+        backend's batch/evict activity.  No store → no sidecar.
+        """
+        if getattr(backend, "name", "") == "spool":
+            return None
+        store_path = getattr(self.store, "path", None)
+        if store_path is None:
+            return None
+        return EventLog(Path(f"{store_path}.events.jsonl"), source=backend.name)
+
+    def _write_ledger(
+        self,
+        backend: ExecutionBackend,
+        run_specs: Sequence[RunSpec],
+        records: Sequence[Optional[RunRecord]],
+    ) -> None:
+        """Append this campaign's non-spool cells to the run ledger.
+
+        Active only while tracing is on (the ledger lives next to the trace
+        files).  Spool-executed cells are excluded: the worker that ran (or
+        cache-served) each one already appended its row — with the precise
+        queue wait only it can measure — so the campaign's ledger rows sum
+        to exactly one per cell across all execution paths.
+        """
+        if not TRACER.enabled or TRACER.directory is None:
+            return
+        ledger = RunLedger(TRACER.directory / "ledger.jsonl")
+        for run_spec in run_specs:
+            record = records[run_spec.index]
+            if record is None or record.executed_by == "spool":
+                continue
+            ledger.record(
+                scenario=record.scenario,
+                params=record.params,
+                seed=record.seed,
+                status=record.status,
+                executed_by=record.executed_by or backend.name,
+                run_s=record.duration,
+                attempts=record.attempts,
+                key=run_spec.key,
+                trace=TRACER.trace_id,
+            )
 
     def _backend_for(self, pending: Sequence[RunSpec]) -> ExecutionBackend:
         if self.backend is not None:

@@ -18,12 +18,28 @@ ever touching the physics:
   spool coordinator keep up to date, and that ``python -m
   repro.experiments status`` (and, later, the campaign-as-a-service
   control plane of ROADMAP item 1) polls.
+* :mod:`repro.observability.trace` — distributed span tracing: per-process
+  ``trace-<pid>.jsonl`` span files with explicit trace/span/parent ids
+  propagated coordinator → task file → worker → cell → cache/shard, merged
+  and exported as Chrome trace-event JSON (Perfetto) by the ``trace`` CLI.
+  Off by default and free when off, like telemetry.
+* :mod:`repro.observability.ledger` — the per-cell ``ledger.jsonl`` run
+  ledger (scenario, params hash, seed, attempts, executed_by, queue-wait
+  and run durations) every backend appends to when tracing is on: the
+  machine-readable timing feed for elastic scheduling (ROADMAP 3) and the
+  control plane (ROADMAP 1).
 
 Layering: this package depends on the stdlib only, so every other
 subsystem (``sim``, ``experiments``, ``distributed``) may import it freely.
 """
 
 from repro.observability.events import EVENT_KINDS, EventLog, follow_events, read_events
+from repro.observability.ledger import (
+    LEDGER_FILENAME,
+    RunLedger,
+    read_ledger,
+    summarize_ledger,
+)
 from repro.observability.progress import (
     PROGRESS_VERSION,
     CampaignProgress,
@@ -38,12 +54,38 @@ from repro.observability.telemetry import (
     set_telemetry_enabled,
     telemetry_enabled,
 )
+from repro.observability.trace import (
+    TRACER,
+    Tracer,
+    critical_path,
+    disable_tracing,
+    enable_tracing,
+    export_chrome_trace,
+    get_tracer,
+    merge_trace_files,
+    resolve_trace_dir,
+    summarize_trace,
+)
 
 __all__ = [
     "EVENT_KINDS",
     "EventLog",
     "follow_events",
     "read_events",
+    "LEDGER_FILENAME",
+    "RunLedger",
+    "read_ledger",
+    "summarize_ledger",
+    "TRACER",
+    "Tracer",
+    "critical_path",
+    "disable_tracing",
+    "enable_tracing",
+    "export_chrome_trace",
+    "get_tracer",
+    "merge_trace_files",
+    "resolve_trace_dir",
+    "summarize_trace",
     "PROGRESS_VERSION",
     "CampaignProgress",
     "ProgressTracker",

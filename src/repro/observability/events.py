@@ -28,7 +28,16 @@ kind                emitted when
 ``campaign_resumed``  a restarted coordinator adopted an interrupted campaign
 ``shard_torn``        a result shard failed sha256 verification (re-executed)
 ``task_quarantined``  a poison task was retired after repeated failed claims
+``vector_batch``      the vector backend settled a lockstep seed batch
+``vector_evict``      a seed was evicted from a batch to the scalar kernel
 =================== ========================================================
+
+Schema note (v2 of this taxonomy, PR 9): ``vector_batch`` carries
+``scenario``, ``size`` (seeds in the batch), ``verified`` (probe byte-match)
+and ``elapsed_s``; ``vector_evict`` carries ``scenario``, ``seed`` and
+``reason`` (``preflight``/``midflight``).  Readers must stay tolerant of
+kinds they do not know: ``read_events``/``follow_events`` filter by the
+*requested* kinds only and pass every other well-formed line through.
 
 Event timestamps are wall-clock and appear **only** here and in progress
 files — never in result records, so stores stay byte-identical with
@@ -63,6 +72,8 @@ EVENT_KINDS = frozenset(
         "campaign_resumed",
         "shard_torn",
         "task_quarantined",
+        "vector_batch",
+        "vector_evict",
     }
 )
 

@@ -32,6 +32,12 @@ from typing import Any, Dict, Optional, Union
 
 PROGRESS_VERSION = 1
 
+#: EWMA smoothing factor for throughput.  Each fresh completion folds its
+#: instantaneous rate (1 / inter-completion gap) into the average with this
+#: weight; ~0.2 means the smoothed rate reflects roughly the last ~10
+#: completions, damping the early-campaign jitter of the raw rate.
+EWMA_ALPHA = 0.2
+
 
 def atomic_write_text(path: Path, content: str) -> None:
     """Write-then-rename (with fsync) so readers never observe a partial file."""
@@ -70,6 +76,11 @@ class CampaignProgress:
     updated_at: float = 0.0
     throughput_rps: Optional[float] = None
     eta_s: Optional[float] = None
+    #: EWMA-smoothed companions to the raw rate/ETA above (new optional
+    #: fields; the document stays version 1 — readers that predate them
+    #: simply ignore the extra keys).
+    throughput_ewma_rps: Optional[float] = None
+    eta_smoothed_s: Optional[float] = None
     workers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Per-execution-path cell counts ("vector"/"scalar"/"store"/"cache"/
     #: backend name -> count); populated when the campaign closes.
@@ -92,6 +103,8 @@ class CampaignProgress:
             "updated_at": self.updated_at,
             "throughput_rps": self.throughput_rps,
             "eta_s": self.eta_s,
+            "throughput_ewma_rps": self.throughput_ewma_rps,
+            "eta_smoothed_s": self.eta_smoothed_s,
             "workers": self.workers,
             "backend_cells": self.backend_cells,
         }
@@ -113,6 +126,8 @@ class CampaignProgress:
             updated_at=float(payload.get("updated_at", 0.0)),
             throughput_rps=payload.get("throughput_rps"),
             eta_s=payload.get("eta_s"),
+            throughput_ewma_rps=payload.get("throughput_ewma_rps"),
+            eta_smoothed_s=payload.get("eta_smoothed_s"),
             workers=dict(payload.get("workers") or {}),
             backend_cells={
                 str(name): int(count)
@@ -178,6 +193,8 @@ class ProgressTracker:
         self._fresh_done = 0  # executed this session; drives throughput/ETA
         self._started_mono = 0.0
         self._last_write = 0.0
+        self._ewma_rps: Optional[float] = None
+        self._last_fresh_mono = 0.0  # previous fresh completion (monotonic)
 
     # ---------------------------------------------------------------- updates
     def begin(self, total: int, reused: int = 0, cached: int = 0) -> None:
@@ -189,6 +206,7 @@ class ProgressTracker:
             self._done = int(reused) + int(cached)
             self._started_at = time.time()
             self._started_mono = time.monotonic()
+            self._last_fresh_mono = self._started_mono
             self._write_locked(force=True)
 
     def record_record(self, ok: bool = True, cached: bool = False) -> None:
@@ -202,6 +220,15 @@ class ProgressTracker:
                 self._cached += 1
             else:
                 self._fresh_done += 1
+                now = time.monotonic()
+                gap = now - self._last_fresh_mono
+                self._last_fresh_mono = now
+                if gap > 0:
+                    instant_rps = 1.0 / gap
+                    if self._ewma_rps is None:
+                        self._ewma_rps = instant_rps
+                    else:
+                        self._ewma_rps += EWMA_ALPHA * (instant_rps - self._ewma_rps)
             self._write_locked()
 
     def set_running(self, running: int) -> None:
@@ -241,10 +268,15 @@ class ProgressTracker:
         throughput: Optional[float] = None
         eta: Optional[float] = None
         elapsed = time.monotonic() - self._started_mono if self._started_mono else 0.0
+        smoothed: Optional[float] = None
+        eta_smoothed: Optional[float] = None
         if self._fresh_done and elapsed > 0:
             throughput = self._fresh_done / elapsed
+            smoothed = self._ewma_rps
             if not self._complete:
                 eta = remaining / throughput
+                if smoothed:
+                    eta_smoothed = remaining / smoothed
         return CampaignProgress(
             scenario=self.scenario,
             total=self._total,
@@ -260,6 +292,8 @@ class ProgressTracker:
             updated_at=time.time(),
             throughput_rps=throughput,
             eta_s=eta,
+            throughput_ewma_rps=smoothed,
+            eta_smoothed_s=eta_smoothed,
             workers=dict(self._workers),
             backend_cells=dict(self._backend_cells),
         )

@@ -34,10 +34,16 @@ carries the same numbers when telemetry is disabled.
 from __future__ import annotations
 
 import os
+import random
 import threading
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
+
+#: Per-timer reservoir size for percentile estimation.  128 samples keep a
+#: p95 estimate within a few percent for unimodal span distributions while
+#: bounding memory at ~1 KiB per timer regardless of campaign size.
+RESERVOIR_SIZE = 128
 
 
 class _NullSpan:
@@ -53,6 +59,19 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+def _percentile(sorted_sample: List[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of a pre-sorted sample."""
+    if not sorted_sample:
+        return 0.0
+    if len(sorted_sample) == 1:
+        return sorted_sample[0]
+    position = q * (len(sorted_sample) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_sample) - 1)
+    weight = position - low
+    return sorted_sample[low] * (1.0 - weight) + sorted_sample[high] * weight
 
 
 class _Span:
@@ -84,6 +103,12 @@ class TelemetryRegistry:
         self._gauges: Dict[str, float] = {}
         #: name -> [count, total_s, min_s, max_s]
         self._timers: Dict[str, List[float]] = {}
+        #: name -> bounded sample of span durations (Algorithm R reservoir)
+        #: for p50/p95 estimates.  The registry owns its own fixed-seed RNG:
+        #: telemetry must never draw from (or reseed) any stream the physics
+        #: sees, and a fixed seed keeps registry behaviour reproducible.
+        self._reservoirs: Dict[str, List[float]] = {}
+        self._sample_rng = random.Random(0x7E1E)
 
     # ------------------------------------------------------------------ write
     def count(self, name: str, value: int = 1) -> None:
@@ -123,12 +148,23 @@ class TelemetryRegistry:
                     stats[2] = seconds
                 if seconds > stats[3]:
                     stats[3] = seconds
+            reservoir = self._reservoirs.setdefault(name, [])
+            if len(reservoir) < RESERVOIR_SIZE:
+                reservoir.append(seconds)
+            else:
+                # Algorithm R: the i-th span (1-based) replaces a random
+                # slot with probability RESERVOIR_SIZE / i, keeping the
+                # reservoir a uniform sample of every span seen so far.
+                slot = self._sample_rng.randrange(self._timers[name][0])
+                if slot < RESERVOIR_SIZE:
+                    reservoir[slot] = seconds
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._reservoirs.clear()
 
     # ------------------------------------------------------------------- read
     def counters(self) -> Dict[str, int]:
@@ -140,18 +176,23 @@ class TelemetryRegistry:
             return dict(self._gauges)
 
     def timers(self) -> Dict[str, Dict[str, float]]:
-        """Per-timer aggregates: count, total/min/max/mean seconds."""
+        """Per-timer aggregates: count, total/min/max/mean and estimated
+        p50/p95 seconds (exact up to :data:`RESERVOIR_SIZE` spans, then a
+        uniform-reservoir estimate)."""
         with self._lock:
-            return {
-                name: {
+            out: Dict[str, Dict[str, float]] = {}
+            for name, stats in self._timers.items():
+                sample = sorted(self._reservoirs.get(name, ()))
+                out[name] = {
                     "count": stats[0],
                     "total_s": stats[1],
                     "min_s": stats[2],
                     "max_s": stats[3],
                     "mean_s": stats[1] / stats[0],
+                    "p50_s": _percentile(sample, 0.50),
+                    "p95_s": _percentile(sample, 0.95),
                 }
-                for name, stats in self._timers.items()
-            }
+            return out
 
     def timer_totals(self) -> Dict[str, float]:
         """Just the total seconds per timer (cheap per-cell profiling diffs)."""

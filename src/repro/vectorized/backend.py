@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import logging
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.runner import (
@@ -35,8 +36,10 @@ from repro.experiments.runner import (
     execute_run_with_retry,
 )
 from repro.experiments.spec import jsonable
+from repro.observability.events import EventLog
 from repro.observability.progress import ProgressTracker
 from repro.observability.telemetry import TELEMETRY
+from repro.observability.trace import TRACER
 from repro.resilience.faults import InjectedFaultError, inject
 from repro.resilience.retry import CircuitBreaker, RetryPolicy
 from repro.vectorized.engine import LockstepBatch, VectorStats
@@ -70,6 +73,7 @@ class VectorBatchBackend(ExecutionBackend):
         records: List[Optional[RunRecord]],
         payload: Optional[Any] = None,
         progress: Optional[ProgressTracker] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.stats = VectorStats()
         breaker = CircuitBreaker()
@@ -83,7 +87,7 @@ class VectorBatchBackend(ExecutionBackend):
                 scalar_indices.update(cell.index for cell in cells)
                 continue
             scalar_indices.update(
-                self._run_group(spec, program, cells, records, progress, breaker)
+                self._run_group(spec, program, cells, records, progress, breaker, events)
             )
         # Scalar queue: original pending order, so retry/fault-plan counters
         # fire in a deterministic sequence.
@@ -128,112 +132,163 @@ class VectorBatchBackend(ExecutionBackend):
         records: List[Optional[RunRecord]],
         progress: Optional[ProgressTracker],
         breaker: CircuitBreaker,
+        events: Optional[EventLog] = None,
     ) -> List[int]:
-        """Run one eligible group; returns indices that must finish scalar."""
+        """Run one eligible group; returns indices that must finish scalar.
+
+        Observability: the whole group runs inside one ``batch`` trace span
+        (the scalar probe's cell span nests under it), per-seed evictions
+        and the probe are instant child events, and the shared event log —
+        when attached — gets one ``vector_batch`` line per settled batch
+        plus a ``vector_evict`` line per evicted seed.
+        """
+
+        def evict_event(seed: int, reason: str) -> None:
+            TRACER.instant("evict", seed=seed, reason=reason)
+            if events is not None:
+                events.emit(
+                    "vector_evict", scenario=spec.name, seed=seed, reason=reason
+                )
+
         # Pre-flight evictions: the `vector.evict` fault point lets chaos
         # plans force structural divergence for chosen seeds.  Any planned
         # fault there — directive or raised — evicts the cell.
         batch_cells: List[Any] = []
         evicted_indices: List[int] = []
-        for run_spec in cells:
+        with TRACER.span(
+            "batch", cat="batch", scenario=spec.name, size=len(cells)
+        ) as batch_span:
+            for run_spec in cells:
+                try:
+                    rule = inject("vector.evict", scenario=spec.name, seed=run_spec.seed)
+                except InjectedFaultError:
+                    rule = True
+                if rule is not None:
+                    self.stats.record_eviction("fault-plan")
+                    TELEMETRY.count("vector.evict")
+                    evict_event(run_spec.seed, "preflight")
+                    evicted_indices.append(run_spec.index)
+                else:
+                    batch_cells.append(run_spec)
+            if len(batch_cells) < 2:
+                # A lockstep batch needs at least one fast cell beyond the
+                # scalar probe to be worth planning; run undersized groups
+                # scalar.
+                self.stats.fallback_cells += len(batch_cells)
+                batch_span.set(outcome="undersized")
+                return evicted_indices + [cell.index for cell in batch_cells]
+
+            started = time.perf_counter()
+            batch = LockstepBatch(
+                spec.name, dict(cells[0].params), [c.seed for c in batch_cells]
+            )
             try:
-                rule = inject("vector.evict", scenario=spec.name, seed=run_spec.seed)
-            except InjectedFaultError:
-                rule = True
-            if rule is not None:
-                self.stats.record_eviction("fault-plan")
-                TELEMETRY.count("vector.evict")
-                evicted_indices.append(run_spec.index)
-            else:
-                batch_cells.append(run_spec)
-        if len(batch_cells) < 2:
-            # A lockstep batch needs at least one fast cell beyond the scalar
-            # probe to be worth planning; run undersized groups scalar.
-            self.stats.fallback_cells += len(batch_cells)
-            return evicted_indices + [cell.index for cell in batch_cells]
+                outputs = program.run(spec, batch)
+            except Exception as exc:  # noqa: BLE001 — fast path must never kill a campaign
+                logger.warning(
+                    "vector program for %r failed (%s: %s); group of %d falls back "
+                    "to the scalar kernel",
+                    spec.name,
+                    type(exc).__name__,
+                    exc,
+                    len(batch_cells),
+                )
+                self.stats.program_errors += 1
+                self.stats.fallback_cells += len(batch_cells)
+                batch_span.set(outcome="program-error")
+                return evicted_indices + [cell.index for cell in batch_cells]
+            elapsed = time.perf_counter() - started
 
-        batch = LockstepBatch(spec.name, dict(cells[0].params), [c.seed for c in batch_cells])
-        try:
-            outputs = program.run(spec, batch)
-        except Exception as exc:  # noqa: BLE001 — fast path must never kill a campaign
-            logger.warning(
-                "vector program for %r failed (%s: %s); group of %d falls back "
-                "to the scalar kernel",
-                spec.name,
-                type(exc).__name__,
-                exc,
-                len(batch_cells),
+            # Mid-flight evictions recorded on the batch by the program.
+            evicted_seeds = batch.evicted
+            survivors: List[Any] = []
+            for run_spec in batch_cells:
+                if run_spec.seed in evicted_seeds:
+                    self.stats.record_eviction(evicted_seeds[run_spec.seed] or "mid-batch")
+                    TELEMETRY.count("vector.evict")
+                    evict_event(run_spec.seed, "midflight")
+                    evicted_indices.append(run_spec.index)
+                else:
+                    survivors.append(run_spec)
+            if not survivors:
+                batch_span.set(outcome="all-evicted")
+                return evicted_indices
+
+            # Scalar probe: the batch's first surviving cell runs on the
+            # scalar kernel and must serialise to the exact bytes the vector
+            # path built.
+            probe_spec = survivors[0]
+            TRACER.instant("probe", seed=probe_spec.seed)
+            probe_record = execute_run_with_retry(
+                spec,
+                probe_spec,
+                policy=self.retry_policy,
+                breaker=breaker,
+                keep_result=True,
+                profile=self.profile,
             )
-            self.stats.program_errors += 1
-            self.stats.fallback_cells += len(batch_cells)
-            return evicted_indices + [cell.index for cell in batch_cells]
-
-        # Mid-flight evictions recorded on the batch by the program.
-        evicted_seeds = batch.evicted
-        survivors: List[Any] = []
-        for run_spec in batch_cells:
-            if run_spec.seed in evicted_seeds:
-                self.stats.record_eviction(evicted_seeds[run_spec.seed] or "mid-batch")
-                TELEMETRY.count("vector.evict")
-                evicted_indices.append(run_spec.index)
-            else:
-                survivors.append(run_spec)
-        if not survivors:
-            return evicted_indices
-
-        # Scalar probe: the batch's first surviving cell runs on the scalar
-        # kernel and must serialise to the exact bytes the vector path built.
-        probe_spec = survivors[0]
-        probe_record = execute_run_with_retry(
-            spec,
-            probe_spec,
-            policy=self.retry_policy,
-            breaker=breaker,
-            keep_result=True,
-            profile=self.profile,
-        )
-        vector_probe = self._vector_record(spec, probe_spec, outputs.get(probe_spec.seed))
-        if vector_probe is None or not self._identical(probe_record, vector_probe):
-            self.stats.probe_mismatches += 1
-            self.stats.probe_cells += 1
-            self.stats.fallback_cells += len(survivors) - 1
-            logger.warning(
-                "vector probe mismatch for %r seed %s; group of %d falls back "
-                "to the scalar kernel",
-                spec.name,
-                probe_spec.seed,
-                len(survivors),
+            vector_probe = self._vector_record(
+                spec, probe_spec, outputs.get(probe_spec.seed)
             )
+            verified = vector_probe is not None and self._identical(
+                probe_record, vector_probe
+            )
+            if events is not None:
+                events.emit(
+                    "vector_batch",
+                    scenario=spec.name,
+                    size=len(survivors),
+                    verified=verified,
+                    elapsed_s=round(elapsed, 6),
+                )
+            if not verified:
+                self.stats.probe_mismatches += 1
+                self.stats.probe_cells += 1
+                self.stats.fallback_cells += len(survivors) - 1
+                logger.warning(
+                    "vector probe mismatch for %r seed %s; group of %d falls back "
+                    "to the scalar kernel",
+                    spec.name,
+                    probe_spec.seed,
+                    len(survivors),
+                )
+                probe_record.executed_by = "scalar"
+                records[probe_spec.index] = probe_record
+                if progress is not None:
+                    progress.record_record(ok=probe_record.ok)
+                batch_span.set(outcome="probe-mismatch")
+                return evicted_indices + [cell.index for cell in survivors[1:]]
+
+            # Verified: the batch's records are trusted as-is.
+            self.stats.batches += 1
+            TELEMETRY.count("vector.batch")
             probe_record.executed_by = "scalar"
             records[probe_spec.index] = probe_record
+            self.stats.probe_cells += 1
             if progress is not None:
                 progress.record_record(ok=probe_record.ok)
-            return evicted_indices + [cell.index for cell in survivors[1:]]
-
-        # Verified: the batch's records are trusted as-is.
-        self.stats.batches += 1
-        TELEMETRY.count("vector.batch")
-        probe_record.executed_by = "scalar"
-        records[probe_spec.index] = probe_record
-        self.stats.probe_cells += 1
-        if progress is not None:
-            progress.record_record(ok=probe_record.ok)
-        leftover: List[int] = []
-        for run_spec in survivors[1:]:
-            record = self._vector_record(spec, run_spec, outputs.get(run_spec.seed))
-            if record is None:
-                # The program silently dropped a seed it did not evict;
-                # treat it like an eviction rather than trusting a hole.
-                self.stats.record_eviction("missing-output")
-                TELEMETRY.count("vector.evict")
-                leftover.append(run_spec.index)
-                continue
-            record.executed_by = "vector"
-            records[run_spec.index] = record
-            self.stats.fast_cells += 1
-            if progress is not None:
-                progress.record_record(ok=True)
-        return evicted_indices + leftover
+            # Amortise the batch's wall time over its fast cells; transient
+            # provenance only (the run ledger reads it), never serialised.
+            per_cell = elapsed / max(1, len(survivors) - 1)
+            leftover: List[int] = []
+            for run_spec in survivors[1:]:
+                record = self._vector_record(spec, run_spec, outputs.get(run_spec.seed))
+                if record is None:
+                    # The program silently dropped a seed it did not evict;
+                    # treat it like an eviction rather than trusting a hole.
+                    self.stats.record_eviction("missing-output")
+                    TELEMETRY.count("vector.evict")
+                    evict_event(run_spec.seed, "missing-output")
+                    leftover.append(run_spec.index)
+                    continue
+                record.executed_by = "vector"
+                record.duration = per_cell
+                records[run_spec.index] = record
+                self.stats.fast_cells += 1
+                if progress is not None:
+                    progress.record_record(ok=True)
+            batch_span.set(outcome="verified", fast_cells=self.stats.fast_cells)
+            return evicted_indices + leftover
 
     def _vector_record(
         self, spec: Any, run_spec: Any, output: Optional[Dict[str, Any]]

@@ -93,7 +93,25 @@ class TestTelemetry:
             "min_s": 0.1,
             "max_s": 0.5,
             "mean_s": pytest.approx(0.3),
+            # Exact sample below RESERVOIR_SIZE spans: p50 is the middle
+            # value, p95 interpolates between the top two.
+            "p50_s": pytest.approx(0.3),
+            "p95_s": pytest.approx(0.48),
         }
+
+    def test_percentiles_estimated_from_a_bounded_reservoir(self):
+        from repro.observability.telemetry import RESERVOIR_SIZE
+
+        registry = TelemetryRegistry(enabled=True)
+        for i in range(1000):
+            registry.record_span("t", (i % 100) / 100.0)
+        span = registry.timers()["t"]
+        assert span["count"] == 1000
+        # A uniform 0..0.99 stream: the reservoir estimate lands near the
+        # true quantiles while memory stays bounded at RESERVOIR_SIZE.
+        assert 0.3 < span["p50_s"] < 0.7
+        assert span["p95_s"] > 0.8
+        assert len(registry._reservoirs["t"]) == RESERVOIR_SIZE
 
     def test_thread_safety_of_counters_and_spans(self):
         registry = TelemetryRegistry(enabled=True)
@@ -446,6 +464,107 @@ class TestSpoolObservability:
         exits = read_events(spool.events_path, kinds={"worker_exit"})
         assert exits[0]["reason"] == "idle_timeout"
         assert exits[0]["tasks_completed"] == 2
+
+
+# --------------------------------------------------------------------------
+# Distributed tracing and the run ledger (multi-process half; the
+# single-process API surface lives in test_trace.py)
+# --------------------------------------------------------------------------
+
+
+class TestDistributedTracing:
+    def test_two_real_workers_trace_and_ledger_concurrently(self, tmp_path):
+        from repro.observability.ledger import read_ledger
+        from repro.observability.trace import (
+            disable_tracing,
+            enable_tracing,
+            merge_trace_files,
+        )
+
+        spool_root = tmp_path / "spool"
+        trace_id = enable_tracing(spool_root, source="coordinator")
+        try:
+            backend = SpoolBackend(
+                spool_root, workers=2, timeout=120.0, poll_interval=0.01
+            )
+            result = ParallelCampaignRunner(backend=backend).run(
+                "demo/random_walk", seeds=[1, 2, 3, 4, 5, 6]
+            )
+        finally:
+            disable_tracing()
+        assert result.failures == 0
+
+        # Whole-line appends: every line of every per-process trace file and
+        # of the shared ledger parses — two racing workers never tear a row.
+        trace_files = sorted(spool_root.glob("trace-*.jsonl"))
+        assert len(trace_files) >= 3  # coordinator + both workers
+        for path in trace_files:
+            for line in path.read_text(encoding="utf-8").splitlines():
+                assert json.loads(line)["trace"] == trace_id
+
+        spans = merge_trace_files(spool_root)
+        # Merge ordering: one process's spans keep their per-process append
+        # (seq) order no matter how wall-clock interleaves across pids.
+        per_pid = {}
+        for span in spans:
+            per_pid.setdefault(span["pid"], []).append(span["seq"])
+        assert len(per_pid) >= 3
+        for seqs in per_pid.values():
+            assert seqs == sorted(seqs)
+        # Cross-process stitching: every worker task span parents to a
+        # coordinator publish span, every cell span to a task span.
+        publishes = {s["span"] for s in spans if s["name"] == "publish"}
+        tasks = [s for s in spans if s["name"] == "task"]
+        assert tasks and all(s["parent"] in publishes for s in tasks)
+        task_ids = {s["span"] for s in tasks}
+        cells = [s for s in spans if s["name"] == "cell"]
+        assert len(cells) == 6
+        assert all(s["parent"] in task_ids for s in cells)
+
+        # Ledger: exactly one row per cell, written by two distinct real
+        # worker processes, each with a measured queue wait.
+        rows = read_ledger(spool_root / "ledger.jsonl")
+        assert len(rows) == 6
+        assert sorted(row["seed"] for row in rows) == [1, 2, 3, 4, 5, 6]
+        assert {row["executed_by"] for row in rows} == {"spool"}
+        assert len({row["worker"] for row in rows}) == 2
+        assert all(row["queue_wait_s"] >= 0 for row in rows)
+        assert all(row["trace"] == trace_id for row in rows)
+
+    def test_vector_campaign_progress_and_ledger_agree(self, tmp_path):
+        from repro.observability.ledger import read_ledger, summarize_ledger
+        from repro.observability.trace import disable_tracing, enable_tracing
+        from repro.vectorized import VectorBatchBackend
+
+        store = ResultStore(tmp_path / "results.jsonl")
+        trace_dir = tmp_path / "trace"
+        enable_tracing(trace_dir, source="runner")
+        try:
+            result = ParallelCampaignRunner(backend=VectorBatchBackend(), store=store).run(
+                "demo/random_walk", seeds=list(range(1, 9))
+            )
+        finally:
+            disable_tracing()
+        assert result.failures == 0
+
+        progress = read_progress(tmp_path / "results.jsonl.progress.json")
+        assert progress.complete
+        assert (progress.total, progress.done) == (8, 8)
+        # EWMA throughput was folded in during the run and survives into
+        # the final snapshot (the smoothed ETA is meaningless once done).
+        assert progress.throughput_ewma_rps is not None
+        assert progress.eta_smoothed_s is None
+
+        # The ledger's per-path counts are the progress sidecar's
+        # backend_cells, row for row.
+        rows = read_ledger(trace_dir / "ledger.jsonl")
+        assert len(rows) == 8
+        summary = summarize_ledger(rows)
+        assert summary["by_executed_by"] == progress.backend_cells
+        assert summary["by_executed_by"] == {"scalar": 1, "vector": 7}
+        # Fast-path rows carry the batch's amortised duration.
+        vector_rows = [row for row in rows if row["executed_by"] == "vector"]
+        assert len({row["run_s"] for row in vector_rows}) == 1
 
 
 # --------------------------------------------------------------------------

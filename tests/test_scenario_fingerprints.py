@@ -91,6 +91,38 @@ def test_same_seed_physics_is_byte_identical_with_telemetry_enabled():
     assert spans.get("scenario.build", {}).get("count", 0) > 0
 
 
+def test_same_seed_physics_is_byte_identical_with_tracing_enabled(tmp_path):
+    """All 20 pinned fingerprints, computed WITH span tracing recording.
+
+    Tracing shares telemetry's hard rule: it never draws seeded randomness
+    and never contributes to result bytes.  Running every pinned workload
+    under an enabled tracer (inside a live span, so the current-parent
+    thread-local is populated too) must reproduce the exact same hashes.
+    """
+    from repro.observability.trace import (
+        TRACER,
+        disable_tracing,
+        enable_tracing,
+        read_trace_file,
+    )
+
+    enable_tracing(tmp_path, source="fingerprints")
+    try:
+        with TRACER.span("fingerprints", cat="campaign", parent=None):
+            observed = {name: WORKLOADS[name]() for name in PINNED}
+    finally:
+        disable_tracing()
+    drifted = sorted(name for name in PINNED if observed[name] != PINNED[name])
+    assert not drifted, (
+        f"same-seed physics drifted with tracing enabled for: {drifted}"
+    )
+    # Prove the tracer was live: the wrapping span landed on disk.
+    spans = []
+    for path in tmp_path.glob("trace-*.jsonl"):
+        spans.extend(read_trace_file(path))
+    assert any(span.get("name") == "fingerprints" for span in spans)
+
+
 def test_physics_does_not_depend_on_hash_seed():
     """The formerly hash-dependent workloads fingerprint identically under
     two different ``PYTHONHASHSEED`` values (regression for the sorted
