@@ -15,11 +15,23 @@ machines using nothing but a shared filesystem (NFS mount, bind mount,
   ``jobs=1`` byte-identity guarantee);
 * :mod:`repro.distributed.cache` — :class:`CacheIndex`, the
   content-addressed result cache shared across campaigns and hosts, keyed
-  by ``sha256(scenario source + canonical params + seed)``.
+  by ``sha256(scenario source + canonical params + seed)``;
+* :mod:`repro.distributed.scheduler` — the elastic policies layered on
+  the spool: adaptive shard sizing, straggler speculation, work-stealing
+  splits, per-cell wall-clock deadlines (:class:`CellTimeout`), worker
+  health scoring, and the offline :func:`fsck_spool` audit/repair.
 """
 
 from repro.distributed.cache import CacheIndex
 from repro.distributed.coordinator import SpoolBackend, SpoolDispatchError, merge_spool_results
+from repro.distributed.scheduler import (
+    CellTimeout,
+    ElapsedStats,
+    ElasticScheduler,
+    WorkerHealth,
+    cell_deadline,
+    fsck_spool,
+)
 from repro.distributed.spool import (
     DEFAULT_MAX_TASK_ATTEMPTS,
     ClaimedTask,
@@ -31,14 +43,20 @@ from repro.distributed.worker import WorkerStats, run_worker
 
 __all__ = [
     "CacheIndex",
+    "CellTimeout",
     "ClaimedTask",
     "DEFAULT_MAX_TASK_ATTEMPTS",
+    "ElapsedStats",
+    "ElasticScheduler",
     "Spool",
     "SpoolBackend",
     "SpoolDispatchError",
     "SpoolTask",
     "TornShardError",
+    "WorkerHealth",
     "WorkerStats",
+    "cell_deadline",
+    "fsck_spool",
     "merge_spool_results",
     "run_worker",
 ]

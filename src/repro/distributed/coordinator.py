@@ -34,6 +34,12 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.distributed.scheduler import (
+    DEFAULT_ADAPTIVE_TARGET_S,
+    DEFAULT_SPECULATION_K,
+    DEFAULT_SPLIT_MIN_CELLS,
+    ElasticScheduler,
+)
 from repro.distributed.spool import (
     DEFAULT_LEASE_TIMEOUT,
     DEFAULT_MAX_TASK_ATTEMPTS,
@@ -53,7 +59,11 @@ from repro.resilience.faults import GENERATION_ENV, inject
 logger = logging.getLogger(__name__)
 
 
-def _campaign_id(payload: str, cells: Sequence[Tuple[Dict[str, Any], int, int]], task_size: int) -> str:
+def _campaign_id(
+    payload: str,
+    cells: Sequence[Tuple[Dict[str, Any], int, int]],
+    task_size: Union[int, str],
+) -> str:
     """Content id of a campaign's exact work list (scenario + cells + sharding).
 
     Stored in ``campaign.json``: a restarted coordinator recomputes it from
@@ -86,7 +96,7 @@ class SpoolBackend(ExecutionBackend):
         spool_root: Union[str, os.PathLike],
         workers: int = 0,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-        task_size: int = 1,
+        task_size: Union[int, str] = 1,
         poll_interval: float = 0.05,
         timeout: Optional[float] = None,
         worker_cache_root: Optional[Union[str, os.PathLike]] = None,
@@ -94,16 +104,37 @@ class SpoolBackend(ExecutionBackend):
         max_task_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
         max_respawns: int = 0,
         worker_retries: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        split_min_cells: int = DEFAULT_SPLIT_MIN_CELLS,
+        speculation_k: float = DEFAULT_SPECULATION_K,
+        adaptive_target_s: float = DEFAULT_ADAPTIVE_TARGET_S,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if max_respawns < 0:
             raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
         self.spool = Spool(
             spool_root, lease_timeout=lease_timeout, max_task_attempts=max_task_attempts
         )
         self.workers = int(workers)
-        self.task_size = int(task_size)
+        #: ``"adaptive"`` (or ``"auto"``) sizes shards from a probe wave's
+        #: observed cell runtimes instead of a fixed cell count.
+        if isinstance(task_size, str):
+            if task_size not in ("adaptive", "auto"):
+                raise ValueError(
+                    f"task_size must be an int, 'adaptive' or 'auto', got {task_size!r}"
+                )
+            self.adaptive = True
+            self.task_size: Union[int, str] = "adaptive"
+        else:
+            self.adaptive = False
+            self.task_size = int(task_size)
+        self.cell_timeout = cell_timeout
+        self.split_min_cells = int(split_min_cells)
+        self.speculation_k = float(speculation_k)
+        self.adaptive_target_s = float(adaptive_target_s)
         self.poll_interval = float(poll_interval)
         self.timeout = timeout
         self.worker_cache_root = worker_cache_root
@@ -134,28 +165,60 @@ class SpoolBackend(ExecutionBackend):
                 "spool backend"
             )
         cells = [(run_spec.params, run_spec.seed, run_spec.index) for run_spec in pending]
-        tasks = shard_cells(cells, payload, self.task_size)
         campaign_id = _campaign_id(payload, cells, self.task_size)
+        scheduler = ElasticScheduler(
+            self.spool,
+            payload,
+            publish=self._publish,
+            make_task=lambda task_id, task_cells: SpoolTask(
+                task_id=task_id, scenario=payload, cells=tuple(task_cells)
+            ),
+            speculation_k=self.speculation_k,
+            speculation_min_age_s=max(0.5, 4.0 * self.poll_interval),
+            adaptive_target_s=self.adaptive_target_s,
+        )
         metadata = {
             "scenario": spec.name,
             "cells": len(cells),
-            "tasks": len(tasks),
             "task_size": self.task_size,
             "campaign_id": campaign_id,
         }
+        if self.cell_timeout is not None:
+            metadata["cell_timeout"] = self.cell_timeout
+        if self.split_min_cells >= 2:
+            metadata["split_min_cells"] = self.split_min_cells
         if TRACER.enabled:
             metadata["trace_id"] = TRACER.trace_id
-        recovery = self._try_resume(campaign_id, tasks, metadata)
-        if recovery is None:
+        if self.adaptive:
+            # Adaptive campaigns never resume: the task set depends on the
+            # probe wave's measured runtimes, so an interrupted one's ids
+            # would not line up.  Purge and republish — completed cells are
+            # still cheap to recover via the content-addressed cache.
+            tasks = None
+            recovery = None
             self.spool.initialise(metadata=metadata)
-            for task in tasks:
+            probes = scheduler.plan_probes(cells)
+            for task in probes:
                 self._publish(task)
+            published_tasks = len(probes)
+        else:
+            tasks = shard_cells(cells, payload, self.task_size)
+            for task in tasks:
+                scheduler.register_published(task.task_id, cells=len(task.cells))
+            metadata["tasks"] = len(tasks)
+            recovery = self._try_resume(campaign_id, tasks, metadata)
+            if recovery is None:
+                self.spool.initialise(metadata=metadata)
+                for task in tasks:
+                    self._publish(task)
+            published_tasks = len(tasks)
 
         # The coordinator's own progress file lives inside the spool, where
         # `status <spool>` (and workers on other hosts) can see it; the
         # runner's tracker — when a store is attached — is fed the same
         # per-cell completions via ``progress``.
         events = EventLog(self.spool.events_path, source="coordinator")
+        scheduler.events = events
         tracker = ProgressTracker(
             self.spool.progress_path, scenario=spec.name, backend=self.name
         )
@@ -179,24 +242,24 @@ class SpoolBackend(ExecutionBackend):
                 "campaign_start",
                 scenario=spec.name,
                 cells=len(cells),
-                tasks=len(tasks),
+                tasks=published_tasks,
                 workers=self.workers,
             )
-        cells_by_task = {task.task_id: len(task.cells) for task in tasks}
-        task_by_id = {task.task_id: task for task in tasks}
+        task_by_id = {task.task_id: task for task in tasks} if tasks else {}
         worker_slots: List[Dict[str, Any]] = [
             {"process": self._spawn_worker(), "generation": 0, "reported": False}
             for _ in range(self.workers)
         ]
         ok = False
+        ingested: Set[str] = set()
         try:
-            self._collect(
+            ingested = self._collect(
                 pending,
                 records,
                 worker_slots,
                 events=events,
                 trackers=trackers,
-                cells_by_task=cells_by_task,
+                scheduler=scheduler,
                 task_by_id=task_by_id,
             )
             ok = True
@@ -204,8 +267,18 @@ class SpoolBackend(ExecutionBackend):
             # Let workers observe completion (or failure) and exit cleanly.
             self.spool.mark_complete()
             events.emit("campaign_complete", ok=ok)
-            tracker.finish(complete=ok)
             self._join_workers([slot["process"] for slot in worker_slots])
+            if ok and scheduler is not None:
+                # A speculative race (or split re-run) can resolve with the
+                # losing worker still mid-task; its byte-identical shard
+                # lands during the drain, after every cell is filled.  It
+                # is never merged — record the discard so the race stays
+                # visible in the event log and the scheduler counters.
+                self._discard_late_shards(pending, ingested, scheduler, events)
+                counters = {k: v for k, v in scheduler.counters.items() if v}
+                if counters:
+                    tracker.set_scheduler(counters)
+            tracker.finish(complete=ok)
 
     def finalize(self, spec: ScenarioSpec) -> None:
         """Publish the completion marker even when nothing was dispatched.
@@ -333,9 +406,9 @@ class SpoolBackend(ExecutionBackend):
         worker_slots: Optional[List[Dict[str, Any]]] = None,
         events: Optional[EventLog] = None,
         trackers: Sequence[ProgressTracker] = (),
-        cells_by_task: Optional[Dict[str, int]] = None,
+        scheduler: Optional[ElasticScheduler] = None,
         task_by_id: Optional[Dict[str, SpoolTask]] = None,
-    ) -> None:
+    ) -> Set[str]:
         expected: Set[int] = {run_spec.index for run_spec in pending}
         # Accept a shard record only when it is for this campaign's cell:
         # a stale worker from a previous campaign on the same spool may
@@ -343,7 +416,14 @@ class SpoolBackend(ExecutionBackend):
         key_by_index: Dict[int, str] = {
             run_spec.index: run_spec.key for run_spec in pending
         }
+        spec_by_index: Dict[int, RunSpec] = {
+            run_spec.index: run_spec for run_spec in pending
+        }
         filled: Set[int] = set()
+        #: Indices filled with *synthesised* quarantine failures: a real
+        #: shard arriving later (speculative copy, split half) still heals
+        #: them, keeping the merged store as close to serial as possible.
+        synthesized: Set[int] = set()
         ingested: Set[str] = set()
         #: mtime at which an unmatched (stale) shard was last parsed, so the
         #: poll loop re-reads it only after a worker atomically replaces it.
@@ -387,22 +467,53 @@ class SpoolBackend(ExecutionBackend):
                         or (self.spool.quarantine_dir / f"{task_id}.json").exists()
                     ):
                         self._publish(task)
+                    # Elastic task ids (splits, speculative copies, adaptive
+                    # shards) have no entry in task_by_id; their cells come
+                    # back through the drain-time republish_missing catch-all.
                     continue
                 except FileNotFoundError:
                     continue
                 matched = True
+                fresh = False
+                for index, record in shard_records:
+                    if index in expected and record.key == key_by_index[index]:
+                        if index not in filled or index in synthesized:
+                            fresh = True
+                    else:
+                        matched = False
+                if matched and not fresh:
+                    # Every cell already landed via an earlier shard — the
+                    # loser of a speculative race or a re-run split half.
+                    # First shard wins; this byte-identical twin is dropped.
+                    ingested.add(task_id)
+                    stale_shard_mtime.pop(task_id, None)
+                    logger.info(
+                        "discarding superseded shard %s (all %d cell(s) "
+                        "already ingested)",
+                        task_id,
+                        len(shard_records),
+                    )
+                    if scheduler is not None:
+                        scheduler.note_superseded(task_id)
+                    if events is not None:
+                        events.emit(
+                            "task_superseded", task=task_id, cells=len(shard_records)
+                        )
+                    continue
                 for index, record in shard_records:
                     if index in expected and record.key == key_by_index[index]:
                         records[index] = record
-                        if index not in filled:
+                        if index in synthesized:
+                            synthesized.discard(index)  # late real result heals it
+                        elif index not in filled:
                             filled.add(index)
                             for tracker in trackers:
                                 tracker.record_record(ok=record.ok)
-                    else:
-                        matched = False
                 if matched:
                     ingested.add(task_id)
                     stale_shard_mtime.pop(task_id, None)
+                    if scheduler is not None:
+                        scheduler.note_ingested(task_id, len(shard_records))
                 else:
                     # A stale shard (previous campaign's straggler) occupies
                     # this task id; re-read only once its mtime changes —
@@ -420,8 +531,16 @@ class SpoolBackend(ExecutionBackend):
                 handled_quarantine.add(task_id)
                 task = (task_by_id or {}).get(task_id)
                 if task is None:
-                    continue  # another campaign's leftovers; not our cells
+                    # Elastic ids (splits, speculation, adaptive shards) are
+                    # not in task_by_id; read the quarantined task file
+                    # itself — key verification below rejects leftovers from
+                    # another campaign cell by cell.
+                    try:
+                        task = self.spool.read_quarantined_task(task_id)
+                    except (OSError, ValueError, KeyError, TypeError):
+                        continue
                 attempts = max(1, self.spool.reclaim_count(task_id) + 1)
+                timeout_idx = self.spool.timeout_indices(task_id)
                 logger.error(
                     "task %s quarantined as poison after %d failed attempt(s); "
                     "its cells are recorded as failures "
@@ -434,20 +553,32 @@ class SpoolBackend(ExecutionBackend):
                 for params, seed, index in task.cells:
                     if index not in expected or index in filled:
                         continue
+                    if index in timeout_idx:
+                        error = (
+                            f"cell killed by its wall-clock deadline in task "
+                            f"{task_id} ({attempts} attempt(s))"
+                        )
+                        error_class = "CellTimeout"
+                    else:
+                        error = (
+                            f"task {task_id} quarantined after {attempts} "
+                            "failed execution attempt(s)"
+                        )
+                        error_class = "TaskQuarantined"
                     record = RunRecord(
                         scenario=task.scenario,
                         params=dict(params),
                         seed=seed,
                         status="failed",
-                        error=(
-                            f"task {task_id} quarantined after {attempts} "
-                            "failed execution attempt(s)"
-                        ),
-                        error_class="TaskQuarantined",
+                        error=error,
+                        error_class=error_class,
                         attempts=attempts,
                     )
+                    if record.key != key_by_index[index]:
+                        continue  # another campaign's cell under our index
                     records[index] = record
                     filled.add(index)
+                    synthesized.add(index)
                     for tracker in trackers:
                         tracker.record_record(ok=False)
 
@@ -455,14 +586,51 @@ class SpoolBackend(ExecutionBackend):
             """Fold claimed-cell counts and worker heartbeats into progress."""
             if not trackers:
                 return
+            cells_map = scheduler.cells_by_task if scheduler is not None else {}
             running = sum(
-                (cells_by_task or {}).get(task_id, 1)
+                cells_map.get(task_id, 1)
                 for task_id in self.spool.claimed_task_ids()
             )
             heartbeats = self.spool.worker_heartbeats()
+            counters = (
+                {key: value for key, value in scheduler.counters.items() if value}
+                if scheduler is not None
+                else {}
+            )
             for tracker in trackers:
                 tracker.set_running(running)
                 tracker.set_workers(heartbeats)
+                if counters:
+                    tracker.set_scheduler(counters)
+
+        def republish_drained_missing() -> None:
+            """Recovery of last resort: the queue drained but cells are missing.
+
+            Covers elastic failure shapes the per-task republish cannot (a
+            split half's torn shard — the parent task file is consumed — or
+            a speculative copy lost with its original).  Only fires when
+            nothing is pending, claimed, held back in the backlog, or
+            sitting as an un-ingested non-stale shard.
+            """
+            if scheduler is None or filled == expected or scheduler.has_backlog:
+                return
+            if self.spool.pending_task_ids() or self.spool.claimed_task_ids():
+                return
+            for task_id in self.spool.completed_task_ids():
+                if task_id not in ingested and task_id not in stale_shard_mtime:
+                    return  # a shard landed this poll; ingest it first
+            missing = [
+                (spec_by_index[index].params, spec_by_index[index].seed, index)
+                for index in sorted(expected - filled)
+            ]
+            republished = scheduler.republish_missing(missing)
+            if republished:
+                logger.warning(
+                    "queue drained with %d cell(s) unfilled; republished them "
+                    "as %d recovery task(s)",
+                    len(missing),
+                    republished,
+                )
 
         # NOTE: respawns append to the caller's list so execute()'s finally
         # block joins replacements too, not just the first wave.
@@ -471,6 +639,10 @@ class SpoolBackend(ExecutionBackend):
         started = time.time()
         while filled != expected:
             inject("coordinator.poll")
+            if scheduler is not None:
+                scheduler.observe(
+                    self.spool.pending_task_ids(), self.spool.claimed_task_ids()
+                )
             ingest_new_shards()
             absorb_quarantined()
             update_liveness()
@@ -535,6 +707,7 @@ class SpoolBackend(ExecutionBackend):
                 )
                 if events is not None:
                     events.emit("task_reclaimed", task=task_id)
+            republish_drained_missing()
             if self.timeout is not None and time.time() - started > self.timeout:
                 missing = sorted(expected - filled)
                 raise SpoolDispatchError(
@@ -543,6 +716,40 @@ class SpoolBackend(ExecutionBackend):
                     f"indices: {missing[:5]})"
                 )
             time.sleep(self.poll_interval)
+        return ingested
+
+    def _discard_late_shards(
+        self,
+        pending: Sequence[RunSpec],
+        ingested: Set[str],
+        scheduler: ElasticScheduler,
+        events: Optional[EventLog],
+    ) -> None:
+        """Account for straggler shards that landed after completion."""
+        key_by_index = {run_spec.index: run_spec.key for run_spec in pending}
+        for task_id in self.spool.completed_task_ids():
+            if task_id in ingested:
+                continue
+            try:
+                shard_records = self.spool.read_result_shard(task_id)
+            except (TornShardError, OSError, ValueError, KeyError):
+                continue
+            if not shard_records or not all(
+                record.key == key_by_index.get(index)
+                for index, record in shard_records
+            ):
+                continue  # another campaign's stale shard, not our straggler
+            logger.info(
+                "discarding superseded late shard %s (%d cell(s), landed "
+                "after completion)",
+                task_id,
+                len(shard_records),
+            )
+            scheduler.note_superseded(task_id)
+            if events is not None:
+                events.emit(
+                    "task_superseded", task=task_id, cells=len(shard_records)
+                )
 
     def _join_workers(self, processes: Sequence[subprocess.Popen]) -> None:
         for process in processes:

@@ -43,7 +43,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.experiments.runner import RunRecord
 from repro.experiments.spec import jsonable
@@ -395,18 +395,27 @@ class Spool:
                 reclaimed.append(task_id)
         return reclaimed
 
-    def requeue(self, claimed: ClaimedTask) -> Optional[str]:
+    def requeue(
+        self, claimed: ClaimedTask, event: str = "reclaim", **extra: Any
+    ) -> Optional[str]:
         """Voluntarily give up a claim (e.g. shard write keeps failing).
 
         Counts as a failed attempt in the quarantine ledger, so a task
         whose spool I/O always fails is eventually quarantined rather than
-        ping-ponging between this worker and the queue forever.  Returns
-        ``"requeued"``, ``"quarantined"``, or ``None`` when the claim was
-        already gone (a peer reclaimed it).
+        ping-ponging between this worker and the queue forever.  ``event``
+        names the ledger line's cause (``"reclaim"`` for generic failures,
+        ``"timeout"`` when a cell deadline killed the attempt — the
+        coordinator reads it back to label quarantined cells with
+        ``error_class=CellTimeout``); ``extra`` fields (e.g. the timed-out
+        cell ``index``) ride the line.  Returns ``"requeued"``,
+        ``"quarantined"``, or ``None`` when the claim was already gone (a
+        peer reclaimed it).
         """
-        return self._retire_claim(claimed.claimed_path, claimed.task_id)
+        return self._retire_claim(claimed.claimed_path, claimed.task_id, event, **extra)
 
-    def _retire_claim(self, claim_path: Path, task_id: str) -> Optional[str]:
+    def _retire_claim(
+        self, claim_path: Path, task_id: str, event: str = "reclaim", **extra: Any
+    ) -> Optional[str]:
         """Move a failed claim back to pending — or into quarantine at cap.
 
         Only the process whose rename succeeds appends the ledger line, so
@@ -416,16 +425,91 @@ class Spool:
         if attempt >= self.max_task_attempts:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             target = self.quarantine_dir / f"{task_id}.json"
-            event, outcome = "quarantine", "quarantined"
+            outcome = "quarantined"
+            ledger_event = "quarantine"
         else:
             target = self.tasks_dir / f"{task_id}.json"
-            event, outcome = "reclaim", "requeued"
+            outcome = "requeued"
+            ledger_event = event
         try:
             os.rename(claim_path, target)
         except OSError:
             return None
-        self._append_attempt(task_id, event)
+        if outcome == "quarantined" and event != "reclaim":
+            # The cap-hitting attempt's *cause* rides the quarantine line
+            # (as ``cause``), so a deadline-killed final attempt stays
+            # attributable without inflating the attempt count.
+            self._append_attempt(task_id, ledger_event, cause=event, **extra)
+        else:
+            self._append_attempt(task_id, ledger_event, **extra)
         return outcome
+
+    # ---------------------------------------------------------- work stealing
+    def split_pending(self, task_id: str) -> Optional[Tuple[str, str]]:
+        """Split one oversized pending task into two pending halves.
+
+        The work-stealing primitive: an idle worker finding a lone pending
+        task with many cells halves it so a peer can share the load.  The
+        split is claim-shaped — atomically claim the task, publish the two
+        halves (``<id>-a``/``<id>-b``, which sort between ``<id>`` and its
+        successor so claim order still maps deterministically onto the run
+        list), then drop the parent claim.  Crash safety: dying before the
+        halves are published leaves a normal expired claim (the parent is
+        reclaimed whole); dying after leaves the parent claim to expire
+        and requeue *alongside* the halves — cells then execute twice,
+        which is harmless because every cell is deterministic and merging
+        is by run-list index.  Returns the half ids, or ``None`` when the
+        claim race was lost or the task is too small to split.
+        """
+        claimed = self.claim(task_id)
+        if claimed is None:
+            return None
+        cells = claimed.task.cells
+        if len(cells) < 2:
+            # Re-queue rather than execute: the caller asked for a split,
+            # not a claim, and a 1-cell task cannot be halved.
+            try:
+                os.rename(claimed.claimed_path, self.tasks_dir / f"{task_id}.json")
+            except OSError:
+                pass
+            return None
+        middle = (len(cells) + 1) // 2
+        halves = (
+            SpoolTask(
+                task_id=f"{task_id}-a",
+                scenario=claimed.task.scenario,
+                cells=cells[:middle],
+                trace=claimed.task.trace,
+            ),
+            SpoolTask(
+                task_id=f"{task_id}-b",
+                scenario=claimed.task.scenario,
+                cells=cells[middle:],
+                trace=claimed.task.trace,
+            ),
+        )
+        for half in halves:
+            self.publish_task(half)
+        self.release(claimed)
+        return halves[0].task_id, halves[1].task_id
+
+    def elastic_policy(self) -> Dict[str, Any]:
+        """The coordinator-published elastic knobs workers must share.
+
+        ``cell_timeout`` (seconds, 0/absent = no deadline) and
+        ``split_min_cells`` (0/absent = work stealing off) come from
+        ``campaign.json`` so every worker — spawned or started by hand on
+        another host — applies the same policy.
+        """
+        metadata = self.metadata()
+        policy: Dict[str, Any] = {"cell_timeout": None, "split_min_cells": 0}
+        timeout = metadata.get("cell_timeout")
+        if isinstance(timeout, (int, float)) and timeout > 0:
+            policy["cell_timeout"] = float(timeout)
+        split = metadata.get("split_min_cells")
+        if isinstance(split, int) and split >= 2:
+            policy["split_min_cells"] = split
+        return policy
 
     # -------------------------------------------------------------- quarantine
     def quarantined_task_ids(self) -> List[str]:
@@ -463,17 +547,46 @@ class Spool:
                         continue
                     if entry.get("event") == "reset":
                         count = 0
-                    elif entry.get("event") == "reclaim":
+                    elif entry.get("event") in ("reclaim", "timeout"):
                         count += 1
         except OSError:
             return count
         return count
 
-    def _append_attempt(self, task_id: str, event: str) -> None:
-        line = json.dumps(
-            {"task": task_id, "event": event, "ts": round(time.time(), 6)},
-            sort_keys=True,
-        )
+    def timeout_indices(self, task_id: str) -> Set[int]:
+        """Run-list indices a cell deadline killed for this task.
+
+        Read back from the attempts ledger's ``timeout`` lines; the
+        coordinator uses it to label a quarantined task's deadline-killed
+        cells ``error_class=CellTimeout`` (the rest stay
+        ``TaskQuarantined``).
+        """
+        indices: Set[int] = set()
+        try:
+            with self.attempts_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if entry.get("task") != task_id:
+                        continue
+                    if entry.get("event") != "timeout" and entry.get("cause") != "timeout":
+                        continue
+                    index = entry.get("index")
+                    if isinstance(index, int):
+                        indices.add(index)
+        except OSError:
+            pass
+        return indices
+
+    def _append_attempt(self, task_id: str, event: str, **extra: Any) -> None:
+        entry = {"task": task_id, "event": event, "ts": round(time.time(), 6)}
+        entry.update(extra)
+        line = json.dumps(entry, sort_keys=True)
         try:
             with self.attempts_path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")

@@ -12,7 +12,26 @@ host or many — and coordinate purely through the spool's atomic renames:
 
 A worker that finds nothing to claim reclaims expired leases (rescuing
 tasks from dead peers) and polls until the coordinator marks the campaign
-complete, its idle timeout expires, or its task budget is spent.
+complete, its idle timeout expires, or its task budget is spent.  Idle
+polling is jittered with a seed derived from the worker id, so N idle
+workers spread their lease-rescue sweeps instead of racing the same
+expired lease in the same tick (the first rename still wins either way).
+
+Elastic behaviour (adopted from the coordinator's ``campaign.json``, so
+every worker — spawned or hand-started on another host — applies the same
+policy):
+
+* **work stealing** — a worker finding exactly one oversized pending task
+  (``split_min_cells`` or more cells) splits it in two via the spool's
+  atomic rename before claiming, so an idle peer can share the load;
+* **cell deadlines** — with ``cell_timeout`` set, a ``SIGALRM`` watchdog
+  kills any cell that exceeds its wall-clock budget; the task is requeued
+  with a ``timeout`` ledger event (feeding the quarantine threshold) and
+  no shard is written, so results stay byte-identical to ``jobs=1``;
+* **health scoring** — task outcomes feed a rolling success/timeout/crash
+  score stamped into the heartbeat; a worker whose score collapses is
+  *benched* (it sleeps a penalty before each claim so healthier peers win
+  the claim races) rather than grinding tasks into quarantine.
 
 Observability: each worker appends to the spool's shared event log (task
 claimed/completed, cache hit/miss, reclaims it performs, its own
@@ -26,13 +45,16 @@ keeps polling.
 from __future__ import annotations
 
 import importlib
+import json
 import logging
 import os
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.distributed.cache import CacheIndex
+from repro.distributed.scheduler import CellTimeout, WorkerHealth, cell_deadline
 from repro.distributed.spool import ClaimedTask, Spool
 from repro.experiments.registry import (
     ScenarioRegistry,
@@ -59,6 +81,10 @@ class WorkerStats:
     runs_executed: int = 0
     cache_hits: int = 0
     failures: int = 0
+    #: Cells killed by the ``--cell-timeout`` watchdog.
+    timeouts: int = 0
+    #: Oversized pending tasks this worker split in two (work stealing).
+    shards_split: int = 0
     #: Wall seconds spent executing tasks (excludes idle polling).
     busy_s: float = 0.0
     #: Why the main loop returned: "complete" | "max_tasks" | "idle_timeout".
@@ -69,6 +95,7 @@ class WorkerStats:
         state: str,
         current_task: Optional[str] = None,
         events_dropped: int = 0,
+        health: Optional[WorkerHealth] = None,
     ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
             "state": state,
@@ -83,6 +110,12 @@ class WorkerStats:
             payload["current_task"] = current_task
         if events_dropped:
             payload["events_dropped"] = events_dropped
+        if self.timeouts:
+            payload["timeouts"] = self.timeouts
+        if self.shards_split:
+            payload["shards_split"] = self.shards_split
+        if health is not None:
+            payload.update(health.heartbeat_fields())
         return payload
 
 
@@ -101,8 +134,16 @@ def execute_task(
     events: Optional[EventLog] = None,
     retry_policy: Optional[RetryPolicy] = None,
     breaker: Optional[CircuitBreaker] = None,
+    cell_timeout: Optional[float] = None,
 ) -> List[Tuple[int, RunRecord]]:
     """Run one claimed task's cells and write its result shard.
+
+    With ``cell_timeout`` set, each cell executes under a wall-clock
+    deadline (:func:`~repro.distributed.scheduler.cell_deadline`); a
+    runaway cell is killed with :class:`CellTimeout`, which — being a
+    ``BaseException`` — aborts the whole task *without* writing a shard
+    (the worker loop requeues the claim with a ``timeout`` ledger event).
+    Cached cells never hit the deadline: a cache lookup is bounded I/O.
 
     Cell execution goes through the shared retry policy (same one the
     inline/process backends use, so attempt counts — and therefore failed
@@ -184,12 +225,13 @@ def execute_task(
                 else:
                     if events is not None and cache is not None and cache_key is not None:
                         events.emit("cache_miss", task=task.task_id, index=index)
-                    record = execute_run_with_retry(
-                        spec,
-                        RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index),
-                        policy=retry_policy,
-                        breaker=breaker,
-                    )
+                    with cell_deadline(cell_timeout, task=task.task_id, index=index):
+                        record = execute_run_with_retry(
+                            spec,
+                            RunSpec(scenario=spec.name, params=dict(params), seed=seed, index=index),
+                            policy=retry_policy,
+                            breaker=breaker,
+                        )
                     if cache is not None:
                         with TRACER.span("cache.put", cat="cache", seed=seed):
                             cache.put(cache_key, record)
@@ -232,6 +274,34 @@ def execute_task(
     return results
 
 
+def _maybe_split_lone_task(
+    spool: Spool, split_min: int
+) -> Optional[Tuple[str, Tuple[str, str]]]:
+    """Work stealing: halve the queue's lone pending task when oversized.
+
+    Only fires when exactly one task is pending — with more, every idle
+    worker can claim its own.  The peek at the task file races claiming
+    peers; any miss (file gone, half-written, too small, claim lost) just
+    means no split this round.
+    """
+    pending = spool.pending_task_ids()
+    if len(pending) != 1:
+        return None
+    task_id = pending[0]
+    try:
+        with (spool.tasks_dir / f"{task_id}.json").open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        cells = payload.get("cells") or []
+    except (OSError, ValueError, AttributeError):
+        return None  # claimed from under us mid-peek
+    if len(cells) < split_min:
+        return None
+    halves = spool.split_pending(task_id)
+    if halves is None:
+        return None
+    return task_id, halves
+
+
 def run_worker(
     spool_root: Union[str, os.PathLike],
     *,
@@ -244,6 +314,8 @@ def run_worker(
     scenario_modules: Sequence[str] = (),
     worker_id: Optional[str] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    split_min_cells: Optional[int] = None,
 ) -> WorkerStats:
     """The worker main loop; returns once there is nothing left to do.
 
@@ -252,7 +324,9 @@ def run_worker(
     ``idle_timeout`` seconds (``None`` waits for the completion marker
     indefinitely).  Reclaim decisions follow the lease timeout the
     coordinator published in ``campaign.json`` unless ``lease_timeout``
-    explicitly overrides it.
+    explicitly overrides it; the same holds for ``cell_timeout`` and
+    ``split_min_cells``, which default to the campaign's published
+    elastic policy (see :meth:`Spool.elastic_policy`).
     """
     _import_scenario_modules(scenario_modules)
     if registry is None:
@@ -265,6 +339,12 @@ def run_worker(
         else Spool(spool_root, lease_timeout=lease_timeout)
     )
     stats = WorkerStats(worker_id=worker_id or f"worker-{os.getpid()}")
+    health = WorkerHealth()
+    # Seeded per worker id: each worker's idle polling is deterministic in
+    # isolation but decorrelated from its peers', so N idle workers fan out
+    # over a poll interval instead of racing the same expired lease in the
+    # same tick (thundering-herd reclaim).
+    jitter = random.Random(stats.worker_id)
     if TRACER.enabled:
         # Env-configured tracing (spawned workers): label this process's
         # trace lane with the worker id instead of a bare pid.
@@ -293,6 +373,35 @@ def run_worker(
         if max_tasks is not None and stats.tasks_completed >= max_tasks:
             stats.exit_reason = "max_tasks"
             break
+        if cell_timeout is None or split_min_cells is None:
+            policy = spool.elastic_policy()
+        else:
+            policy = {}
+        task_deadline = (
+            cell_timeout if cell_timeout is not None else policy.get("cell_timeout")
+        )
+        split_min = (
+            split_min_cells
+            if split_min_cells is not None
+            else int(policy.get("split_min_cells") or 0)
+        )
+        if health.benched():
+            # Benched: still working, but a penalty nap before each claim
+            # race hands new tasks to healthier peers first.
+            time.sleep(poll_interval * (2.0 + 2.0 * jitter.random()))
+        if split_min >= 2:
+            split = _maybe_split_lone_task(spool, split_min)
+            if split is not None:
+                parent, halves = split
+                stats.shards_split += 1
+                logger.info(
+                    "%s: split oversized task %s into %s + %s",
+                    stats.worker_id,
+                    parent,
+                    halves[0],
+                    halves[1],
+                )
+                events.emit("shard_split", task=parent, halves=list(halves))
         claimed = spool.claim_next()
         if claimed is None:
             # Nothing claimable: rescue tasks from dead peers, then wait.
@@ -333,9 +442,11 @@ def run_worker(
                 events.emit("worker_idle")
                 spool.write_worker_heartbeat(
                     stats.worker_id,
-                    stats.heartbeat_payload("idle", events_dropped=events.dropped),
+                    stats.heartbeat_payload(
+                        "idle", events_dropped=events.dropped, health=health
+                    ),
                 )
-            time.sleep(poll_interval)
+            time.sleep(poll_interval * (0.75 + 0.5 * jitter.random()))
             continue
         idle_since = None
         was_idle = False
@@ -343,7 +454,10 @@ def run_worker(
         spool.write_worker_heartbeat(
             stats.worker_id,
             stats.heartbeat_payload(
-                "running", current_task=claimed.task_id, events_dropped=events.dropped
+                "running",
+                current_task=claimed.task_id,
+                events_dropped=events.dropped,
+                health=health,
             ),
         )
         try:
@@ -356,11 +470,37 @@ def run_worker(
                 events=events,
                 retry_policy=retry_policy,
                 breaker=breaker,
+                cell_timeout=task_deadline,
+            )
+        except CellTimeout as exc:
+            # The watchdog killed a runaway cell: no shard was written.
+            # Requeue with a `timeout` ledger event so repeated offenders
+            # cross the quarantine threshold, where the coordinator records
+            # the failed CellTimeout cell.
+            stats.timeouts += 1
+            health.record_timeout()
+            outcome = spool.requeue(
+                claimed, event="timeout", index=exc.index, error_class="CellTimeout"
+            )
+            logger.error(
+                "%s: killed runaway cell (task %s, index %s) after %gs; %s",
+                stats.worker_id,
+                claimed.task_id,
+                exc.index,
+                exc.seconds,
+                outcome or "claim already gone",
+            )
+            events.emit(
+                "cell_timeout",
+                task=claimed.task_id,
+                index=exc.index,
+                seconds=exc.seconds,
             )
         except OSError as exc:
             # Spool I/O failed even after retries (disk full, NFS blip…).
             # Give the claim back — a healthier peer, or this worker later,
             # re-executes it; the quarantine ledger caps how often.
+            health.record_io_failure()
             outcome = spool.requeue(claimed)
             logger.error(
                 "%s: task %s failed on spool I/O (%s); %s",
@@ -370,9 +510,13 @@ def run_worker(
                 outcome or "claim already gone",
             )
             time.sleep(poll_interval)
+        else:
+            health.record_success()
         spool.write_worker_heartbeat(
             stats.worker_id,
-            stats.heartbeat_payload("running", events_dropped=events.dropped),
+            stats.heartbeat_payload(
+                "running", events_dropped=events.dropped, health=health
+            ),
         )
     events.emit(
         "worker_exit",
@@ -381,11 +525,13 @@ def run_worker(
         runs_executed=stats.runs_executed,
         cache_hits=stats.cache_hits,
         failures=stats.failures,
+        timeouts=stats.timeouts,
+        shards_split=stats.shards_split,
         busy_s=round(stats.busy_s, 3),
     )
     spool.write_worker_heartbeat(
         stats.worker_id,
-        stats.heartbeat_payload("exited", events_dropped=events.dropped),
+        stats.heartbeat_payload("exited", events_dropped=events.dropped, health=health),
     )
     if isinstance(cache, CacheIndex):
         cache.flush_stats()

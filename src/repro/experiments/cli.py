@@ -35,6 +35,12 @@ Examples::
         --backend spool --spool /spool/chaos --faults plan.json --retries 3
     python -m repro.experiments quarantine list /spool/chaos
     python -m repro.experiments quarantine retry /spool/chaos
+
+    # Elastic scheduling: adaptive shards, cell deadlines, spool fsck
+    python -m repro.experiments run platoon/karyon --seeds 50 \\
+        --backend spool --spool /spool/platoon --task-size adaptive \\
+        --cell-timeout 30
+    python -m repro.experiments fsck /spool/platoon --repair
 """
 
 from __future__ import annotations
@@ -146,8 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(0: wait for externally-started workers; default 2)",
     )
     run_parser.add_argument(
-        "--task-size", type=int, default=None, metavar="N",
-        help="spool only: campaign cells per spool task file (default 1)",
+        "--task-size", default=None, metavar="N|adaptive",
+        help="spool only: campaign cells per spool task file (default 1), or "
+        "'adaptive' to size shards from a probe wave's measured cell runtimes",
+    )
+    run_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="spool only: kill any cell exceeding this wall-clock budget; "
+        "repeat offenders are quarantined with error_class=CellTimeout",
     )
     run_parser.add_argument(
         "--lease-timeout", type=float, default=None, metavar="SECONDS",
@@ -286,6 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
         "tasks", nargs="*", metavar="TASK_ID",
         help="retry only: specific task ids to re-queue "
         "(default: every quarantined task)",
+    )
+
+    fsck_parser = sub.add_parser(
+        "fsck",
+        help="audit a campaign spool for torn shards, orphaned/expired "
+        "leases, stale heartbeats and quarantine-ledger inconsistencies",
+        parents=[common],
+    )
+    fsck_parser.add_argument("spool", help="spool directory")
+    fsck_parser.add_argument(
+        "--repair", action="store_true",
+        help="apply the coordinator's recovery paths (drop torn shards, "
+        "retire settled/expired claims, remove dead heartbeats, lift "
+        "completed quarantine entries)",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the audit document instead of tables",
     )
 
     status_parser = sub.add_parser(
@@ -455,6 +485,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    task_size: Any = None
+    if args.task_size is not None:
+        if args.task_size in ("adaptive", "auto"):
+            task_size = "adaptive"
+        else:
+            try:
+                task_size = int(args.task_size)
+            except ValueError:
+                print(
+                    f"error: --task-size must be an integer or 'adaptive', "
+                    f"got {args.task_size!r}",
+                    file=sys.stderr,
+                )
+                return 2
     if spool_requested:
         if not args.spool:
             print("error: --backend spool requires --spool DIR", file=sys.stderr)
@@ -470,8 +514,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.workers is not None and args.workers < 0:
             print("error: --workers must be >= 0", file=sys.stderr)
             return 2
-        if args.task_size is not None and args.task_size < 1:
+        if isinstance(task_size, int) and task_size < 1:
             print("error: --task-size must be >= 1", file=sys.stderr)
+            return 2
+        if args.cell_timeout is not None and args.cell_timeout <= 0:
+            print("error: --cell-timeout must be positive", file=sys.stderr)
             return 2
         if args.lease_timeout is not None and args.lease_timeout <= 0:
             print("error: --lease-timeout must be positive", file=sys.stderr)
@@ -489,6 +536,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ("--spool", args.spool),
                 ("--workers", args.workers),
                 ("--task-size", args.task_size),
+                ("--cell-timeout", args.cell_timeout),
                 ("--lease-timeout", args.lease_timeout),
                 ("--timeout", args.timeout),
                 ("--max-respawns", args.max_respawns),
@@ -545,11 +593,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.spool,
             workers=args.workers if args.workers is not None else 2,
             lease_timeout=args.lease_timeout if args.lease_timeout is not None else 60.0,
-            task_size=args.task_size if args.task_size is not None else 1,
+            task_size=task_size if task_size is not None else 1,
             timeout=args.timeout,
             worker_cache_root=args.cache,
             max_respawns=args.max_respawns if args.max_respawns is not None else 0,
             worker_retries=args.retries,
+            cell_timeout=args.cell_timeout,
         )
     elif vector_requested:
         from repro.vectorized import VectorBatchBackend
@@ -1046,6 +1095,33 @@ def _cmd_quarantine(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.distributed import Spool, fsck_spool
+
+    spool = Spool(args.spool)
+    if not spool.exists():
+        print(f"{args.spool}: not a campaign spool (missing tasks/ or results/)")
+        return 1
+    report = fsck_spool(spool, repair=args.repair)
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if report["issues"]:
+            print(
+                format_table(
+                    report["issues"],
+                    title=f"{args.spool}: {len(report['issues'])} issue(s)",
+                )
+            )
+        else:
+            print(f"{args.spool}: clean (no issues found)")
+        for action in report["repaired"]:
+            print(f"repaired: {action}")
+        if report["issues"] and not args.repair:
+            print("re-run with --repair to apply the recovery paths")
+    return 0 if report["ok"] else 1
+
+
 # ---------------------------------------------------------------------------
 # status / tail
 # ---------------------------------------------------------------------------
@@ -1091,6 +1167,11 @@ def _format_progress(progress: CampaignProgress) -> str:
             f"{label}={count}" for label, count in sorted(progress.backend_cells.items())
         )
         parts.append(f"| cells: {cells}")
+    if progress.scheduler:
+        elastic = ", ".join(
+            f"{name}={count}" for name, count in sorted(progress.scheduler.items())
+        )
+        parts.append(f"| elastic: {elastic}")
     return " ".join(parts)
 
 
@@ -1105,6 +1186,16 @@ def _format_worker(worker_id: str, heartbeat: Dict[str, Any]) -> str:
         f"{heartbeat.get('runs_executed', 0)} runs, "
         f"{heartbeat.get('cache_hits', 0)} cache hits"
     )
+    timeouts = heartbeat.get("timeouts", 0)
+    if isinstance(timeouts, int) and timeouts > 0:
+        bits.append(f", {timeouts} timeout(s)")
+    splits = heartbeat.get("shards_split", 0)
+    if isinstance(splits, int) and splits > 0:
+        bits.append(f", {splits} shard(s) split")
+    health = heartbeat.get("health")
+    if isinstance(health, (int, float)) and health < 1.0:
+        benched = " BENCHED" if heartbeat.get("benched") else ""
+        bits.append(f", health {health:.2f}{benched}")
     dropped = heartbeat.get("events_dropped", 0)
     if isinstance(dropped, int) and dropped > 0:
         bits.append(f", {dropped} dropped event(s)")
@@ -1338,6 +1429,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "quarantine":
         return _cmd_quarantine(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "status":
         return _cmd_status(args)
     if args.command == "tail":

@@ -217,6 +217,93 @@ def _measure_campaign(workload: PerfWorkload, repeats: int, backend_name: str) -
     return min(timeit.repeat(run, number=1, repeat=max(1, repeats)))
 
 
+def measure_skewed_spool(
+    workers: int = 2,
+    cheap: Tuple[int, float] = (12, 0.3),
+    heavy: Tuple[int, float] = (4, 1.6),
+) -> Tuple[float, float]:
+    """``(elastic_wall_s, ideal_s)`` for a seeded-skew spool campaign.
+
+    Cells are *sleep-bound*: a deterministic fault plan injects a per-cell
+    stall at ``worker.cell`` (``cheap`` cells get a short one, ``heavy``
+    cells a long one), so concurrent workers overlap even on a single
+    core and the measured ratio reflects scheduling quality rather than
+    CPU contention.  ``ideal_s`` is the perfect-packing wall time: every
+    task's claim-to-completion busy time (summed from the event log)
+    divided by the worker count.  The elastic store is also checked
+    byte-identical against a ``jobs=1`` serial run of the same campaign
+    (the fault plan only matches spool workers, so the serial run is not
+    stalled).
+    """
+    import os
+    import tempfile
+    import time
+
+    from repro.distributed import Spool, SpoolBackend
+    from repro.experiments.runner import ParallelCampaignRunner
+    from repro.experiments.store import ResultStore
+    from repro.observability.events import read_events
+    from repro.resilience import PLAN_ENV, FaultPlan, FaultRule
+
+    cheap_cells, cheap_sleep_s = cheap
+    heavy_cells, heavy_sleep_s = heavy
+    seeds = list(range(1, cheap_cells + heavy_cells + 1))
+    rules = [
+        FaultRule(
+            point="worker.cell",
+            kind="sleep",
+            match={"index": index},
+            args={"seconds": heavy_sleep_s if index >= cheap_cells else cheap_sleep_s},
+        )
+        for index in range(len(seeds))
+    ]
+    registry = load_builtin_scenarios()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        serial_store = root / "serial.jsonl"
+        ParallelCampaignRunner(
+            jobs=1, registry=registry, store=ResultStore(serial_store)
+        ).run("demo/random_walk", params={"steps": 100}, seeds=seeds)
+        plan_path = FaultPlan(rules).save(root / "skew-plan.json")
+        previous = os.environ.get(PLAN_ENV)
+        os.environ[PLAN_ENV] = str(plan_path)
+        try:
+            backend = SpoolBackend(
+                root / "spool",
+                workers=workers,
+                task_size=1,
+                # Sleep-stalled cells are the *workload* here, not
+                # stragglers; a high threshold keeps speculation from
+                # burning a worker on byte-identical duplicates.
+                speculation_k=50.0,
+                poll_interval=0.05,
+                timeout=600.0,
+            )
+            elastic_store = root / "elastic.jsonl"
+            started = time.monotonic()
+            ParallelCampaignRunner(
+                registry=registry, store=ResultStore(elastic_store), backend=backend
+            ).run("demo/random_walk", params={"steps": 100}, seeds=seeds)
+            elastic_wall_s = time.monotonic() - started
+        finally:
+            if previous is None:
+                os.environ.pop(PLAN_ENV, None)
+            else:
+                os.environ[PLAN_ENV] = previous
+        if serial_store.read_bytes() != elastic_store.read_bytes():
+            raise RuntimeError(
+                "skewed spool campaign diverged from the jobs=1 serial store"
+            )
+        claimed_at: Dict[str, float] = {}
+        busy_s = 0.0
+        for event in read_events(Spool(root / "spool").events_path):
+            if event["kind"] == "task_claimed":
+                claimed_at[event["task"]] = event["ts"]
+            elif event["kind"] == "task_completed" and event["task"] in claimed_at:
+                busy_s += event["ts"] - claimed_at.pop(event["task"])
+    return elastic_wall_s, busy_s / workers
+
+
 def calibrate(repeats: int = 3) -> float:
     """Deterministic machine-speed probe (seconds).
 

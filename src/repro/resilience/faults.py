@@ -22,6 +22,10 @@ point                    where
 ``cache.put``            cache publish
 ``events.emit``          events.jsonl append
 ``coordinator.poll``     coordinator collect loop, once per poll
+``scheduler.speculate``  before each speculative straggler re-publish
+                         (``stall`` suppresses the speculation)
+``worker.deadline``      when a cell's wall-clock deadline is armed
+                         (``stall`` disables the watchdog for the cell)
 ``vector.evict``         vector backend, per cell while planning a
                          lockstep batch — *any* planned fault here
                          (directive or raised) evicts the seed to
